@@ -1,0 +1,86 @@
+// Command gentraj simulates vehicle trajectories over a generated
+// network using the traffic world model (the stand-in for GPS fleet
+// data) and writes them in the SRT1 binary format.
+//
+// Usage:
+//
+//	gentraj -net net.srg -n 30000 -out trips.srt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"stochroute/internal/graph"
+	"stochroute/internal/traj"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gentraj: ")
+
+	netPath := flag.String("net", "net.srg", "input network file (SRG1)")
+	n := flag.Int("n", 30000, "number of trajectories")
+	minEdges := flag.Int("min", 4, "minimum edges per trajectory")
+	maxEdges := flag.Int("max", 30, "maximum edges per trajectory")
+	depProb := flag.Float64("dep", 0.75, "probability an intersection couples adjacent edges")
+	stickiness := flag.Float64("stick", 0.85, "congestion-mode carry-over probability at dependent intersections")
+	noise := flag.Float64("noise", 0, "per-traversal ±1-bucket noise probability")
+	width := flag.Float64("width", 2, "travel-time grid width in seconds")
+	worldSeed := flag.Uint64("world-seed", 7, "world model seed")
+	walkSeed := flag.Uint64("walk-seed", 99, "trajectory sampling seed")
+	out := flag.String("out", "trips.srt", "output file")
+	flag.Parse()
+
+	f, err := os.Open(*netPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := graph.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	worldCfg := traj.DefaultWorldConfig()
+	worldCfg.DependentVertexProb = *depProb
+	worldCfg.Stickiness = *stickiness
+	worldCfg.NoiseProb = *noise
+	worldCfg.BucketWidth = *width
+	worldCfg.Seed = *worldSeed
+	world, err := traj.NewWorld(g, worldCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	walkCfg := traj.WalkConfig{
+		NumTrajectories: *n,
+		MinEdges:        *minEdges,
+		MaxEdges:        *maxEdges,
+		Seed:            *walkSeed,
+	}
+	trs, err := traj.GenerateTrajectories(world, walkCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	of, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := traj.WriteTrajectories(of, trs); err != nil {
+		of.Close()
+		log.Fatal(err)
+	}
+	if err := of.Close(); err != nil {
+		log.Fatal(err)
+	}
+	edges := 0
+	for i := range trs {
+		edges += len(trs[i].Edges)
+	}
+	fmt.Printf("wrote %s: %d trajectories, %d edge traversals (world: %.0f%% dependent pairs)\n",
+		*out, len(trs), edges, 100*world.DependentPairFraction())
+}

@@ -1,0 +1,143 @@
+// Command route answers a single Probabilistic Budget Routing query on a
+// trained model: given a source, destination and time budget, it prints
+// the path maximising the probability of on-time arrival, alongside the
+// mean-cost baseline for contrast.
+//
+// Usage:
+//
+//	route -net net.srg -traj trips.srt -model model.srhm \
+//	      -from 57.01,9.92 -to 57.05,9.97 -budget 600 -limit 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"stochroute/internal/geo"
+	"stochroute/internal/graph"
+	"stochroute/internal/hybrid"
+	"stochroute/internal/routing"
+	"stochroute/internal/traj"
+)
+
+func parseLatLon(s string) (geo.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return geo.Point{}, fmt.Errorf("want lat,lon, got %q", s)
+	}
+	lat, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return geo.Point{}, err
+	}
+	lon, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return geo.Point{}, err
+	}
+	p := geo.Point{Lat: lat, Lon: lon}
+	if !p.Valid() {
+		return geo.Point{}, fmt.Errorf("invalid coordinate %v", p)
+	}
+	return p, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("route: ")
+
+	netPath := flag.String("net", "net.srg", "network file (SRG1)")
+	trajPath := flag.String("traj", "trips.srt", "trajectory file (SRT1), used to rebuild edge statistics")
+	modelPath := flag.String("model", "model.srhm", "trained model file (SRHM)")
+	from := flag.String("from", "", "source as lat,lon")
+	to := flag.String("to", "", "destination as lat,lon")
+	budget := flag.Float64("budget", 600, "time budget in seconds")
+	limit := flag.Duration("limit", 0, "anytime wall-clock limit (0 = run to optimality)")
+	width := flag.Float64("width", 2, "histogram grid width in seconds")
+	minObs := flag.Int("min-obs", 20, "minimum pair observations")
+	flag.Parse()
+
+	if *from == "" || *to == "" {
+		log.Fatal("both -from and -to are required (lat,lon)")
+	}
+	src, err := parseLatLon(*from)
+	if err != nil {
+		log.Fatalf("-from: %v", err)
+	}
+	dst, err := parseLatLon(*to)
+	if err != nil {
+		log.Fatalf("-to: %v", err)
+	}
+
+	f, err := os.Open(*netPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := graph.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tf, err := os.Open(*trajPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trs, err := traj.ReadTrajectories(tf, g)
+	tf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs := traj.NewObservationStore(g, *width)
+	obs.Collect(trs)
+	kb, err := hybrid.BuildKnowledgeBase(g, obs, *width, *minObs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := hybrid.ReadModel(mf)
+	mf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.AttachKB(kb); err != nil {
+		log.Fatal(err)
+	}
+
+	idx := graph.NewGridIndex(g, 500)
+	s := idx.Nearest(src)
+	d := idx.Nearest(dst)
+	fmt.Printf("source %v -> vertex %d %v\n", src, s, g.Point(s))
+	fmt.Printf("dest   %v -> vertex %d %v\n", dst, d, g.Point(d))
+
+	res, err := routing.PBR(g, model, s, d, routing.Options{
+		Budget:      *budget,
+		MaxDuration: *limit,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		log.Fatal("no path found within the budget")
+	}
+	fmt.Printf("\nbudget routing (t = %.0fs):\n", *budget)
+	fmt.Printf("  P(on time) = %.3f   edges = %d   mean = %.0fs\n",
+		res.Prob, len(res.Path), res.Dist.Mean())
+	fmt.Printf("  expansions = %d, labels = %d, runtime = %v, complete = %v\n",
+		res.Expansions, res.GeneratedLabels, res.Runtime.Round(time.Millisecond), res.Complete)
+
+	basePath, baseMean, err := routing.MeanCostPath(g, kb, s, d)
+	if err == nil {
+		baseDist, err := hybrid.PathCost(model, basePath)
+		if err == nil {
+			fmt.Printf("\nmean-cost baseline:\n")
+			fmt.Printf("  P(on time) = %.3f   edges = %d   mean = %.0fs\n",
+				baseDist.ProbWithinBudget(*budget), len(basePath), baseMean)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command train fits the Hybrid Model (distribution estimator +
+// convolve-vs-estimate classifier) from a network and trajectory file,
+// reports the paper's KL-divergence evaluation on held-out pairs, and
+// writes the model in the SRHM binary format.
+//
+// Usage:
+//
+//	train -net net.srg -traj trips.srt -out model.srhm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"stochroute/internal/graph"
+	"stochroute/internal/hybrid"
+	"stochroute/internal/traj"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("train: ")
+
+	netPath := flag.String("net", "net.srg", "input network file (SRG1)")
+	trajPath := flag.String("traj", "trips.srt", "input trajectory file (SRT1)")
+	out := flag.String("out", "model.srhm", "output model file")
+	trainPairs := flag.Int("train-pairs", 4000, "training edge pairs (paper: 4000)")
+	testPairs := flag.Int("test-pairs", 1000, "held-out test edge pairs (paper: 1000)")
+	minObs := flag.Int("min-obs", 20, "minimum joint observations for a pair to count as having data")
+	width := flag.Float64("width", 2, "histogram grid width in seconds")
+	epochs := flag.Int("epochs", 120, "estimator training epochs")
+	verbose := flag.Bool("v", false, "log training progress")
+	flag.Parse()
+
+	f, err := os.Open(*netPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := graph.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tf, err := os.Open(*trajPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trs, err := traj.ReadTrajectories(tf, g)
+	tf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs := traj.NewObservationStore(g, *width)
+	obs.Collect(trs)
+
+	cfg := hybrid.DefaultConfig()
+	cfg.Width = *width
+	cfg.TrainPairs = *trainPairs
+	cfg.TestPairs = *testPairs
+	cfg.MinPairObs = *minObs
+	cfg.Estimator.Train.Epochs = *epochs
+	cfg.Estimator.Train.Verbose = *verbose
+	if *verbose {
+		cfg.Estimator.Train.Logf = log.Printf
+	}
+
+	kb, err := hybrid.BuildKnowledgeBase(g, obs, cfg.Width, cfg.MinPairObs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("knowledge base: %d pairs with >= %d observations\n", kb.NumPairs(), cfg.MinPairObs)
+
+	model, report, err := hybrid.Train(kb, obs, trs, nil, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluation on %d held-out pairs (ground truth: empirical joint distributions):\n", report.TestPairs)
+	fmt.Printf("  KL(hybrid)        = %.4f\n", report.MeanKLHybrid)
+	fmt.Printf("  KL(convolution)   = %.4f\n", report.MeanKLConv)
+	fmt.Printf("  KL(estimate-only) = %.4f\n", report.MeanKLEstimate)
+	fmt.Printf("  classifier accuracy %.3f, F1 %.3f, AUC %.3f\n",
+		report.ClassifierConfusion.Accuracy(), report.ClassifierConfusion.F1(), report.ClassifierAUC)
+
+	of, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hybrid.WriteModel(of, model); err != nil {
+		of.Close()
+		log.Fatal(err)
+	}
+	if err := of.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,45 @@
+// Package stochroute is a Go reproduction of "A Hybrid Learning Approach
+// to Stochastic Routing" (Pedersen, Yang, Jensen; ICDE 2020).
+//
+// Road-network edges have uncertain travel times, and the travel times
+// of adjacent edges are spatially dependent: convolving per-edge
+// histograms — the classical way to compute a path's travel-time
+// distribution — systematically invents outcomes that never occur. The
+// paper's Hybrid Model pairs a learned distribution-estimation model
+// with a binary classifier that decides, at every intersection, whether
+// to convolve (independent pair) or estimate (dependent pair). On top of
+// the model sits Probabilistic Budget Routing: given a source, a
+// destination and a time budget t, find the path that maximises the
+// probability of arriving within t, with an anytime variant that returns
+// the best known path when a run-time limit expires.
+//
+// The package is a facade over the internal implementation:
+//
+//   - internal/hist — histogram travel-time distributions (convolution,
+//     shifting, dominance, divergences)
+//   - internal/graph, internal/netgen, internal/osm — the road-network
+//     substrate: CSR graphs, a synthetic city generator, an OSM parser
+//   - internal/traj — the traffic world model and trajectory simulation
+//     standing in for GPS fleet data
+//   - internal/ml — from-scratch neural networks and logistic regression
+//   - internal/hybrid — the paper's contribution: the hybrid cost model
+//   - internal/routing — Dijkstra baselines and Probabilistic Budget
+//     Routing with the paper's four prunings and the anytime extension
+//   - internal/exp — the harness that regenerates every table of the
+//     paper's evaluation
+//
+// # Quick start
+//
+//	cfg := stochroute.DefaultConfig()
+//	cfg.Network.Rows, cfg.Network.Cols = 40, 40
+//	engine, err := stochroute.BuildEngine(cfg, os.Stderr)
+//	if err != nil { ... }
+//	src := engine.NearestVertex(57.01, 9.92)
+//	dst := engine.NearestVertex(57.03, 9.95)
+//	res, err := engine.Route(src, dst, 600 /* seconds */)
+//	fmt.Printf("P(arrive within 10 min) = %.2f over %d edges\n",
+//	    res.Prob, len(res.Path))
+//
+// See the examples/ directory for runnable programs and DESIGN.md for
+// the system inventory and experiment index.
+package stochroute

@@ -1,0 +1,279 @@
+package stochroute
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"stochroute/internal/geo"
+	"stochroute/internal/graph"
+	"stochroute/internal/hist"
+	"stochroute/internal/hybrid"
+	"stochroute/internal/netgen"
+	"stochroute/internal/routing"
+	"stochroute/internal/traj"
+)
+
+// Engine is the assembled system: a road network, the trained Hybrid
+// Model over it, and the query algorithms. Engines are safe for
+// concurrent reads of the graph but queries mutate model decision
+// counters, so serialise Route calls or clone models per goroutine.
+type Engine struct {
+	graph *graph.Graph
+	index *graph.GridIndex
+	world *traj.World // nil when built from external observations
+	obs   *traj.ObservationStore
+	kb    *hybrid.KnowledgeBase
+	model *hybrid.Model
+
+	// Report is the KL-divergence evaluation captured during training.
+	Report *EvalReport
+}
+
+// BuildEngine generates a synthetic network, simulates trajectories,
+// and trains the hybrid model — the full pipeline of the paper on the
+// synthetic substrate. Progress lines go to logW (io.Discard to
+// silence; nil defaults to io.Discard).
+func BuildEngine(cfg Config, logW io.Writer) (*Engine, error) {
+	if logW == nil {
+		logW = io.Discard
+	}
+	logf := func(format string, args ...any) { fmt.Fprintf(logW, format+"\n", args...) }
+
+	g, err := netgen.Generate(cfg.Network)
+	if err != nil {
+		return nil, fmt.Errorf("stochroute: network generation: %w", err)
+	}
+	logf("stochroute: network: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+
+	world, err := traj.NewWorld(g, cfg.World)
+	if err != nil {
+		return nil, fmt.Errorf("stochroute: world model: %w", err)
+	}
+	trajs, err := traj.GenerateTrajectories(world, cfg.Walk)
+	if err != nil {
+		return nil, fmt.Errorf("stochroute: trajectory simulation: %w", err)
+	}
+	logf("stochroute: simulated %d trajectories", len(trajs))
+
+	eng, err := NewEngineFromObservations(g, trajs, cfg.Hybrid, logW)
+	if err != nil {
+		return nil, err
+	}
+	eng.world = world
+	return eng, nil
+}
+
+// NewEngineFromObservations builds an engine over an existing graph and
+// trajectory set (e.g. a parsed OSM network with map-matched GPS
+// trajectories). Ground truth for the training evaluation is then the
+// held-out empirical pair distributions, as in the paper.
+func NewEngineFromObservations(g *Graph, trajs []Trajectory, cfg hybrid.Config, logW io.Writer) (*Engine, error) {
+	if logW == nil {
+		logW = io.Discard
+	}
+	if g == nil || g.NumVertices() == 0 {
+		return nil, errors.New("stochroute: nil or empty graph")
+	}
+	obs := traj.NewObservationStore(g, cfg.Width)
+	obs.Collect(trajs)
+	kb, err := hybrid.BuildKnowledgeBase(g, obs, cfg.Width, cfg.MinPairObs)
+	if err != nil {
+		return nil, fmt.Errorf("stochroute: knowledge base: %w", err)
+	}
+	fmt.Fprintf(logW, "stochroute: training hybrid model on %d pairs with data\n", kb.NumPairs())
+	model, report, err := hybrid.Train(kb, obs, trajs, nil, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("stochroute: training: %w", err)
+	}
+	fmt.Fprintf(logW, "stochroute: KL(hybrid)=%.4f KL(conv)=%.4f on %d held-out pairs\n",
+		report.MeanKLHybrid, report.MeanKLConv, report.TestPairs)
+	return &Engine{
+		graph:  g,
+		index:  graph.NewGridIndex(g, 500),
+		obs:    obs,
+		kb:     kb,
+		model:  model,
+		Report: report,
+	}, nil
+}
+
+// Graph returns the engine's road network.
+func (e *Engine) Graph() *Graph { return e.graph }
+
+// Model returns the trained hybrid model.
+func (e *Engine) Model() *Model { return e.model }
+
+// KnowledgeBase returns the per-edge/per-pair statistics.
+func (e *Engine) KnowledgeBase() *KnowledgeBase { return e.kb }
+
+// Observations returns the trajectory-derived training data.
+func (e *Engine) Observations() *ObservationStore { return e.obs }
+
+// World returns the synthetic ground-truth world, or nil for engines
+// built from external observations.
+func (e *Engine) World() *World { return e.world }
+
+// NearestVertex snaps a WGS84 coordinate to the closest vertex.
+func (e *Engine) NearestVertex(lat, lon float64) VertexID {
+	return e.index.Nearest(geo.Point{Lat: lat, Lon: lon})
+}
+
+// Route answers a Probabilistic Budget Routing query with the full
+// (non-anytime) search: the returned path maximises the model's
+// probability of arriving within budget seconds.
+func (e *Engine) Route(source, dest VertexID, budget float64) (*RouteResult, error) {
+	return e.RouteWithOptions(source, dest, RouteOptions{Budget: budget})
+}
+
+// RouteAnytime is Route with a wall-clock limit: when the limit expires
+// the current pivot path is returned (Result.Complete reports whether
+// the search finished).
+func (e *Engine) RouteAnytime(source, dest VertexID, budget float64, limit time.Duration) (*RouteResult, error) {
+	return e.RouteWithOptions(source, dest, RouteOptions{Budget: budget, MaxDuration: limit})
+}
+
+// RouteWithOptions exposes every knob of the budget-routing search.
+func (e *Engine) RouteWithOptions(source, dest VertexID, opts RouteOptions) (*RouteResult, error) {
+	return routing.PBR(e.graph, e.model, source, dest, opts)
+}
+
+// MeanRoute returns the classical mean-cost shortest path (the paper's
+// pitfall baseline) and its expected travel time in seconds.
+func (e *Engine) MeanRoute(source, dest VertexID) ([]EdgeID, float64, error) {
+	return routing.MeanCostPath(e.graph, e.kb, source, dest)
+}
+
+// OptimisticTime returns the fastest-possible travel time in seconds
+// between the endpoints under the model's admissible lower bounds.
+func (e *Engine) OptimisticTime(source, dest VertexID) (float64, error) {
+	_, t, err := routing.Dijkstra(e.graph, e.kb.MinEdgeTime, source, dest)
+	return t, err
+}
+
+// PathDistribution computes the hybrid travel-time distribution of an
+// explicit edge path via the iterative virtual-edge procedure.
+func (e *Engine) PathDistribution(edges []EdgeID) (*Hist, error) {
+	return hybrid.PathCost(e.model, edges)
+}
+
+// ConvolutionDistribution computes the same path's distribution under
+// the independence assumption — the baseline the paper improves on.
+func (e *Engine) ConvolutionDistribution(edges []EdgeID) (*Hist, error) {
+	return hybrid.PathCost(&hybrid.ConvolutionCoster{KB: e.kb, MaxBuckets: e.model.MaxBuckets}, edges)
+}
+
+// TrueDistribution returns the oracle distribution of a path under the
+// synthetic world, or an error for engines without a world.
+func (e *Engine) TrueDistribution(edges []EdgeID) (*Hist, error) {
+	if e.world == nil {
+		return nil, errors.New("stochroute: engine has no ground-truth world")
+	}
+	return e.world.PathTruth(edges)
+}
+
+// SampleQueries draws n routing queries whose straight-line distance
+// falls within [loKm, hiKm).
+func (e *Engine) SampleQueries(loKm, hiKm float64, n int, seed uint64) ([]Query, error) {
+	wg := netgen.NewWorkloadGen(e.graph, seed)
+	return wg.SampleCategory(netgen.DistanceCategory{LoKm: loKm, HiKm: hiKm}, n)
+}
+
+// SaveGraph writes the network to path in the SRG1 binary format.
+func (e *Engine) SaveGraph(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := e.graph.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadGraph reads a network written by SaveGraph (or cmd/gennet).
+func LoadGraph(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Read(f)
+}
+
+// SaveModel writes the trained hybrid model to path in the SRHM binary
+// format.
+func (e *Engine) SaveModel(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := hybrid.WriteModel(f, e.model); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel replaces the engine's hybrid model with one written by
+// SaveModel, attached to the engine's knowledge base.
+func (e *Engine) LoadModel(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := hybrid.ReadModel(f)
+	if err != nil {
+		return err
+	}
+	if err := m.AttachKB(e.kb); err != nil {
+		return err
+	}
+	if m.MaxBuckets == 0 {
+		m.MaxBuckets = e.model.MaxBuckets
+	}
+	e.model = m
+	return nil
+}
+
+// AlternativeRoute is one member of the stochastic skyline.
+type AlternativeRoute = routing.ParetoRoute
+
+// AlternativeRoutes enumerates mutually non-dominated routes between the
+// endpoints within the given time horizon: the route set a user with an
+// unknown deadline would choose from. The budget-routing answer for any
+// budget within the horizon is (up to search caps) a member of this set.
+func (e *Engine) AlternativeRoutes(source, dest VertexID, horizon float64, maxRoutes int) ([]AlternativeRoute, error) {
+	return routing.ParetoRoutes(e.graph, e.model, source, dest, routing.ParetoOptions{
+		Horizon:   horizon,
+		MaxRoutes: maxRoutes,
+	})
+}
+
+// RankedAlternatives generates the k best mean-cost candidate paths
+// (Yen's algorithm) and ranks them by the hybrid model's on-time
+// probability at the given budget — the k-shortest-paths baseline.
+func (e *Engine) RankedAlternatives(source, dest VertexID, budget float64, k int) ([]routing.ScoredPath, error) {
+	return routing.KSPBudgetRouting(e.graph, e.model, func(id EdgeID) float64 {
+		return e.kb.Edge(id).Mean
+	}, source, dest, budget, k)
+}
+
+// PairExample returns the hybrid, convolution and (when a world is
+// present) ground-truth distributions for one adjacent edge pair — the
+// unit the paper's KL evaluation compares.
+func (e *Engine) PairExample(first, second EdgeID) (hybridDist, convDist, truth *Hist, err error) {
+	hybridDist, err = e.model.PairSumEstimate(first, second)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	convDist = hist.MustConvolve(e.kb.Edge(first).Marginal, e.kb.Edge(second).Marginal)
+	if e.world != nil {
+		truth = e.world.PairJointSum(first, second, e.graph.Edge(second).From)
+	}
+	return hybridDist, convDist, truth, nil
+}

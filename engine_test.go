@@ -1,0 +1,288 @@
+package stochroute
+
+import (
+	"io"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	engOnce sync.Once
+	eng     *Engine
+	engErr  error
+)
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	engOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Network.Rows, cfg.Network.Cols = 20, 20
+		cfg.Network.CellMeters = 130
+		cfg.Walk.NumTrajectories = 3000
+		cfg.Hybrid.TrainPairs, cfg.Hybrid.TestPairs = 400, 100
+		cfg.Hybrid.MinPairObs = 12
+		cfg.Hybrid.Estimator.Train.Epochs = 30
+		cfg.Hybrid.PrefixRows = 2000
+		eng, engErr = BuildEngine(cfg, io.Discard)
+	})
+	if engErr != nil {
+		t.Fatalf("BuildEngine: %v", engErr)
+	}
+	return eng
+}
+
+func TestBuildEngineEndToEnd(t *testing.T) {
+	e := testEngine(t)
+	if e.Graph().NumVertices() == 0 {
+		t.Fatal("empty graph")
+	}
+	if e.Report == nil || e.Report.TestPairs == 0 {
+		t.Fatal("no evaluation report")
+	}
+	if e.Report.MeanKLHybrid >= e.Report.MeanKLConv {
+		t.Errorf("hybrid KL %v should beat convolution %v",
+			e.Report.MeanKLHybrid, e.Report.MeanKLConv)
+	}
+	if e.World() == nil {
+		t.Error("synthetic engine should expose its world")
+	}
+}
+
+func TestEngineRoute(t *testing.T) {
+	e := testEngine(t)
+	qs, err := e.SampleQueries(0.5, 1.5, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		optimistic, err := e.OptimisticTime(q.Source, q.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := 1.35 * optimistic
+		res, err := e.Route(q.Source, q.Dest, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatalf("no path for %v", q)
+		}
+		if res.Prob < 0 || res.Prob > 1 {
+			t.Errorf("Prob = %v", res.Prob)
+		}
+		if err := res.Dist.Validate(); err != nil {
+			t.Errorf("result distribution invalid: %v", err)
+		}
+		// The returned distribution's budget probability matches Prob.
+		if math.Abs(res.Dist.ProbWithinBudget(budget)-res.Prob) > 1e-9 {
+			t.Error("Prob inconsistent with Dist")
+		}
+	}
+}
+
+func TestEngineRouteAnytime(t *testing.T) {
+	e := testEngine(t)
+	qs, err := e.SampleQueries(1.0, 2.0, 1, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs[0]
+	optimistic, err := e.OptimisticTime(q.Source, q.Dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RouteAnytime(q.Source, q.Dest, 1.35*optimistic, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Error("anytime with generous limit should find a path")
+	}
+}
+
+func TestEnginePathDistributions(t *testing.T) {
+	e := testEngine(t)
+	qs, err := e.SampleQueries(0.5, 1.5, 1, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, meanCost, err := e.MeanRoute(qs[0].Source, qs[0].Dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanCost <= 0 {
+		t.Errorf("mean cost %v", meanCost)
+	}
+	hyb, err := e.PathDistribution(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := e.ConvolutionDistribution(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := e.TrueDistribution(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, h := range map[string]*Hist{"hybrid": hyb, "conv": conv, "truth": truth} {
+		if err := h.Validate(); err != nil {
+			t.Errorf("%s distribution invalid: %v", name, err)
+		}
+	}
+	// Means should be in the same ballpark as the deterministic mean cost.
+	if hyb.Mean() < meanCost*0.5 || hyb.Mean() > meanCost*2 {
+		t.Errorf("hybrid mean %v far from weight-sum %v", hyb.Mean(), meanCost)
+	}
+}
+
+func TestEngineNearestVertex(t *testing.T) {
+	e := testEngine(t)
+	p := e.Graph().Point(0)
+	if got := e.NearestVertex(p.Lat, p.Lon); got != 0 {
+		t.Errorf("NearestVertex on vertex 0's location = %v", got)
+	}
+}
+
+func TestEngineSaveLoadModel(t *testing.T) {
+	e := testEngine(t)
+	qs, err := e.SampleQueries(0.5, 1.5, 1, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs[0]
+	optimistic, err := e.OptimisticTime(q.Source, q.Dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 1.35 * optimistic
+	before, err := e.Route(q.Source, q.Dest, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.srhm")
+	if err := e.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadModel(path); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Route(q.Source, q.Dest, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(before.Prob-after.Prob) > 1e-12 {
+		t.Errorf("model round trip changed answer: %v vs %v", before.Prob, after.Prob)
+	}
+}
+
+func TestEngineAlternativeRoutes(t *testing.T) {
+	e := testEngine(t)
+	qs, err := e.SampleQueries(0.8, 1.8, 1, 46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs[0]
+	optimistic, err := e.OptimisticTime(q.Source, q.Dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := e.AlternativeRoutes(q.Source, q.Dest, 2.5*optimistic, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) == 0 {
+		t.Fatal("no alternative routes")
+	}
+	for i, r := range routes {
+		if err := r.Dist.Validate(); err != nil {
+			t.Errorf("route %d dist invalid: %v", i, err)
+		}
+		for j := i + 1; j < len(routes); j++ {
+			if routes[i].Dist.Dominates(routes[j].Dist) || routes[j].Dist.Dominates(routes[i].Dist) {
+				t.Errorf("skyline members %d and %d dominate each other", i, j)
+			}
+		}
+	}
+	scored, err := e.RankedAlternatives(q.Source, q.Dest, 1.35*optimistic, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scored) == 0 {
+		t.Fatal("no ranked alternatives")
+	}
+	for i := 1; i < len(scored); i++ {
+		if scored[i].Prob > scored[i-1].Prob+1e-12 {
+			t.Error("ranked alternatives not sorted by probability")
+		}
+	}
+}
+
+func TestEngineSaveLoadGraph(t *testing.T) {
+	e := testEngine(t)
+	path := filepath.Join(t.TempDir(), "net.srg")
+	if err := e.SaveGraph(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != e.Graph().NumVertices() || g.NumEdges() != e.Graph().NumEdges() {
+		t.Error("graph round trip size mismatch")
+	}
+}
+
+func TestEnginePairExample(t *testing.T) {
+	e := testEngine(t)
+	pairs := e.Observations().PairsWithSupport(20)
+	if len(pairs) == 0 {
+		t.Skip("no pairs")
+	}
+	hyb, conv, truth, err := e.PairExample(pairs[0].First, pairs[0].Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyb == nil || conv == nil || truth == nil {
+		t.Fatal("missing distributions")
+	}
+	if err := hyb.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMotivatingExampleThroughPublicAPI(t *testing.T) {
+	p1, err := NewHistFromPairs(map[float64]float64{45: 0.3, 55: 0.6, 65: 0.1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewHistFromPairs(map[float64]float64{45: 0.6, 55: 0.2, 65: 0.2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.ProbWithinBudget(60) <= p2.ProbWithinBudget(60) {
+		t.Error("P1 should beat P2 at the deadline")
+	}
+	if p2.Mean() >= p1.Mean() {
+		t.Error("P2 should have the lower mean")
+	}
+	conv, err := Convolve(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conv.Validate(); err != nil {
+		t.Error(err)
+	}
+	if kl, err := KLDivergence(p1, p2, 1e-9); err != nil || kl <= 0 {
+		t.Errorf("KL = %v, err = %v", kl, err)
+	}
+}
+
+func TestNewEngineFromObservationsValidation(t *testing.T) {
+	if _, err := NewEngineFromObservations(nil, nil, DefaultConfig().Hybrid, nil); err == nil {
+		t.Error("nil graph should error")
+	}
+}

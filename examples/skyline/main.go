@@ -1,0 +1,64 @@
+// Skyline: enumerate the stochastic skyline between two points — the
+// set of routes whose travel-time distributions are mutually
+// non-dominated. A commuter with an unknown deadline would choose among
+// exactly these; probabilistic budget routing picks the right member
+// once the deadline is known.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"stochroute"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := stochroute.DefaultConfig()
+	cfg.Network.Rows, cfg.Network.Cols = 30, 30
+	cfg.Network.CellMeters = 120
+	cfg.Walk.NumTrajectories = 6000
+	cfg.Hybrid.TrainPairs, cfg.Hybrid.TestPairs = 800, 200
+	cfg.Hybrid.MinPairObs = 12
+	cfg.Hybrid.Estimator.Train.Epochs = 40
+
+	engine, err := stochroute.BuildEngine(cfg, os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries, err := engine.SampleQueries(1.5, 3.0, 1, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := queries[0]
+	optimistic, err := engine.OptimisticTime(q.Source, q.Dest)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	routes, err := engine.AlternativeRoutes(q.Source, q.Dest, 2.2*optimistic, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%.1f km query, %d skyline routes within a %.0fs horizon:\n\n",
+		q.DistKm, len(routes), 2.2*optimistic)
+	for i, r := range routes {
+		fmt.Printf("route %d: %2d edges, mean %.0fs, p10 %.0fs, p90 %.0fs\n",
+			i+1, len(r.Path), r.Dist.Mean(), r.Dist.Quantile(0.1), r.Dist.Quantile(0.9))
+	}
+
+	// Show which member wins at three different deadlines.
+	fmt.Println("\ndeadline -> best skyline member:")
+	for _, slack := range []float64{1.15, 1.4, 1.9} {
+		deadline := slack * optimistic
+		best, bestP := -1, -1.0
+		for i, r := range routes {
+			if p := r.Dist.ProbWithinBudget(deadline); p > bestP {
+				best, bestP = i, p
+			}
+		}
+		fmt.Printf("  t = %.0fs: route %d with P(on time) = %.2f\n", deadline, best+1, bestP)
+	}
+}

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+
+	"stochroute/internal/hybrid"
+)
+
+// forEachQuery evaluates fn for every index in [0, n) across a worker
+// pool, giving each worker its own model clone (the network's forward
+// caches are not goroutine-safe). Results must be written into
+// pre-indexed slices by fn; the first error wins.
+func forEachQuery(n int, model *hybrid.Model, fn func(i int, m *hybrid.Model) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i, model); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		clone := model.CloneForConcurrentUse()
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i, clone); err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstEr
+}

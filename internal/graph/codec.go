@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"stochroute/internal/geo"
+)
+
+// Binary graph file format ("SRG1"): a compact little-endian layout so
+// generated networks can be saved by cmd/gennet and reloaded by every
+// other tool without re-generation.
+//
+//	magic   [4]byte "SRG1"
+//	nv      uint32
+//	ne      uint32
+//	points  nv × (lat float64, lon float64)
+//	edges   ne × (from uint32, to uint32, len float64, cat uint8, speed float64)
+var graphMagic = [4]byte{'S', 'R', 'G', '1'}
+
+// WriteTo serialises the graph.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(graphMagic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(g.NumVertices())); err != nil {
+		return n, err
+	}
+	if err := write(uint32(g.NumEdges())); err != nil {
+		return n, err
+	}
+	for _, p := range g.points {
+		if err := write(p.Lat); err != nil {
+			return n, err
+		}
+		if err := write(p.Lon); err != nil {
+			return n, err
+		}
+	}
+	for _, e := range g.edges {
+		if err := write(uint32(e.From)); err != nil {
+			return n, err
+		}
+		if err := write(uint32(e.To)); err != nil {
+			return n, err
+		}
+		if err := write(e.LengthMeters); err != nil {
+			return n, err
+		}
+		if err := write(uint8(e.Category)); err != nil {
+			return n, err
+		}
+		if err := write(e.SpeedKmh); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read deserialises a graph written by WriteTo.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: read magic: %w", err)
+	}
+	if magic != graphMagic {
+		return nil, errors.New("graph: bad magic (not an SRG1 file)")
+	}
+	var nv, ne uint32
+	if err := binary.Read(br, binary.LittleEndian, &nv); err != nil {
+		return nil, fmt.Errorf("graph: read vertex count: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &ne); err != nil {
+		return nil, fmt.Errorf("graph: read edge count: %w", err)
+	}
+	const maxCount = 1 << 28
+	if nv > maxCount || ne > maxCount {
+		return nil, fmt.Errorf("graph: implausible counts nv=%d ne=%d", nv, ne)
+	}
+	b := NewBuilder(int(nv), int(ne))
+	for i := uint32(0); i < nv; i++ {
+		var lat, lon float64
+		if err := binary.Read(br, binary.LittleEndian, &lat); err != nil {
+			return nil, fmt.Errorf("graph: read vertex %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &lon); err != nil {
+			return nil, fmt.Errorf("graph: read vertex %d: %w", i, err)
+		}
+		if math.IsNaN(lat) || math.IsNaN(lon) {
+			return nil, fmt.Errorf("graph: vertex %d has NaN coordinates", i)
+		}
+		b.AddVertex(geo.Point{Lat: lat, Lon: lon})
+	}
+	for i := uint32(0); i < ne; i++ {
+		var from, to uint32
+		var length, speed float64
+		var cat uint8
+		if err := binary.Read(br, binary.LittleEndian, &from); err != nil {
+			return nil, fmt.Errorf("graph: read edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &to); err != nil {
+			return nil, fmt.Errorf("graph: read edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
+			return nil, fmt.Errorf("graph: read edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cat); err != nil {
+			return nil, fmt.Errorf("graph: read edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &speed); err != nil {
+			return nil, fmt.Errorf("graph: read edge %d: %w", i, err)
+		}
+		if _, err := b.AddEdge(Edge{
+			From:         VertexID(from),
+			To:           VertexID(to),
+			LengthMeters: length,
+			Category:     RoadCategory(cat),
+			SpeedKmh:     speed,
+		}); err != nil {
+			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
+		}
+	}
+	return b.Build(), nil
+}

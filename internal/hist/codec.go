@@ -1,0 +1,63 @@
+package hist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary serialisation for histograms: a fixed little-endian layout used
+// by the network/trajectory/model file formats. Layout:
+//
+//	magic  uint32  = 0x48495354 ("HIST")
+//	min    float64
+//	width  float64
+//	n      uint32
+//	p[n]   float64
+const histMagic = 0x48495354
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (h *Hist) MarshalBinary() ([]byte, error) {
+	if h == nil {
+		return nil, errors.New("hist: MarshalBinary on nil histogram")
+	}
+	buf := new(bytes.Buffer)
+	buf.Grow(4 + 8 + 8 + 4 + 8*len(h.P))
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], histMagic)
+	buf.Write(scratch[:4])
+	binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(h.Min))
+	buf.Write(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(h.Width))
+	buf.Write(scratch[:])
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(h.P)))
+	buf.Write(scratch[:4])
+	for _, p := range h.P {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(p))
+		buf.Write(scratch[:])
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (h *Hist) UnmarshalBinary(data []byte) error {
+	if len(data) < 24 {
+		return errors.New("hist: UnmarshalBinary short input")
+	}
+	if binary.LittleEndian.Uint32(data[:4]) != histMagic {
+		return errors.New("hist: UnmarshalBinary bad magic")
+	}
+	h.Min = math.Float64frombits(binary.LittleEndian.Uint64(data[4:12]))
+	h.Width = math.Float64frombits(binary.LittleEndian.Uint64(data[12:20]))
+	n := int(binary.LittleEndian.Uint32(data[20:24]))
+	if n < 0 || len(data) < 24+8*n {
+		return fmt.Errorf("hist: UnmarshalBinary truncated mass vector (want %d buckets)", n)
+	}
+	h.P = make([]float64, n)
+	for i := 0; i < n; i++ {
+		h.P[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[24+8*i : 32+8*i]))
+	}
+	return nil
+}

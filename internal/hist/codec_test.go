@@ -1,0 +1,81 @@
+package hist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stochroute/internal/rng"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	h := New(12.5, 2.5, []float64{0.25, 0, 0.75})
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Hist
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Min != h.Min || got.Width != h.Width || len(got.P) != len(h.P) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, h)
+	}
+	for i := range h.P {
+		if got.P[i] != h.P[i] {
+			t.Errorf("P[%d] = %v, want %v", i, got.P[i], h.P[i])
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var h Hist
+	if err := h.UnmarshalBinary(nil); err == nil {
+		t.Error("nil input should error")
+	}
+	if err := h.UnmarshalBinary(make([]byte, 10)); err == nil {
+		t.Error("short input should error")
+	}
+	good, _ := New(0, 1, []float64{1}).MarshalBinary()
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if err := h.UnmarshalBinary(bad); err == nil {
+		t.Error("bad magic should error")
+	}
+	if err := h.UnmarshalBinary(good[:len(good)-1]); err == nil {
+		t.Error("truncated mass vector should error")
+	}
+}
+
+func TestMarshalNil(t *testing.T) {
+	var h *Hist
+	if _, err := h.MarshalBinary(); err == nil {
+		t.Error("nil receiver should error")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		h := randHist(r, 2, 20)
+		data, err := h.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Hist
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if got.Min != h.Min || got.Width != h.Width || len(got.P) != len(h.P) {
+			return false
+		}
+		for i := range h.P {
+			if got.P[i] != h.P[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

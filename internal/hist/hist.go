@@ -1,0 +1,578 @@
+// Package hist implements the travel-time cost model of the paper: finite
+// histograms over travel time. A Hist assigns probability mass to the
+// equally spaced support points Min, Min+Width, Min+2·Width, …, exactly
+// matching the tabular distributions in the paper (e.g. H1 = {10: 0.5,
+// 15: 0.5}). All routing-side operations — convolution, shifting,
+// probability-within-budget, stochastic dominance, divergences — are
+// histogram-native.
+package hist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// NormTolerance is the maximum deviation from total mass 1 that
+// Validate accepts.
+const NormTolerance = 1e-9
+
+// massEpsilon is the smallest mass kept by Trim; anything below is
+// considered numerical dust.
+const massEpsilon = 1e-12
+
+// Hist is a probability distribution over the equally spaced support
+// points Min + i·Width for i in [0, len(P)). Travel times are in seconds
+// throughout the repository.
+//
+// The zero value is not a valid distribution; construct with New,
+// FromSamples, FromPairs or Delta.
+type Hist struct {
+	Min   float64   // value of the first support point
+	Width float64   // spacing between adjacent support points (> 0)
+	P     []float64 // probability mass per support point
+}
+
+// New returns a histogram with the given support start, bucket width and
+// mass vector. The mass vector is used as-is (not copied, not
+// normalised); call Normalize or Validate as appropriate.
+func New(min, width float64, p []float64) *Hist {
+	return &Hist{Min: min, Width: width, P: p}
+}
+
+// Delta returns the degenerate distribution with all mass at value v,
+// represented on a grid of the given width.
+func Delta(v, width float64) *Hist {
+	return &Hist{Min: v, Width: width, P: []float64{1}}
+}
+
+// Uniform returns the uniform distribution over n support points starting
+// at min with the given width. It panics if n <= 0.
+func Uniform(min, width float64, n int) *Hist {
+	if n <= 0 {
+		panic("hist: Uniform with non-positive n")
+	}
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	return &Hist{Min: min, Width: width, P: p}
+}
+
+// FromSamples builds a normalised histogram from raw travel-time samples
+// with the given bucket width. Bucket boundaries are aligned to multiples
+// of width so that histograms built from different sample sets share a
+// grid. It returns an error if samples is empty or width <= 0.
+func FromSamples(samples []float64, width float64) (*Hist, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("hist: FromSamples with no samples")
+	}
+	if width <= 0 || math.IsNaN(width) {
+		return nil, fmt.Errorf("hist: FromSamples with invalid width %v", width)
+	}
+	lo, hi := samples[0], samples[0]
+	for _, s := range samples {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("hist: FromSamples with non-finite sample %v", s)
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	min := math.Floor(lo/width) * width
+	n := int(math.Floor((hi-min)/width)) + 1
+	p := make([]float64, n)
+	inc := 1 / float64(len(samples))
+	for _, s := range samples {
+		i := int(math.Floor((s - min) / width))
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		p[i] += inc
+	}
+	return &Hist{Min: min, Width: width, P: p}, nil
+}
+
+// FromPairs builds a normalised histogram from explicit (value, weight)
+// pairs, e.g. the literal tables in the paper. Values must lie on a
+// common grid of the given width; each value is snapped to the nearest
+// grid point. It returns an error on empty input, non-positive width, or
+// negative weights.
+func FromPairs(pairs map[float64]float64, width float64) (*Hist, error) {
+	if len(pairs) == 0 {
+		return nil, errors.New("hist: FromPairs with no pairs")
+	}
+	if width <= 0 {
+		return nil, fmt.Errorf("hist: FromPairs with invalid width %v", width)
+	}
+	vals := make([]float64, 0, len(pairs))
+	total := 0.0
+	for v, w := range pairs {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("hist: FromPairs with invalid weight %v", w)
+		}
+		vals = append(vals, v)
+		total += w
+	}
+	if total <= 0 {
+		return nil, errors.New("hist: FromPairs with zero total weight")
+	}
+	sort.Float64s(vals)
+	min := vals[0] // grid anchored at the smallest value
+	maxIdx := int(math.Round((vals[len(vals)-1] - min) / width))
+	p := make([]float64, maxIdx+1)
+	for v, w := range pairs {
+		i := int(math.Round((v - min) / width))
+		if i < 0 || i > maxIdx {
+			return nil, fmt.Errorf("hist: FromPairs value %v off grid", v)
+		}
+		p[i] += w / total
+	}
+	return &Hist{Min: min, Width: width, P: p}, nil
+}
+
+// Clone returns a deep copy.
+func (h *Hist) Clone() *Hist {
+	p := make([]float64, len(h.P))
+	copy(p, h.P)
+	return &Hist{Min: h.Min, Width: h.Width, P: p}
+}
+
+// Len returns the number of support points.
+func (h *Hist) Len() int { return len(h.P) }
+
+// Value returns the i-th support point.
+func (h *Hist) Value(i int) float64 { return h.Min + float64(i)*h.Width }
+
+// MaxValue returns the largest support point.
+func (h *Hist) MaxValue() float64 { return h.Value(len(h.P) - 1) }
+
+// TotalMass returns the sum of all probability mass.
+func (h *Hist) TotalMass() float64 {
+	s := 0.0
+	for _, p := range h.P {
+		s += p
+	}
+	return s
+}
+
+// Validate checks that the histogram is a well-formed probability
+// distribution: positive width, non-negative finite masses summing to 1
+// within NormTolerance, and at least one support point.
+func (h *Hist) Validate() error {
+	if h == nil {
+		return errors.New("hist: nil histogram")
+	}
+	if len(h.P) == 0 {
+		return errors.New("hist: empty support")
+	}
+	if h.Width <= 0 || math.IsNaN(h.Width) || math.IsInf(h.Width, 0) {
+		return fmt.Errorf("hist: invalid width %v", h.Width)
+	}
+	if math.IsNaN(h.Min) || math.IsInf(h.Min, 0) {
+		return fmt.Errorf("hist: invalid min %v", h.Min)
+	}
+	total := 0.0
+	for i, p := range h.P {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("hist: invalid mass %v at bucket %d", p, i)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > NormTolerance {
+		return fmt.Errorf("hist: total mass %v deviates from 1", total)
+	}
+	return nil
+}
+
+// Normalize scales the mass vector to sum to 1 in place and returns h.
+// It panics if the total mass is zero or negative.
+func (h *Hist) Normalize() *Hist {
+	total := h.TotalMass()
+	if total <= 0 {
+		panic("hist: Normalize with non-positive total mass")
+	}
+	for i := range h.P {
+		h.P[i] /= total
+	}
+	return h
+}
+
+// Trim removes leading and trailing buckets whose mass is below
+// massEpsilon, adjusting Min, then renormalises. It returns h.
+func (h *Hist) Trim() *Hist {
+	lo := 0
+	for lo < len(h.P)-1 && h.P[lo] < massEpsilon {
+		lo++
+	}
+	hi := len(h.P)
+	for hi-1 > lo && h.P[hi-1] < massEpsilon {
+		hi--
+	}
+	if lo > 0 || hi < len(h.P) {
+		h.Min += float64(lo) * h.Width
+		h.P = append([]float64(nil), h.P[lo:hi]...)
+	}
+	return h.Normalize()
+}
+
+// Mean returns the expected value.
+func (h *Hist) Mean() float64 {
+	m := 0.0
+	for i, p := range h.P {
+		m += p * h.Value(i)
+	}
+	return m
+}
+
+// Variance returns the variance.
+func (h *Hist) Variance() float64 {
+	m := h.Mean()
+	v := 0.0
+	for i, p := range h.P {
+		d := h.Value(i) - m
+		v += p * d * d
+	}
+	return v
+}
+
+// Std returns the standard deviation.
+func (h *Hist) Std() float64 { return math.Sqrt(h.Variance()) }
+
+// Skewness returns the standardised third central moment, or 0 for a
+// (near-)degenerate distribution.
+func (h *Hist) Skewness() float64 {
+	m, s := h.Mean(), h.Std()
+	if s < 1e-12 {
+		return 0
+	}
+	sk := 0.0
+	for i, p := range h.P {
+		d := (h.Value(i) - m) / s
+		sk += p * d * d * d
+	}
+	return sk
+}
+
+// CDF returns P(X <= x).
+func (h *Hist) CDF(x float64) float64 {
+	if x < h.Min {
+		return 0
+	}
+	i := int(math.Floor((x - h.Min) / h.Width))
+	if i >= len(h.P)-1 {
+		if x >= h.MaxValue() {
+			return 1
+		}
+	}
+	acc := 0.0
+	for j := 0; j <= i && j < len(h.P); j++ {
+		acc += h.P[j]
+	}
+	if acc > 1 {
+		acc = 1
+	}
+	return acc
+}
+
+// ProbWithinBudget returns P(X <= t): the probability of arriving within
+// the time budget t. This is the objective of probabilistic budget
+// routing.
+func (h *Hist) ProbWithinBudget(t float64) float64 { return h.CDF(t) }
+
+// Quantile returns the smallest support value v with P(X <= v) >= q,
+// clamping q into [0, 1].
+func (h *Hist) Quantile(q float64) float64 {
+	if q <= 0 {
+		return h.Min
+	}
+	if q > 1 {
+		q = 1
+	}
+	acc := 0.0
+	for i, p := range h.P {
+		acc += p
+		if acc >= q-1e-15 {
+			return h.Value(i)
+		}
+	}
+	return h.MaxValue()
+}
+
+// Shift returns a copy of h translated by delta seconds. This is the
+// "distribution cost shifting" primitive of the paper's pruning (c): the
+// distribution of X + delta for deterministic delta.
+func (h *Hist) Shift(delta float64) *Hist {
+	out := h.Clone()
+	out.Min += delta
+	return out
+}
+
+// Scale returns the distribution of X·factor, re-gridded onto width
+// h.Width·factor. factor must be positive.
+func (h *Hist) Scale(factor float64) *Hist {
+	if factor <= 0 {
+		panic("hist: Scale with non-positive factor")
+	}
+	out := h.Clone()
+	out.Min *= factor
+	out.Width *= factor
+	return out
+}
+
+// Convolve returns the distribution of X + Y assuming independence, the
+// classical path-cost combination step. Both histograms must share the
+// same width; use Rebucket first if they do not. The result has
+// Min = a.Min + b.Min and len(a)+len(b)-1 support points, matching the
+// paper's worked example (H1 ⊗ H2 = {30: .25, 35: .5, 40: .25}).
+func Convolve(a, b *Hist) (*Hist, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("hist: Convolve with nil histogram")
+	}
+	if math.Abs(a.Width-b.Width) > 1e-12 {
+		return nil, fmt.Errorf("hist: Convolve width mismatch %v vs %v", a.Width, b.Width)
+	}
+	n := len(a.P) + len(b.P) - 1
+	p := make([]float64, n)
+	for i, pa := range a.P {
+		if pa == 0 {
+			continue
+		}
+		for j, pb := range b.P {
+			p[i+j] += pa * pb
+		}
+	}
+	return &Hist{Min: a.Min + b.Min, Width: a.Width, P: p}, nil
+}
+
+// MustConvolve is Convolve that panics on error; for internal use where
+// widths are guaranteed equal.
+func MustConvolve(a, b *Hist) *Hist {
+	out, err := Convolve(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Rebucket re-grids the histogram onto a new width whose buckets are
+// aligned at newMin (support points newMin + i·newWidth). Mass at each
+// old support point is assigned to the nearest new support point.
+// It returns an error if newWidth <= 0 or any mass would fall before
+// newMin.
+func (h *Hist) Rebucket(newMin, newWidth float64) (*Hist, error) {
+	if newWidth <= 0 {
+		return nil, fmt.Errorf("hist: Rebucket with invalid width %v", newWidth)
+	}
+	maxIdx := 0
+	for i := range h.P {
+		if h.P[i] == 0 {
+			continue
+		}
+		j := int(math.Round((h.Value(i) - newMin) / newWidth))
+		if j < 0 {
+			return nil, fmt.Errorf("hist: Rebucket value %v before newMin %v", h.Value(i), newMin)
+		}
+		if j > maxIdx {
+			maxIdx = j
+		}
+	}
+	p := make([]float64, maxIdx+1)
+	for i := range h.P {
+		if h.P[i] == 0 {
+			continue
+		}
+		j := int(math.Round((h.Value(i) - newMin) / newWidth))
+		p[j] += h.P[i]
+	}
+	return &Hist{Min: newMin, Width: newWidth, P: p}, nil
+}
+
+// CapBuckets limits the support to at most maxBuckets points by
+// aggregating tail mass into the last kept bucket. Long routing searches
+// use this to bound per-label memory. The result keeps total mass.
+func (h *Hist) CapBuckets(maxBuckets int) *Hist {
+	if maxBuckets <= 0 || len(h.P) <= maxBuckets {
+		return h
+	}
+	p := make([]float64, maxBuckets)
+	copy(p, h.P[:maxBuckets])
+	for _, m := range h.P[maxBuckets:] {
+		p[maxBuckets-1] += m
+	}
+	return &Hist{Min: h.Min, Width: h.Width, P: p}
+}
+
+// CompareCDF aligns a and b on their common grid (equal widths, same
+// grid offset) and reports whether CDF_a(x) >= CDF_b(x) at every grid
+// point (aGE) and the converse (bGE). aGE && bGE means the CDFs are
+// equal everywhere within tolerance. This is the single-pass primitive
+// behind stochastic-dominance pruning.
+func CompareCDF(a, b *Hist) (aGE, bGE bool) {
+	const tol = 1e-12
+	w := a.Width
+	offA := 0
+	offB := int(math.Round((b.Min - a.Min) / w))
+	lo := 0
+	if offB < lo {
+		lo = offB
+	}
+	hiA := offA + len(a.P) - 1
+	hiB := offB + len(b.P) - 1
+	hi := hiA
+	if hiB > hi {
+		hi = hiB
+	}
+	aGE, bGE = true, true
+	ca, cb := 0.0, 0.0
+	for i := lo; i <= hi; i++ {
+		if j := i - offA; j >= 0 && j < len(a.P) {
+			ca += a.P[j]
+		}
+		if j := i - offB; j >= 0 && j < len(b.P) {
+			cb += b.P[j]
+		}
+		if ca < cb-tol {
+			aGE = false
+		}
+		if cb < ca-tol {
+			bGE = false
+		}
+		if !aGE && !bGE {
+			return
+		}
+	}
+	return aGE, bGE
+}
+
+// Dominates reports whether h first-order stochastically dominates other
+// in the travel-time sense: h is at least as likely to have arrived by
+// every deadline, i.e. CDF_h(x) >= CDF_other(x) for all x, with strict
+// inequality somewhere.
+func (h *Hist) Dominates(other *Hist) bool {
+	aGE, bGE := CompareCDF(h, other)
+	return aGE && !bGE
+}
+
+// DominatesOrEqual is Dominates without the strictness requirement; it
+// also holds when the two distributions are CDF-identical.
+func (h *Hist) DominatesOrEqual(other *Hist) bool {
+	aGE, _ := CompareCDF(h, other)
+	return aGE
+}
+
+// TruncateAbove aggregates all probability mass at support points
+// strictly greater than x into the first support point above x,
+// preserving CDF(v) for every v <= x. Budget routing uses this to bound
+// label memory: mass beyond the budget never affects the objective.
+// If the whole support lies above x (or below), h is returned unchanged.
+func (h *Hist) TruncateAbove(x float64) *Hist {
+	if h.MaxValue() <= x || h.Min > x {
+		return h
+	}
+	// First index with Value(idx) > x.
+	idx := int(math.Floor((x-h.Min)/h.Width)) + 1
+	if idx >= len(h.P) {
+		return h
+	}
+	p := make([]float64, idx+1)
+	copy(p, h.P[:idx])
+	tail := 0.0
+	for _, m := range h.P[idx:] {
+		tail += m
+	}
+	p[idx] = tail
+	return &Hist{Min: h.Min, Width: h.Width, P: p}
+}
+
+// String renders the histogram as a compact table, e.g.
+// "{10: 0.500, 15: 0.500}". Masses below 0.05% are elided for
+// readability; use the P slice for exact values.
+func (h *Hist) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, p := range h.P {
+		if p < 5e-4 {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%g: %.3f", h.Value(i), p)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Mode returns the support value with the highest mass.
+func (h *Hist) Mode() float64 {
+	best, bestP := 0, -1.0
+	for i, p := range h.P {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return h.Value(best)
+}
+
+// SampleValue draws one value from the distribution given a uniform
+// variate u in [0,1).
+func (h *Hist) SampleValue(u float64) float64 {
+	acc := 0.0
+	for i, p := range h.P {
+		acc += p
+		if u < acc {
+			return h.Value(i)
+		}
+	}
+	return h.MaxValue()
+}
+
+// Mixture returns the mixture distribution sum_i w[i]·hs[i], re-gridded
+// onto the width of the first component. Weights are normalised. All
+// components must share the same width.
+func Mixture(hs []*Hist, w []float64) (*Hist, error) {
+	if len(hs) == 0 || len(hs) != len(w) {
+		return nil, errors.New("hist: Mixture with mismatched inputs")
+	}
+	width := hs[0].Width
+	lo, hi := math.Inf(1), math.Inf(-1)
+	totalW := 0.0
+	for k, h := range hs {
+		if math.Abs(h.Width-width) > 1e-12 {
+			return nil, fmt.Errorf("hist: Mixture width mismatch at component %d", k)
+		}
+		if w[k] < 0 {
+			return nil, fmt.Errorf("hist: Mixture negative weight at component %d", k)
+		}
+		totalW += w[k]
+		if h.Min < lo {
+			lo = h.Min
+		}
+		if h.MaxValue() > hi {
+			hi = h.MaxValue()
+		}
+	}
+	if totalW <= 0 {
+		return nil, errors.New("hist: Mixture with zero total weight")
+	}
+	n := int(math.Round((hi-lo)/width)) + 1
+	p := make([]float64, n)
+	for k, h := range hs {
+		off := int(math.Round((h.Min - lo) / width))
+		for i, m := range h.P {
+			p[off+i] += m * w[k] / totalW
+		}
+	}
+	return &Hist{Min: lo, Width: width, P: p}, nil
+}

@@ -1,0 +1,174 @@
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+
+	"stochroute/internal/graph"
+	"stochroute/internal/hist"
+)
+
+// Coster turns edge sequences into travel-time distributions. It is the
+// interface the routing algorithms program against; implementations are
+// the paper's hybrid model and the convolution-only baseline.
+type Coster interface {
+	// InitialHist returns the travel-time distribution of a path
+	// consisting of the single edge e.
+	InitialHist(e graph.EdgeID) *hist.Hist
+	// Extend returns the distribution of the path obtained by appending
+	// next to a path whose distribution is virtual and whose final edge
+	// is lastEdge.
+	Extend(virtual *hist.Hist, lastEdge, next graph.EdgeID) *hist.Hist
+	// MinEdgeTime returns an admissible lower bound on e's travel time.
+	MinEdgeTime(e graph.EdgeID) float64
+	// Width returns the histogram grid width.
+	Width() float64
+}
+
+// PathCost computes the travel-time distribution of a full path with the
+// paper's iterative procedure: the path so far is a virtual edge that is
+// repeatedly combined with the next edge.
+func PathCost(c Coster, edges []graph.EdgeID) (*hist.Hist, error) {
+	if len(edges) == 0 {
+		return nil, errors.New("hybrid: PathCost on empty path")
+	}
+	h := c.InitialHist(edges[0])
+	for i := 1; i < len(edges); i++ {
+		h = c.Extend(h, edges[i-1], edges[i])
+	}
+	return h, nil
+}
+
+// ConvolutionCoster is the classical baseline: every extension assumes
+// spatial independence and convolves.
+type ConvolutionCoster struct {
+	KB *KnowledgeBase
+	// MaxBuckets caps per-distribution support (0 = unlimited).
+	MaxBuckets int
+}
+
+// InitialHist implements Coster.
+func (c *ConvolutionCoster) InitialHist(e graph.EdgeID) *hist.Hist {
+	return c.KB.Edge(e).Marginal.Clone()
+}
+
+// Extend implements Coster.
+func (c *ConvolutionCoster) Extend(virtual *hist.Hist, _, next graph.EdgeID) *hist.Hist {
+	out := hist.MustConvolve(virtual, c.KB.Edge(next).Marginal)
+	if c.MaxBuckets > 0 {
+		out = out.CapBuckets(c.MaxBuckets)
+	}
+	return out
+}
+
+// MinEdgeTime implements Coster.
+func (c *ConvolutionCoster) MinEdgeTime(e graph.EdgeID) float64 { return c.KB.MinEdgeTime(e) }
+
+// Width implements Coster.
+func (c *ConvolutionCoster) Width() float64 { return c.KB.Width }
+
+// Model is the trained Hybrid Model: knowledge base + estimator +
+// classifier. It implements Coster.
+type Model struct {
+	KB         *KnowledgeBase
+	Estimator  *Estimator
+	Classifier *Classifier
+	Mode       ClassifierMode
+	// MaxBuckets caps per-distribution support during routing
+	// (0 = unlimited).
+	MaxBuckets int
+
+	// Decision counters (not safe for concurrent use; reset with
+	// ResetCounters). They power the ablation reporting.
+	NumConvolved int
+	NumEstimated int
+}
+
+// ResetCounters zeroes the decision counters.
+func (m *Model) ResetCounters() { m.NumConvolved, m.NumEstimated = 0, 0 }
+
+// InitialHist implements Coster.
+func (m *Model) InitialHist(e graph.EdgeID) *hist.Hist {
+	return m.KB.Edge(e).Marginal.Clone()
+}
+
+// MinEdgeTime implements Coster.
+func (m *Model) MinEdgeTime(e graph.EdgeID) float64 { return m.KB.MinEdgeTime(e) }
+
+// Width implements Coster.
+func (m *Model) Width() float64 { return m.KB.Width }
+
+// ShouldEstimate decides, for the intersection between lastEdge and
+// next, whether to use the estimation model (true) or convolution
+// (false), per the configured mode and classifier. Pairs without data
+// always convolve, as the paper prescribes.
+func (m *Model) ShouldEstimate(lastEdge, next graph.EdgeID) bool {
+	ps, ok := m.KB.Pair(lastEdge, next)
+	if !ok {
+		return false
+	}
+	switch m.Mode {
+	case AlwaysConvolve:
+		return false
+	case AlwaysEstimate:
+		return m.Estimator != nil
+	default:
+		return m.Estimator != nil && m.Classifier != nil && m.Classifier.PredictDependent(ps)
+	}
+}
+
+// Extend implements Coster: the hybrid step. The classifier picks
+// convolution or estimation at this intersection.
+func (m *Model) Extend(virtual *hist.Hist, lastEdge, next graph.EdgeID) *hist.Hist {
+	var out *hist.Hist
+	if m.ShouldEstimate(lastEdge, next) {
+		m.NumEstimated++
+		ps, has := m.KB.Pair(lastEdge, next)
+		out = m.Estimator.EstimateExtend(m.KB, virtual, next, ps, has)
+	} else {
+		m.NumConvolved++
+		out = hist.MustConvolve(virtual, m.KB.Edge(next).Marginal)
+	}
+	if m.MaxBuckets > 0 {
+		out = out.CapBuckets(m.MaxBuckets)
+	}
+	return out
+}
+
+// CloneForConcurrentUse returns a model sharing this model's learned
+// weights and knowledge base but with private inference caches and
+// decision counters, so each goroutine of a parallel workload can route
+// with its own clone.
+func (m *Model) CloneForConcurrentUse() *Model {
+	out := &Model{
+		KB:         m.KB,
+		Classifier: m.Classifier, // logistic regression is stateless
+		Mode:       m.Mode,
+		MaxBuckets: m.MaxBuckets,
+	}
+	if m.Estimator != nil {
+		out.Estimator = &Estimator{
+			Cfg:    m.Estimator.Cfg,
+			Net:    m.Estimator.Net.CloneShared(),
+			Scaler: m.Estimator.Scaler,
+			Width:  m.Estimator.Width,
+		}
+	}
+	return out
+}
+
+// PairSumEstimate returns the model's distribution for traversing the
+// two-edge path (first, second) — the unit the paper evaluates with KL
+// divergence.
+func (m *Model) PairSumEstimate(first, second graph.EdgeID) (*hist.Hist, error) {
+	g := m.KB.Graph()
+	if g.Edge(first).To != g.Edge(second).From {
+		return nil, fmt.Errorf("hybrid: edges %d and %d are not adjacent", first, second)
+	}
+	return m.Extend(m.InitialHist(first), first, second), nil
+}
+
+var (
+	_ Coster = (*ConvolutionCoster)(nil)
+	_ Coster = (*Model)(nil)
+)

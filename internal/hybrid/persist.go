@@ -1,0 +1,127 @@
+package hybrid
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"stochroute/internal/ml"
+)
+
+// Binary model file format ("SRHM"): the trained learners and their
+// hyper-parameters. The knowledge base is not stored — it is derived
+// data, rebuilt from the graph and trajectory files in seconds — so a
+// model file stays small and can be attached to any compatible
+// knowledge base via AttachKB.
+var modelMagic = [4]byte{'S', 'R', 'H', 'M'}
+
+// WriteModel serialises the model's trained components.
+func WriteModel(w io.Writer, m *Model) error {
+	if m.Estimator == nil || m.Classifier == nil {
+		return errors.New("hybrid: WriteModel on incomplete model")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(modelMagic[:]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	hdr := []any{
+		m.Estimator.Width,
+		uint32(m.MaxBuckets),
+		uint8(m.Mode),
+		uint32(m.Estimator.Cfg.Bands),
+		uint32(m.Estimator.Cfg.CondBuckets),
+		m.Classifier.Threshold,
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, le, v); err != nil {
+			return err
+		}
+	}
+	if err := ml.WriteNetwork(bw, m.Estimator.Net); err != nil {
+		return err
+	}
+	if err := ml.WriteScaler(bw, m.Estimator.Scaler); err != nil {
+		return err
+	}
+	if err := ml.WriteLogReg(bw, m.Classifier.LR); err != nil {
+		return err
+	}
+	if err := ml.WriteScaler(bw, m.Classifier.Scaler); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadModel deserialises a model written by WriteModel. The returned
+// model has no knowledge base; call AttachKB before routing with it.
+func ReadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("hybrid: read magic: %w", err)
+	}
+	if magic != modelMagic {
+		return nil, errors.New("hybrid: bad magic (not an SRHM file)")
+	}
+	le := binary.LittleEndian
+	var width, threshold float64
+	var maxBuckets, bands, condBuckets uint32
+	var mode uint8
+	if err := binary.Read(br, le, &width); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &maxBuckets); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &mode); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &bands); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &condBuckets); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &threshold); err != nil {
+		return nil, err
+	}
+	if bands == 0 || bands > 64 || condBuckets == 0 || condBuckets > 4096 {
+		return nil, fmt.Errorf("hybrid: implausible estimator shape %dx%d", bands, condBuckets)
+	}
+	net, err := ml.ReadNetwork(br)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: estimator network: %w", err)
+	}
+	estScaler, err := ml.ReadScaler(br)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: estimator scaler: %w", err)
+	}
+	lr, err := ml.ReadLogReg(br)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: classifier: %w", err)
+	}
+	clfScaler, err := ml.ReadScaler(br)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: classifier scaler: %w", err)
+	}
+	cfg := EstimatorConfig{Bands: int(bands), CondBuckets: int(condBuckets)}
+	return &Model{
+		Estimator:  &Estimator{Cfg: cfg, Net: net, Scaler: estScaler, Width: width},
+		Classifier: &Classifier{LR: lr, Scaler: clfScaler, Threshold: threshold},
+		Mode:       ClassifierMode(mode),
+		MaxBuckets: int(maxBuckets),
+	}, nil
+}
+
+// AttachKB binds a (re)built knowledge base to a loaded model. It
+// errors if the grid widths disagree.
+func (m *Model) AttachKB(kb *KnowledgeBase) error {
+	if m.Estimator != nil && kb.Width != m.Estimator.Width {
+		return fmt.Errorf("hybrid: model width %v != knowledge base width %v", m.Estimator.Width, kb.Width)
+	}
+	m.KB = kb
+	return nil
+}

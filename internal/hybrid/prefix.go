@@ -1,0 +1,91 @@
+package hybrid
+
+import (
+	"math"
+
+	"stochroute/internal/ml"
+	"stochroute/internal/rng"
+	"stochroute/internal/traj"
+)
+
+// Virtual-edge training (second phase). The paper trains the estimation
+// model on two-edge pairs and then applies it to long pre-paths through
+// the virtual-edge trick. Applied naively, pair-strength conditioning is
+// over-applied on long paths: the latent congestion state is Markov in
+// the *last edge's* mode, and the quantile band of the accumulated sum
+// carries ever less information about it as the path grows. This phase
+// therefore augments the pair dataset with examples harvested from
+// trajectory *prefixes*: the virtual distribution is what the model
+// itself would compute for the prefix, the band is where the observed
+// prefix time actually fell, and the target is the observed next-edge
+// time. The retrained estimator learns how much conditioning survives at
+// each virtual length — long-path calibration the pair-only model lacks.
+
+// buildPrefixDataset harvests up to maxRows (features, one-hot target)
+// rows from trajectory prefixes, using the phase-1 model to compute
+// virtual distributions and to skip extensions the classifier would
+// convolve anyway.
+func buildPrefixDataset(model *Model, trajs []traj.Trajectory, cfg EstimatorConfig, maxRows, perTrajectory int, r *rng.RNG) (x, y *ml.Matrix) {
+	if maxRows <= 0 || len(trajs) == 0 {
+		return nil, nil
+	}
+	kb := model.KB
+	outDim := cfg.Bands * cfg.CondBuckets
+	var rows [][]float64
+	var targets [][]float64
+
+	order := r.Perm(len(trajs))
+	for _, ti := range order {
+		if len(rows) >= maxRows {
+			break
+		}
+		tr := &trajs[ti]
+		if len(tr.Edges) < 3 {
+			continue
+		}
+		taken := 0
+		// Sample prefix end positions (the index of the "next" edge).
+		for attempts := 0; attempts < 2*perTrajectory && taken < perTrajectory && len(rows) < maxRows; attempts++ {
+			i := 2 + r.Intn(len(tr.Edges)-2)
+			last := tr.Edges[i-1]
+			next := tr.Edges[i]
+			if !model.ShouldEstimate(last, next) {
+				continue
+			}
+			virtual, err := PathCost(model, tr.Edges[:i])
+			if err != nil {
+				continue
+			}
+			prefixSum := 0.0
+			for _, t := range tr.Times[:i] {
+				prefixSum += t
+			}
+			band := BandOfValue(virtual, prefixSum, cfg.Bands)
+			base := kb.Edge(next).MinTime
+			off := int(math.Round((tr.Times[i] - base) / kb.Width))
+			if off < 0 {
+				off = 0
+			}
+			if off >= cfg.CondBuckets {
+				off = cfg.CondBuckets - 1
+			}
+			ps, hasPair := kb.Pair(last, next)
+			feats := Features(kb, virtual, next, ps, hasPair)
+			target := make([]float64, outDim)
+			target[band*cfg.CondBuckets+off] = 1
+			rows = append(rows, feats)
+			targets = append(targets, target)
+			taken++
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	x = ml.NewMatrix(len(rows), NumFeatures)
+	y = ml.NewMatrix(len(targets), outDim)
+	for i := range rows {
+		copy(x.Row(i), rows[i])
+		copy(y.Row(i), targets[i])
+	}
+	return x, y
+}

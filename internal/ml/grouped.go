@@ -1,0 +1,77 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// GroupedSoftmax applies an independent softmax to each of `groups`
+// equal-width blocks of every row. The hybrid estimator uses this to
+// predict one conditional distribution per quantile band of the
+// incoming virtual edge.
+func GroupedSoftmax(logits *Matrix, groups int) *Matrix {
+	if groups <= 0 || logits.Cols%groups != 0 {
+		panic(fmt.Sprintf("ml: GroupedSoftmax cols %d not divisible by groups %d", logits.Cols, groups))
+	}
+	width := logits.Cols / groups
+	out := logits.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for g := 0; g < groups; g++ {
+			block := row[g*width : (g+1)*width]
+			max := block[0]
+			for _, v := range block {
+				if v > max {
+					max = v
+				}
+			}
+			sum := 0.0
+			for j, v := range block {
+				e := math.Exp(v - max)
+				block[j] = e
+				sum += e
+			}
+			for j := range block {
+				block[j] /= sum
+			}
+		}
+	}
+	return out
+}
+
+// GroupedSoftmaxCrossEntropy is the loss for grouped-softmax outputs
+// against *weighted* targets: each target block sums to the block's
+// weight w_g (not necessarily 1), so blocks with more observed mass
+// contribute proportionally. The gradient wrt the logits of block g is
+// softmax_g·w_g − target_g, which reduces to ordinary softmax CE when
+// w_g = 1.
+func GroupedSoftmaxCrossEntropy(groups int) LossFunc {
+	return func(logits, target *Matrix) (float64, *Matrix) {
+		if logits.Rows != target.Rows || logits.Cols != target.Cols {
+			panic("ml: GroupedSoftmaxCrossEntropy shape mismatch")
+		}
+		width := logits.Cols / groups
+		probs := GroupedSoftmax(logits, groups)
+		grad := NewMatrix(logits.Rows, logits.Cols)
+		loss := 0.0
+		invN := 1 / float64(logits.Rows)
+		for i := 0; i < logits.Rows; i++ {
+			prow := probs.Row(i)
+			trow := target.Row(i)
+			grow := grad.Row(i)
+			for g := 0; g < groups; g++ {
+				blockMass := 0.0
+				for j := g * width; j < (g+1)*width; j++ {
+					blockMass += trow[j]
+				}
+				for j := g * width; j < (g+1)*width; j++ {
+					if trow[j] > 0 {
+						loss -= trow[j] * math.Log(math.Max(prow[j], 1e-300))
+					}
+					grow[j] = (prow[j]*blockMass - trow[j]) * invN
+				}
+			}
+		}
+		return loss * invN, grad
+	}
+}

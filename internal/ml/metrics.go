@@ -1,0 +1,119 @@
+package ml
+
+import (
+	"errors"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// EvaluateBinary fills a confusion matrix from predicted probabilities,
+// true labels and a decision threshold.
+func EvaluateBinary(probs, labels []float64, threshold float64) (Confusion, error) {
+	var c Confusion
+	if len(probs) != len(labels) {
+		return c, errors.New("ml: EvaluateBinary length mismatch")
+	}
+	for i, p := range probs {
+		pred := p >= threshold
+		truth := labels[i] >= 0.5
+		switch {
+		case pred && truth:
+			c.TP++
+		case pred && !truth:
+			c.FP++
+		case !pred && truth:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c, nil
+}
+
+// Accuracy returns (TP+TN)/total, or 0 on an empty matrix.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// Precision returns TP/(TP+FP), or 0 when no positives were predicted.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when no positives exist.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// AUC returns the area under the ROC curve of the scored predictions
+// (probability of ranking a random positive above a random negative),
+// handling ties by midrank. It returns an error when either class is
+// absent.
+func AUC(probs, labels []float64) (float64, error) {
+	if len(probs) != len(labels) {
+		return 0, errors.New("ml: AUC length mismatch")
+	}
+	type scored struct {
+		p     float64
+		truth bool
+	}
+	items := make([]scored, len(probs))
+	nPos, nNeg := 0, 0
+	for i := range probs {
+		truth := labels[i] >= 0.5
+		items[i] = scored{probs[i], truth}
+		if truth {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0, errors.New("ml: AUC needs both classes present")
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].p < items[j].p })
+	// Midrank assignment for ties.
+	ranks := make([]float64, len(items))
+	for i := 0; i < len(items); {
+		j := i
+		for j+1 < len(items) && items[j+1].p == items[i].p {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[k] = mid
+		}
+		i = j + 1
+	}
+	sumPos := 0.0
+	for i, it := range items {
+		if it.truth {
+			sumPos += ranks[i]
+		}
+	}
+	np, nn := float64(nPos), float64(nNeg)
+	return (sumPos - np*(np+1)/2) / (np * nn), nil
+}

@@ -1,0 +1,75 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	probs := []float64{0.9, 0.8, 0.4, 0.2, 0.7, 0.1}
+	labels := []float64{1, 1, 1, 0, 0, 0}
+	c, err := EvaluateBinary(probs, labels, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions at 0.5: 1,1,0,0,1,0 → TP=2 FN=1 FP=1 TN=2.
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 2 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if math.Abs(c.Accuracy()-4.0/6) > 1e-12 {
+		t.Errorf("accuracy = %v", c.Accuracy())
+	}
+	if math.Abs(c.Precision()-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", c.Precision())
+	}
+	if math.Abs(c.Recall()-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v", c.Recall())
+	}
+	if math.Abs(c.F1()-2.0/3) > 1e-12 {
+		t.Errorf("F1 = %v", c.F1())
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should yield zeros")
+	}
+	if _, err := EvaluateBinary([]float64{0.5}, nil, 0.5); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestAUCPerfectAndRandom(t *testing.T) {
+	perfect, err := AUC([]float64{0.1, 0.2, 0.8, 0.9}, []float64{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect != 1 {
+		t.Errorf("perfect AUC = %v", perfect)
+	}
+	inverted, _ := AUC([]float64{0.9, 0.8, 0.2, 0.1}, []float64{0, 0, 1, 1})
+	if inverted != 0 {
+		t.Errorf("inverted AUC = %v", inverted)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 by midrank handling.
+	auc, err := AUC([]float64{0.5, 0.5, 0.5, 0.5}, []float64{1, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("tied AUC = %v", auc)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	if _, err := AUC([]float64{0.5}, []float64{1}); err == nil {
+		t.Error("single-class input should error")
+	}
+	if _, err := AUC([]float64{0.5, 0.4}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}

@@ -1,0 +1,314 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"stochroute/internal/rng"
+)
+
+// Layer is one differentiable stage of a network. Forward caches
+// whatever Backward needs; layers are therefore not safe for concurrent
+// use by multiple goroutines.
+type Layer interface {
+	// Forward maps a batch (rows = samples) to the layer output.
+	Forward(x *Matrix) *Matrix
+	// Backward maps the gradient wrt the layer output to the gradient
+	// wrt the layer input, accumulating parameter gradients.
+	Backward(gradOut *Matrix) *Matrix
+	// Params returns parameter tensors (possibly none).
+	Params() []*Matrix
+	// Grads returns gradient tensors parallel to Params.
+	Grads() []*Matrix
+}
+
+// Dense is a fully connected layer: out = x·W + b.
+type Dense struct {
+	W, B   *Matrix // W is in×out, B is 1×out
+	gW, gB *Matrix
+	lastX  *Matrix
+}
+
+// NewDense returns a Dense layer with He-initialised weights.
+func NewDense(in, out int, r *rng.RNG) *Dense {
+	d := &Dense{
+		W:  NewMatrix(in, out),
+		B:  NewMatrix(1, out),
+		gW: NewMatrix(in, out),
+		gB: NewMatrix(1, out),
+	}
+	std := math.Sqrt(2 / float64(in))
+	for i := range d.W.Data {
+		d.W.Data[i] = r.Normal(0, std)
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Matrix) *Matrix {
+	d.lastX = x
+	out := MatMul(x, d.W)
+	out.AddRowVectorInPlace(d.B.Data)
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *Matrix) *Matrix {
+	gw := MatMulATB(d.lastX, gradOut)
+	for i, v := range gw.Data {
+		d.gW.Data[i] += v
+	}
+	for j, v := range gradOut.ColSums() {
+		d.gB.Data[j] += v
+	}
+	return MatMulABT(gradOut, d.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Matrix { return []*Matrix{d.W, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*Matrix { return []*Matrix{d.gW, d.gB} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward implements Layer.
+func (a *ReLU) Forward(x *Matrix) *Matrix {
+	out := x.Clone()
+	if cap(a.mask) < len(out.Data) {
+		a.mask = make([]bool, len(out.Data))
+	}
+	a.mask = a.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+			a.mask[i] = false
+		} else {
+			a.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (a *ReLU) Backward(gradOut *Matrix) *Matrix {
+	out := gradOut.Clone()
+	for i := range out.Data {
+		if !a.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (a *ReLU) Params() []*Matrix { return nil }
+
+// Grads implements Layer.
+func (a *ReLU) Grads() []*Matrix { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	lastOut *Matrix
+}
+
+// Forward implements Layer.
+func (a *Tanh) Forward(x *Matrix) *Matrix {
+	out := x.Clone().Apply(math.Tanh)
+	a.lastOut = out
+	return out
+}
+
+// Backward implements Layer.
+func (a *Tanh) Backward(gradOut *Matrix) *Matrix {
+	out := gradOut.Clone()
+	for i := range out.Data {
+		y := a.lastOut.Data[i]
+		out.Data[i] *= 1 - y*y
+	}
+	return out
+}
+
+// Params implements Layer.
+func (a *Tanh) Params() []*Matrix { return nil }
+
+// Grads implements Layer.
+func (a *Tanh) Grads() []*Matrix { return nil }
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewMLP builds a multi-layer perceptron with the given layer sizes
+// (sizes[0] inputs through sizes[len-1] outputs) and ReLU activations
+// between dense layers. The output layer is linear (logits); pair with
+// SoftmaxCrossEntropy for distribution targets.
+func NewMLP(sizes []int, r *rng.RNG) (*Network, error) {
+	if len(sizes) < 2 {
+		return nil, errors.New("ml: NewMLP needs at least input and output sizes")
+	}
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("ml: NewMLP size[%d]=%d must be positive", i, s)
+		}
+	}
+	var n Network
+	for i := 0; i+1 < len(sizes); i++ {
+		n.Layers = append(n.Layers, NewDense(sizes[i], sizes[i+1], r))
+		if i+2 < len(sizes) {
+			n.Layers = append(n.Layers, &ReLU{})
+		}
+	}
+	return &n, nil
+}
+
+// Forward runs the batch through all layers and returns the output.
+func (n *Network) Forward(x *Matrix) *Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates the output gradient through all layers,
+// accumulating parameter gradients.
+func (n *Network) Backward(gradOut *Matrix) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		gradOut = n.Layers[i].Backward(gradOut)
+	}
+}
+
+// ZeroGrads clears all accumulated parameter gradients.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.Layers {
+		for _, g := range l.Grads() {
+			g.Zero()
+		}
+	}
+}
+
+// Params returns all parameter tensors in layer order.
+func (n *Network) Params() []*Matrix {
+	var out []*Matrix
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns all gradient tensors parallel to Params.
+func (n *Network) Grads() []*Matrix {
+	var out []*Matrix
+	for _, l := range n.Layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// NumParams returns the total scalar parameter count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Data)
+	}
+	return total
+}
+
+// CloneShared returns a network that shares this network's weight
+// tensors but has its own forward/backward caches and gradient buffers,
+// so the clone can run Forward concurrently with other clones. Training
+// any clone mutates the shared weights; clone for inference only.
+func (n *Network) CloneShared() *Network {
+	out := &Network{Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		switch layer := l.(type) {
+		case *Dense:
+			out.Layers[i] = &Dense{
+				W:  layer.W,
+				B:  layer.B,
+				gW: NewMatrix(layer.W.Rows, layer.W.Cols),
+				gB: NewMatrix(1, layer.B.Cols),
+			}
+		case *ReLU:
+			out.Layers[i] = &ReLU{}
+		case *Tanh:
+			out.Layers[i] = &Tanh{}
+		default:
+			// Unknown layer kinds cannot be safely shared; fall back to
+			// the original (callers then must not use it concurrently).
+			out.Layers[i] = l
+		}
+	}
+	return out
+}
+
+// Softmax converts each row of logits to a probability vector, with the
+// usual max-subtraction for numerical stability.
+func Softmax(logits *Matrix) *Matrix {
+	out := logits.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - max)
+			row[j] = e
+			sum += e
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy between
+// softmax(logits) and target rows (which may be soft distributions, as
+// when training against histograms), returning the loss and the gradient
+// wrt logits. Minimising cross-entropy with soft targets is equivalent
+// to minimising KL(target ‖ prediction), the paper's quality metric.
+func SoftmaxCrossEntropy(logits, target *Matrix) (loss float64, grad *Matrix) {
+	if logits.Rows != target.Rows || logits.Cols != target.Cols {
+		panic("ml: SoftmaxCrossEntropy shape mismatch")
+	}
+	probs := Softmax(logits)
+	grad = NewMatrix(logits.Rows, logits.Cols)
+	invN := 1 / float64(logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		prow := probs.Row(i)
+		trow := target.Row(i)
+		grow := grad.Row(i)
+		for j := range prow {
+			if trow[j] > 0 {
+				loss -= trow[j] * math.Log(math.Max(prow[j], 1e-300))
+			}
+			grow[j] = (prow[j] - trow[j]) * invN
+		}
+	}
+	return loss * invN, grad
+}
+
+// MSE computes mean squared error and its gradient wrt predictions.
+func MSE(pred, target *Matrix) (loss float64, grad *Matrix) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic("ml: MSE shape mismatch")
+	}
+	grad = NewMatrix(pred.Rows, pred.Cols)
+	n := float64(len(pred.Data))
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}

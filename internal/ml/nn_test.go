@@ -1,0 +1,230 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"stochroute/internal/rng"
+)
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	logits, _ := FromRows([][]float64{{1, 2, 3}, {-5, 0, 5}, {1000, 1000, 1000}})
+	p := Softmax(logits)
+	for i := 0; i < p.Rows; i++ {
+		sum := 0.0
+		for _, v := range p.Row(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax out of range: %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+	// Larger logits get larger probabilities.
+	if p.At(0, 0) >= p.At(0, 2) {
+		t.Error("softmax ordering violated")
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	logits, _ := FromRows([][]float64{{1e30, -1e30, 0}})
+	p := Softmax(logits)
+	if p.HasNaN() {
+		t.Fatal("softmax produced NaN on extreme logits")
+	}
+	if math.Abs(p.At(0, 0)-1) > 1e-9 {
+		t.Errorf("extreme softmax = %v", p.Row(0))
+	}
+}
+
+// numericalGradient estimates dLoss/dParam by central differences.
+func numericalGradient(net *Network, x, y *Matrix, loss LossFunc, param *Matrix, idx int) float64 {
+	const eps = 1e-5
+	orig := param.Data[idx]
+	param.Data[idx] = orig + eps
+	lp, _ := loss(net.Forward(x), y)
+	param.Data[idx] = orig - eps
+	lm, _ := loss(net.Forward(x), y)
+	param.Data[idx] = orig
+	return (lp - lm) / (2 * eps)
+}
+
+func gradCheck(t *testing.T, net *Network, x, y *Matrix, loss LossFunc) {
+	t.Helper()
+	net.ZeroGrads()
+	out := net.Forward(x)
+	_, grad := loss(out, y)
+	net.Backward(grad)
+	params := net.Params()
+	grads := net.Grads()
+	checked := 0
+	for pi, p := range params {
+		for idx := 0; idx < len(p.Data); idx += 1 + len(p.Data)/7 {
+			want := numericalGradient(net, x, y, loss, p, idx)
+			got := grads[pi].Data[idx]
+			scale := math.Max(1e-4, math.Abs(want)+math.Abs(got))
+			if math.Abs(want-got)/scale > 1e-3 {
+				t.Errorf("param %d idx %d: analytic %v vs numeric %v", pi, idx, got, want)
+			}
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d gradient entries checked", checked)
+	}
+}
+
+func TestGradientCheckMSE(t *testing.T) {
+	r := rng.New(1)
+	net, err := NewMLP([]int{4, 6, 3}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewMatrix(5, 4)
+	y := NewMatrix(5, 3)
+	for i := range x.Data {
+		x.Data[i] = r.Normal(0, 1)
+	}
+	for i := range y.Data {
+		y.Data[i] = r.Normal(0, 1)
+	}
+	gradCheck(t, net, x, y, MSE)
+}
+
+func TestGradientCheckSoftmaxCE(t *testing.T) {
+	r := rng.New(2)
+	net, err := NewMLP([]int{5, 8, 4}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewMatrix(6, 5)
+	for i := range x.Data {
+		x.Data[i] = r.Normal(0, 1)
+	}
+	// Soft targets (distributions).
+	y := NewMatrix(6, 4)
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		sum := 0.0
+		for j := range row {
+			row[j] = r.Float64()
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	loss := func(out, target *Matrix) (float64, *Matrix) {
+		return SoftmaxCrossEntropy(out, target)
+	}
+	gradCheck(t, net, x, y, loss)
+}
+
+func TestGradientCheckGroupedSoftmax(t *testing.T) {
+	r := rng.New(3)
+	const groups, width = 3, 4
+	net, err := NewMLP([]int{5, 10, groups * width}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewMatrix(4, 5)
+	for i := range x.Data {
+		x.Data[i] = r.Normal(0, 1)
+	}
+	// Weighted per-group targets: group g sums to w_g.
+	y := NewMatrix(4, groups*width)
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		for g := 0; g < groups; g++ {
+			w := r.Float64()
+			sum := 0.0
+			for j := g * width; j < (g+1)*width; j++ {
+				row[j] = r.Float64()
+				sum += row[j]
+			}
+			for j := g * width; j < (g+1)*width; j++ {
+				row[j] = row[j] / sum * w
+			}
+		}
+	}
+	gradCheck(t, net, x, y, GroupedSoftmaxCrossEntropy(groups))
+}
+
+func TestGradientCheckTanh(t *testing.T) {
+	r := rng.New(4)
+	net := &Network{Layers: []Layer{
+		NewDense(3, 5, r), &Tanh{}, NewDense(5, 2, r),
+	}}
+	x := NewMatrix(4, 3)
+	y := NewMatrix(4, 2)
+	for i := range x.Data {
+		x.Data[i] = r.Normal(0, 1)
+	}
+	for i := range y.Data {
+		y.Data[i] = r.Normal(0, 1)
+	}
+	gradCheck(t, net, x, y, MSE)
+}
+
+func TestNewMLPValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := NewMLP([]int{3}, r); err == nil {
+		t.Error("single size should error")
+	}
+	if _, err := NewMLP([]int{3, 0, 2}, r); err == nil {
+		t.Error("zero layer width should error")
+	}
+	net, err := NewMLP([]int{3, 4, 2}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3*4+4 + 4*2+2 = 26 parameters.
+	if got := net.NumParams(); got != 26 {
+		t.Errorf("NumParams = %d, want 26", got)
+	}
+}
+
+func TestGroupedSoftmaxPanicsOnBadGroups(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("indivisible groups should panic")
+		}
+	}()
+	GroupedSoftmax(NewMatrix(1, 5), 2)
+}
+
+func TestGroupedSoftmaxEachGroupNormalised(t *testing.T) {
+	r := rng.New(9)
+	logits := NewMatrix(3, 12)
+	for i := range logits.Data {
+		logits.Data[i] = r.Normal(0, 3)
+	}
+	p := GroupedSoftmax(logits, 3)
+	for i := 0; i < p.Rows; i++ {
+		for g := 0; g < 3; g++ {
+			sum := 0.0
+			for j := g * 4; j < (g+1)*4; j++ {
+				sum += p.At(i, j)
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Errorf("row %d group %d sums to %v", i, g, sum)
+			}
+		}
+	}
+}
+
+func TestReLUMasksNegative(t *testing.T) {
+	relu := &ReLU{}
+	x, _ := FromRows([][]float64{{-1, 0, 2}})
+	out := relu.Forward(x)
+	if out.At(0, 0) != 0 || out.At(0, 1) != 0 || out.At(0, 2) != 2 {
+		t.Errorf("ReLU forward = %v", out.Data)
+	}
+	grad, _ := FromRows([][]float64{{1, 1, 1}})
+	back := relu.Backward(grad)
+	if back.At(0, 0) != 0 || back.At(0, 2) != 1 {
+		t.Errorf("ReLU backward = %v", back.Data)
+	}
+}

@@ -1,0 +1,88 @@
+package ml
+
+import "math"
+
+// Optimizer updates network parameters from accumulated gradients.
+type Optimizer interface {
+	// Step applies one update given parallel parameter and gradient
+	// tensor lists, then the caller is expected to zero the gradients.
+	Step(params, grads []*Matrix)
+}
+
+// SGD is stochastic gradient descent with optional momentum and L2
+// weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity [][]float64
+}
+
+// NewSGD returns plain SGD with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step implements Optimizer.
+func (o *SGD) Step(params, grads []*Matrix) {
+	if o.velocity == nil && o.Momentum != 0 {
+		o.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			o.velocity[i] = make([]float64, len(p.Data))
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		for j := range p.Data {
+			gj := g.Data[j] + o.WeightDecay*p.Data[j]
+			if o.Momentum != 0 {
+				o.velocity[i][j] = o.Momentum*o.velocity[i][j] + gj
+				gj = o.velocity[i][j]
+			}
+			p.Data[j] -= o.LR * gj
+		}
+	}
+}
+
+// Adam is the Adam optimiser (Kingma & Ba) with optional weight decay.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdam returns Adam with conventional defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params, grads []*Matrix) {
+	if o.m == nil {
+		o.m = make([][]float64, len(params))
+		o.v = make([][]float64, len(params))
+		for i, p := range params {
+			o.m[i] = make([]float64, len(p.Data))
+			o.v[i] = make([]float64, len(p.Data))
+		}
+	}
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i, p := range params {
+		g := grads[i]
+		for j := range p.Data {
+			gj := g.Data[j] + o.WeightDecay*p.Data[j]
+			o.m[i][j] = o.Beta1*o.m[i][j] + (1-o.Beta1)*gj
+			o.v[i][j] = o.Beta2*o.v[i][j] + (1-o.Beta2)*gj*gj
+			mHat := o.m[i][j] / c1
+			vHat := o.v[i][j] / c2
+			p.Data[j] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// StandardScaler standardises features to zero mean and unit variance,
+// remembering the fitted statistics so the same transform applies at
+// inference time.
+type StandardScaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler computes per-column means and standard deviations.
+// Constant columns get Std = 1 so they pass through centred.
+func FitScaler(x *Matrix) (*StandardScaler, error) {
+	if x.Rows == 0 {
+		return nil, errors.New("ml: FitScaler with no data")
+	}
+	s := &StandardScaler{
+		Mean: make([]float64, x.Cols),
+		Std:  make([]float64, x.Cols),
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(x.Rows)
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Transform returns a standardised copy of x.
+func (s *StandardScaler) Transform(x *Matrix) *Matrix {
+	out := x.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return out
+}
+
+// TransformRow standardises one feature vector in place and returns it.
+func (s *StandardScaler) TransformRow(row []float64) []float64 {
+	for j := range row {
+		row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+	}
+	return row
+}

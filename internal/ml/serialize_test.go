@@ -1,0 +1,88 @@
+package ml
+
+import (
+	"bytes"
+	"testing"
+
+	"stochroute/internal/rng"
+)
+
+func TestNetworkRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	net := &Network{Layers: []Layer{
+		NewDense(4, 8, r), &ReLU{}, NewDense(8, 3, r), &Tanh{},
+	}}
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Layers) != len(net.Layers) {
+		t.Fatalf("layer count %d != %d", len(got.Layers), len(net.Layers))
+	}
+	// Same forward output on the same input.
+	x := NewMatrix(2, 4)
+	for i := range x.Data {
+		x.Data[i] = r.Normal(0, 1)
+	}
+	a := net.Forward(x)
+	b := got.Forward(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("forward output differs at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestNetworkReadErrors(t *testing.T) {
+	if _, err := ReadNetwork(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadNetwork(bytes.NewReader([]byte("XXXXxxxx"))); err == nil {
+		t.Error("bad magic should error")
+	}
+	var buf bytes.Buffer
+	net := &Network{Layers: []Layer{NewDense(2, 2, rng.New(1))}}
+	if err := WriteNetwork(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadNetwork(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Error("truncated weights should error")
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	s := &StandardScaler{Mean: []float64{1, 2, 3}, Std: []float64{0.5, 1, 2}}
+	var buf bytes.Buffer
+	if err := WriteScaler(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScaler(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Mean {
+		if got.Mean[i] != s.Mean[i] || got.Std[i] != s.Std[i] {
+			t.Fatalf("scaler differs at %d", i)
+		}
+	}
+}
+
+func TestLogRegRoundTrip(t *testing.T) {
+	m := &LogisticRegression{W: []float64{0.5, -1.5}, B: 0.25}
+	var buf bytes.Buffer
+	if err := WriteLogReg(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLogReg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.B != m.B || got.W[0] != m.W[0] || got.W[1] != m.W[1] {
+		t.Fatalf("logreg differs: %+v vs %+v", got, m)
+	}
+}

@@ -1,0 +1,160 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"stochroute/internal/rng"
+)
+
+// LossFunc computes a scalar loss and the gradient wrt the network
+// output for a batch.
+type LossFunc func(output, target *Matrix) (float64, *Matrix)
+
+// TrainConfig parameterises Fit.
+type TrainConfig struct {
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	WeightDecay  float64
+	ValFraction  float64 // fraction of rows held out for early stopping
+	Patience     int     // epochs without val improvement before stopping (0 = no early stop)
+	Seed         uint64
+	Verbose      bool
+	LogEvery     int                  // epochs between progress logs when Verbose
+	Logf         func(string, ...any) // defaults to no-op
+}
+
+// DefaultTrainConfig returns sensible defaults for the estimation model.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:       120,
+		BatchSize:    64,
+		LearningRate: 1e-3,
+		ValFraction:  0.1,
+		Patience:     12,
+		Seed:         1,
+		LogEvery:     10,
+	}
+}
+
+// TrainResult summarises a Fit run.
+type TrainResult struct {
+	Epochs       int
+	FinalTrain   float64
+	BestVal      float64
+	StoppedEarly bool
+}
+
+// Fit trains net on (x, y) with Adam, mini-batching and early stopping
+// on a held-out validation split. It returns an error on shape problems
+// or non-finite losses (diverged training).
+func Fit(net *Network, x, y *Matrix, loss LossFunc, cfg TrainConfig) (TrainResult, error) {
+	var res TrainResult
+	if x.Rows != y.Rows {
+		return res, fmt.Errorf("ml: Fit with %d inputs but %d targets", x.Rows, y.Rows)
+	}
+	if x.Rows == 0 {
+		return res, errors.New("ml: Fit with no data")
+	}
+	if cfg.Epochs <= 0 {
+		return res, errors.New("ml: Fit with non-positive epochs")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	r := rng.New(cfg.Seed)
+
+	// Split train/validation.
+	perm := r.Perm(x.Rows)
+	nVal := int(float64(x.Rows) * cfg.ValFraction)
+	if nVal > 0 && x.Rows-nVal < 1 {
+		nVal = 0
+	}
+	valIdx, trainIdx := perm[:nVal], perm[nVal:]
+	xt, yt := x.SubRows(trainIdx), y.SubRows(trainIdx)
+	var xv, yv *Matrix
+	if nVal > 0 {
+		xv, yv = x.SubRows(valIdx), y.SubRows(valIdx)
+	}
+
+	opt := NewAdam(cfg.LearningRate)
+	opt.WeightDecay = cfg.WeightDecay
+	best := math.Inf(1)
+	bestParams := snapshot(net)
+	sinceBest := 0
+
+	order := make([]int, xt.Rows)
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		r.ShuffleInts(order)
+		trainLoss := 0.0
+		batches := 0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			bx := xt.SubRows(order[start:end])
+			by := yt.SubRows(order[start:end])
+			net.ZeroGrads()
+			out := net.Forward(bx)
+			l, grad := loss(out, by)
+			if math.IsNaN(l) || math.IsInf(l, 0) {
+				return res, fmt.Errorf("ml: training diverged at epoch %d (loss %v)", epoch, l)
+			}
+			net.Backward(grad)
+			opt.Step(net.Params(), net.Grads())
+			trainLoss += l
+			batches++
+		}
+		trainLoss /= float64(batches)
+		res.Epochs = epoch
+		res.FinalTrain = trainLoss
+
+		valLoss := trainLoss
+		if xv != nil {
+			out := net.Forward(xv)
+			valLoss, _ = loss(out, yv)
+		}
+		if valLoss < best-1e-9 {
+			best = valLoss
+			bestParams = snapshot(net)
+			sinceBest = 0
+		} else {
+			sinceBest++
+		}
+		if cfg.Verbose && (cfg.LogEvery <= 1 || epoch%cfg.LogEvery == 0) {
+			logf("ml: epoch %d train=%.5f val=%.5f best=%.5f", epoch, trainLoss, valLoss, best)
+		}
+		if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+			res.StoppedEarly = true
+			break
+		}
+	}
+	restore(net, bestParams)
+	res.BestVal = best
+	return res, nil
+}
+
+func snapshot(net *Network) [][]float64 {
+	params := net.Params()
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.Data...)
+	}
+	return out
+}
+
+func restore(net *Network, snap [][]float64) {
+	for i, p := range net.Params() {
+		copy(p.Data, snap[i])
+	}
+}

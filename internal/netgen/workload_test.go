@@ -1,0 +1,92 @@
+package netgen
+
+import (
+	"strings"
+	"testing"
+
+	"stochroute/internal/geo"
+)
+
+func TestPaperCategories(t *testing.T) {
+	cats := PaperCategories()
+	if len(cats) != 3 {
+		t.Fatalf("got %d categories", len(cats))
+	}
+	if cats[0].String() != "[0, 1)" || cats[2].String() != "[5, 10)" {
+		t.Errorf("category names: %v %v", cats[0], cats[2])
+	}
+	if !cats[1].Contains(3) || cats[1].Contains(5) || cats[1].Contains(0.5) {
+		t.Error("Contains is wrong")
+	}
+}
+
+func TestSampleCategory(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 30, 30
+	cfg.CellMeters = 120
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := NewWorkloadGen(g, 7)
+	cat := DistanceCategory{LoKm: 1, HiKm: 2.5}
+	qs, err := wg.SampleCategory(cat, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 25 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if q.Source == q.Dest {
+			t.Errorf("query %d has identical endpoints", i)
+		}
+		d := geo.Haversine(g.Point(q.Source), g.Point(q.Dest)) / 1000
+		if !cat.Contains(d) {
+			t.Errorf("query %d distance %.2f outside %v", i, d, cat)
+		}
+		if q.DistKm <= 0 {
+			t.Errorf("query %d has DistKm %v", i, q.DistKm)
+		}
+	}
+}
+
+func TestSampleCategoryTooLargeForGraph(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 10, 10
+	cfg.CellMeters = 80 // < 1km across
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := NewWorkloadGen(g, 7)
+	_, err = wg.SampleCategory(DistanceCategory{LoKm: 50, HiKm: 100}, 3)
+	if err == nil {
+		t.Fatal("sampling 50km queries on a 1km graph should fail")
+	}
+	if !strings.Contains(err.Error(), "could not sample") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 25, 25
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := NewWorkloadGen(g, 99).SampleCategory(DistanceCategory{LoKm: 0.5, HiKm: 1.5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := NewWorkloadGen(g, 99).SampleCategory(DistanceCategory{LoKm: 0.5, HiKm: 1.5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q1 {
+		if q1[i] != q2[i] {
+			t.Fatalf("same seed produced different workloads at %d", i)
+		}
+	}
+}

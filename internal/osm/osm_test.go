@@ -1,0 +1,172 @@
+package osm
+
+import (
+	"strings"
+	"testing"
+
+	"stochroute/internal/graph"
+)
+
+const sampleOSM = `<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="test">
+  <node id="1" lat="57.00" lon="9.90"/>
+  <node id="2" lat="57.01" lon="9.90"/>
+  <node id="3" lat="57.02" lon="9.90"/>
+  <node id="4" lat="57.02" lon="9.92"/>
+  <node id="5" lat="57.03" lon="9.92">
+    <tag k="highway" v="traffic_signals"/>
+  </node>
+  <way id="100">
+    <nd ref="1"/>
+    <nd ref="2"/>
+    <nd ref="3"/>
+    <tag k="highway" v="residential"/>
+    <tag k="name" v="Example Street"/>
+  </way>
+  <way id="101">
+    <nd ref="3"/>
+    <nd ref="4"/>
+    <tag k="highway" v="primary"/>
+    <tag k="oneway" v="yes"/>
+    <tag k="maxspeed" v="80"/>
+  </way>
+  <way id="102">
+    <nd ref="4"/>
+    <nd ref="5"/>
+    <tag k="highway" v="secondary"/>
+    <tag k="oneway" v="-1"/>
+    <tag k="maxspeed" v="50 mph"/>
+  </way>
+  <way id="103">
+    <nd ref="1"/>
+    <nd ref="4"/>
+    <tag k="highway" v="footway"/>
+  </way>
+  <way id="104">
+    <nd ref="2"/>
+    <tag k="highway" v="residential"/>
+  </way>
+</osm>`
+
+func TestParseSample(t *testing.T) {
+	g, stats, err := Parse(strings.NewReader(sampleOSM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NodesSeen != 5 {
+		t.Errorf("NodesSeen = %d", stats.NodesSeen)
+	}
+	if stats.WaysSeen != 5 {
+		t.Errorf("WaysSeen = %d", stats.WaysSeen)
+	}
+	// footway (103) is not drivable; 104 has a single nd.
+	if stats.WaysKept != 3 {
+		t.Errorf("WaysKept = %d", stats.WaysKept)
+	}
+	// way 100: 2 segments bidirectional = 4 edges; way 101: 1 oneway = 1;
+	// way 102: 1 reversed oneway = 1. Total 6.
+	if g.NumEdges() != 6 {
+		t.Errorf("edges = %d, want 6", g.NumEdges())
+	}
+	if g.NumVertices() != 5 {
+		t.Errorf("vertices = %d, want 5", g.NumVertices())
+	}
+}
+
+func TestParseOnewayDirections(t *testing.T) {
+	g, _, err := Parse(strings.NewReader(sampleOSM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, secondary := 0, 0
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		switch ed.Category {
+		case graph.Primary:
+			primary++
+			if ed.SpeedKmh != 80 {
+				t.Errorf("primary speed = %v, want 80", ed.SpeedKmh)
+			}
+		case graph.Secondary:
+			secondary++
+			// 50 mph ≈ 80.47 km/h.
+			if ed.SpeedKmh < 80 || ed.SpeedKmh > 81 {
+				t.Errorf("secondary speed = %v, want ~80.5", ed.SpeedKmh)
+			}
+		}
+	}
+	if primary != 1 || secondary != 1 {
+		t.Errorf("oneway counts: primary=%d secondary=%d, want 1 each", primary, secondary)
+	}
+}
+
+func TestParseMissingNode(t *testing.T) {
+	const broken = `<osm>
+  <node id="1" lat="57" lon="9.9"/>
+  <way id="1"><nd ref="1"/><nd ref="999"/><tag k="highway" v="residential"/></way>
+</osm>`
+	if _, _, err := Parse(strings.NewReader(broken)); err == nil {
+		t.Error("missing node reference should error")
+	}
+}
+
+func TestParseNoDrivableWays(t *testing.T) {
+	const empty = `<osm>
+  <node id="1" lat="57" lon="9.9"/>
+  <node id="2" lat="57.01" lon="9.9"/>
+  <way id="1"><nd ref="1"/><nd ref="2"/><tag k="highway" v="footway"/></way>
+</osm>`
+	if _, _, err := Parse(strings.NewReader(empty)); err == nil {
+		t.Error("no drivable ways should error")
+	}
+}
+
+func TestParseMalformedXML(t *testing.T) {
+	if _, _, err := Parse(strings.NewReader("<osm><node id=")); err == nil {
+		t.Error("malformed XML should error")
+	}
+	if _, _, err := Parse(strings.NewReader(`<osm><node id="x" lat="57" lon="9.9"/></osm>`)); err == nil {
+		t.Error("non-numeric node id should error")
+	}
+	if _, _, err := Parse(strings.NewReader(`<osm><node id="1" lat="bad" lon="9.9"/></osm>`)); err == nil {
+		t.Error("bad latitude should error")
+	}
+	if _, _, err := Parse(strings.NewReader(`<osm><node id="1" lon="9.9"/></osm>`)); err == nil {
+		t.Error("missing lat should error")
+	}
+}
+
+func TestParseMaxspeedVariants(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+	}{
+		{"80", 80},
+		{"80 km/h", 80},
+		{" 60  ", 60},
+		{"30 mph", 30 * 1.609344},
+		{"none", 0},
+		{"", 0},
+		{"-5", 0},
+	}
+	for _, tt := range tests {
+		if got := parseMaxspeed(tt.in); got < tt.want-0.001 || got > tt.want+0.001 {
+			t.Errorf("parseMaxspeed(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseSelfLoopSegmentSkipped(t *testing.T) {
+	const doc = `<osm>
+  <node id="1" lat="57" lon="9.9"/>
+  <node id="2" lat="57.01" lon="9.9"/>
+  <way id="1"><nd ref="1"/><nd ref="1"/><nd ref="2"/><tag k="highway" v="residential"/></way>
+</osm>`
+	g, _, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2 (self-loop segment skipped)", g.NumEdges())
+	}
+}

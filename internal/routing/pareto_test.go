@@ -1,0 +1,119 @@
+package routing
+
+import (
+	"testing"
+
+	"stochroute/internal/graph"
+	"stochroute/internal/hybrid"
+)
+
+func TestParetoRoutesRiskyAndSafe(t *testing.T) {
+	g, c, risky, safe := riskyVsSafe(t)
+	routes, err := ParetoRoutes(g, c, 0, 3, ParetoOptions{Horizon: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Risky {20:.6, 110:.4} and safe {60:1} cross: both are skyline
+	// members. The direct-cost diamond edge does not exist here.
+	if len(routes) != 2 {
+		t.Fatalf("skyline size = %d, want 2 (%v)", len(routes), routes)
+	}
+	for _, r := range routes {
+		if err := ValidatePath(g, r.Path, 0, 3); err != nil {
+			t.Fatalf("skyline path invalid: %v", err)
+		}
+		if err := r.Dist.Validate(); err != nil {
+			t.Fatalf("skyline dist invalid: %v", err)
+		}
+	}
+	// Mutually non-dominated.
+	if routes[0].Dist.Dominates(routes[1].Dist) || routes[1].Dist.Dominates(routes[0].Dist) {
+		t.Error("skyline members must not dominate each other")
+	}
+	// Sorted by mean: risky (56) before safe (60).
+	if routes[0].Path[0] != risky[0] || routes[1].Path[0] != safe[0] {
+		t.Errorf("skyline order: %v", routes)
+	}
+}
+
+func TestParetoRoutesHorizonPrunes(t *testing.T) {
+	g, c, risky, _ := riskyVsSafe(t)
+	// Horizon 40 excludes the safe route (min 60) entirely.
+	routes, err := ParetoRoutes(g, c, 0, 3, ParetoOptions{Horizon: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 1 || routes[0].Path[0] != risky[0] {
+		t.Errorf("horizon-40 skyline = %v, want only risky", routes)
+	}
+}
+
+func TestParetoRoutesEdgeCases(t *testing.T) {
+	g, c, _, _ := riskyVsSafe(t)
+	if _, err := ParetoRoutes(g, c, 0, 3, ParetoOptions{}); err == nil {
+		t.Error("zero horizon should error")
+	}
+	if _, err := ParetoRoutes(g, c, -1, 3, ParetoOptions{Horizon: 10}); err == nil {
+		t.Error("bad endpoint should error")
+	}
+	routes, err := ParetoRoutes(g, c, 2, 2, ParetoOptions{Horizon: 10})
+	if err != nil || len(routes) != 1 || len(routes[0].Path) != 0 {
+		t.Errorf("s==d skyline: %v, %v", routes, err)
+	}
+}
+
+func TestParetoContainsPBRAnswer(t *testing.T) {
+	// The PBR-optimal path for any budget within the horizon must be a
+	// skyline member (or tie one).
+	g, c, _, _ := riskyVsSafe(t)
+	routes, err := ParetoRoutes(g, c, 0, 3, ParetoOptions{Horizon: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []float64{30, 70, 150} {
+		res, err := PBR(g, c, 0, 3, Options{Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestSkyline := 0.0
+		for _, r := range routes {
+			if p := r.Dist.CDF(budget); p > bestSkyline {
+				bestSkyline = p
+			}
+		}
+		if res.Prob > bestSkyline+1e-9 {
+			t.Errorf("budget %v: PBR prob %v exceeds best skyline %v", budget, res.Prob, bestSkyline)
+		}
+	}
+}
+
+func TestParetoMaxRoutesCap(t *testing.T) {
+	g, kb := testSubstrate(t)
+	coster := &hybrid.ConvolutionCoster{KB: kb, MaxBuckets: 512}
+	d := graph.VertexID(g.NumVertices() - 1)
+	_, optimistic, err := Dijkstra(g, kb.MinEdgeTime, 0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := ParetoRoutes(g, coster, 0, d, ParetoOptions{
+		Horizon:   2.2 * optimistic,
+		MaxRoutes: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) > 3 {
+		t.Errorf("MaxRoutes not applied: %d", len(routes))
+	}
+	if len(routes) == 0 {
+		t.Fatal("no skyline routes found")
+	}
+	prev := -1.0
+	for _, r := range routes {
+		if m := r.Dist.Mean(); m < prev {
+			t.Error("skyline not sorted by mean")
+		} else {
+			prev = m
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"stochroute/internal/graph"
+	"stochroute/internal/hist"
+	"stochroute/internal/hybrid"
+	"stochroute/internal/pqueue"
+)
+
+// Options configures one Probabilistic Budget Routing query.
+type Options struct {
+	// Budget is the arrival time budget t in seconds; the query
+	// maximises P(travel time <= Budget).
+	Budget float64
+
+	// Anytime limits (the paper's anytime extension). Zero means
+	// unlimited. MaxExpansions bounds priority-queue pops (the
+	// deterministic, machine-independent mode used by benchmarks);
+	// MaxDuration bounds wall-clock time.
+	MaxExpansions int
+	MaxDuration   time.Duration
+
+	// Ablation switches for the paper's prunings. All false = full
+	// algorithm.
+	DisablePotentialPruning bool // (a) optimistic remaining cost
+	DisablePivotPruning     bool // (b)+(c) pivot path with cost shifting
+	DisableDominancePruning bool // (d) stochastic dominance
+
+	// MaxFrontier caps the per-(vertex, incoming edge) Pareto frontier;
+	// 0 uses the default of 8.
+	MaxFrontier int
+
+	// MaxLabels aborts a pathological search; 0 uses the default of 2M.
+	MaxLabels int
+
+	// SeedPath optionally warm-starts the pivot (b) with a known
+	// source→dest path, typically the mean-cost route. The search then
+	// returns a path at least as good as the seed under the cost model —
+	// valuable both for anytime cutoffs (a pivot exists immediately)
+	// and because pruning with a learned, non-monotone cost model is
+	// heuristic and could otherwise discard the seed's prefix.
+	SeedPath []graph.EdgeID
+
+	// SwitchMargin keeps the seed path unless the best found path beats
+	// it by more than this much model probability. A learned cost model
+	// ranks long paths with noise; switching on a hair-thin modelled
+	// advantage trades a reliable known answer for noise. 0 (the pure
+	// paper behaviour) switches on any improvement.
+	SwitchMargin float64
+}
+
+// Result is the outcome of a PBR query.
+type Result struct {
+	// Path is the chosen edge sequence (the pivot path when the search
+	// was cut off by an anytime limit). Empty iff Found is false or
+	// source == dest.
+	Path []graph.EdgeID
+	// Dist is the model's travel-time distribution of Path.
+	Dist *hist.Hist
+	// Prob is P(travel time <= Budget) under Dist.
+	Prob float64
+	// Found reports whether any source→dest path was discovered.
+	Found bool
+	// Complete reports whether the search ran to proven optimality
+	// (false when an anytime limit returned the pivot early).
+	Complete bool
+
+	// Search telemetry.
+	Expansions      int
+	GeneratedLabels int
+	PrunedPotential int
+	PrunedPivot     int
+	PrunedDominance int
+	Runtime         time.Duration
+}
+
+// label is a partial path in the search.
+type label struct {
+	vertex   graph.VertexID
+	lastEdge graph.EdgeID
+	dist     *hist.Hist
+	parent   int32 // index into the label arena, -1 for roots
+	dead     bool  // removed by dominance
+}
+
+type frontierKey struct {
+	vertex   graph.VertexID
+	lastEdge graph.EdgeID
+}
+
+type frontierEntry struct {
+	labelIdx int32
+	ub       float64
+}
+
+// PBR answers a Probabilistic Budget Routing query: among source→dest
+// paths, find one maximising the probability of arriving within
+// opts.Budget, using the cost model c (the hybrid model or a baseline).
+//
+// The search is a label-correcting best-first expansion ordered by the
+// optimistic arrival time dist.Min + h(v). The four prunings of the
+// paper are applied unless disabled in opts. With an anytime limit set,
+// the current pivot path is returned once the limit expires
+// (Result.Complete = false).
+func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.Budget <= 0 || math.IsNaN(opts.Budget) {
+		return nil, fmt.Errorf("routing: PBR with invalid budget %v", opts.Budget)
+	}
+	if int(source) < 0 || int(source) >= g.NumVertices() ||
+		int(dest) < 0 || int(dest) >= g.NumVertices() {
+		return nil, errors.New("routing: PBR with out-of-range endpoint")
+	}
+	res := &Result{}
+	if source == dest {
+		res.Found = true
+		res.Complete = true
+		res.Prob = 1
+		res.Dist = hist.Delta(0, c.Width())
+		res.Runtime = time.Since(start)
+		return res, nil
+	}
+	maxFrontier := opts.MaxFrontier
+	if maxFrontier <= 0 {
+		maxFrontier = 8
+	}
+	maxLabels := opts.MaxLabels
+	if maxLabels <= 0 {
+		maxLabels = 2_000_000
+	}
+	// Labels are truncated above this horizon: far enough beyond the
+	// budget that the tail shape (which the hybrid estimator's quantile
+	// bands condition on) survives, close enough to bound label memory.
+	truncateAt := opts.Budget * 1.3
+
+	// (a) Optimistic potentials by backward Dijkstra over minimum
+	// possible edge times.
+	h := ReversePotentials(g, c.MinEdgeTime, dest)
+	if math.IsInf(h[source], 1) {
+		return nil, ErrUnreachable
+	}
+
+	arena := make([]label, 0, 1024)
+	frontiers := make(map[frontierKey][]frontierEntry)
+	var pq pqueue.Heap[int32]
+
+	// Pivot: the most promising complete path found so far (b).
+	havePivot := false
+	var pivotPath []graph.EdgeID
+	var pivotDist *hist.Hist
+	pivotProb := -1.0
+
+	// Warm-start the pivot from the seed path, if any.
+	if len(opts.SeedPath) > 0 {
+		if err := ValidatePath(g, opts.SeedPath, source, dest); err != nil {
+			return nil, fmt.Errorf("routing: PBR seed path: %w", err)
+		}
+		sd := c.InitialHist(opts.SeedPath[0])
+		for i := 1; i < len(opts.SeedPath); i++ {
+			sd = c.Extend(sd, opts.SeedPath[i-1], opts.SeedPath[i]).TruncateAbove(truncateAt)
+		}
+		havePivot = true
+		pivotPath = append([]graph.EdgeID(nil), opts.SeedPath...)
+		pivotDist = sd
+		pivotProb = sd.CDF(opts.Budget)
+	}
+	seedProb, seedDist := pivotProb, pivotDist
+
+	push := func(v graph.VertexID, last graph.EdgeID, d *hist.Hist, parent int32) {
+		arena = append(arena, label{vertex: v, lastEdge: last, dist: d, parent: parent})
+		idx := int32(len(arena) - 1)
+		pq.Push(d.Min+h[v], idx)
+		res.GeneratedLabels++
+	}
+
+	// Upper bound on the achievable arrival probability of a partial
+	// path at v: shift the distribution by the optimistic remaining
+	// cost h(v) and read the budget CDF — the paper's cost shifting (c).
+	upperBound := func(d *hist.Hist, v graph.VertexID) float64 {
+		return d.CDF(opts.Budget - h[v])
+	}
+
+	// Seed with the out-edges of the source.
+	for _, e := range g.Out(source) {
+		to := g.Edge(e).To
+		if math.IsInf(h[to], 1) {
+			continue
+		}
+		push(to, e, c.InitialHist(e), -1)
+	}
+
+	deadline := time.Time{}
+	if opts.MaxDuration > 0 {
+		deadline = start.Add(opts.MaxDuration)
+	}
+
+	for pq.Len() > 0 {
+		idx, prio, _ := pq.Pop()
+		lb := &arena[idx]
+		if lb.dead {
+			continue
+		}
+		// Anytime cutoffs: return the pivot.
+		if opts.MaxExpansions > 0 && res.Expansions >= opts.MaxExpansions {
+			break
+		}
+		if !deadline.IsZero() && res.Expansions%64 == 0 && time.Now().After(deadline) {
+			break
+		}
+		res.Expansions++
+
+		// Global stop: expansions are ordered by optimistic arrival, so
+		// once that exceeds the budget no remaining label can beat any
+		// pivot with positive probability.
+		if prio > opts.Budget && havePivot {
+			res.Complete = true
+			break
+		}
+
+		if lb.vertex == dest {
+			p := lb.dist.CDF(opts.Budget)
+			if p > pivotProb {
+				havePivot = true
+				pivotProb = p
+				pivotDist = lb.dist
+				pivotPath = reconstructPath(arena, idx)
+			}
+			// Positive edge times mean re-leaving the destination can
+			// never improve the arrival distribution; do not expand.
+			continue
+		}
+
+		if len(arena) > maxLabels {
+			return nil, fmt.Errorf("routing: PBR exceeded %d labels; raise MaxLabels or tighten the budget", maxLabels)
+		}
+
+		parentVertex := g.Edge(lb.lastEdge).From
+		for _, next := range g.Out(lb.vertex) {
+			ne := g.Edge(next)
+			if ne.To == parentVertex {
+				continue // immediate U-turn
+			}
+			if math.IsInf(h[ne.To], 1) {
+				continue
+			}
+			nd := c.Extend(lb.dist, lb.lastEdge, next).TruncateAbove(truncateAt)
+
+			// (a) optimistic-arrival pruning: a label whose best
+			// possible arrival misses the budget contributes zero
+			// probability; prune once some pivot exists.
+			if !opts.DisablePotentialPruning && havePivot && nd.Min+h[ne.To] > opts.Budget {
+				res.PrunedPotential++
+				continue
+			}
+
+			ub := upperBound(nd, ne.To)
+
+			// (b)+(c) pivot pruning with cost shifting: even with the
+			// optimistic remainder the label cannot beat the pivot.
+			if !opts.DisablePivotPruning && havePivot && ub <= pivotProb {
+				res.PrunedPivot++
+				continue
+			}
+
+			// (d) stochastic-dominance pruning on the per-(vertex,
+			// incoming-edge) Pareto frontier.
+			if !opts.DisableDominancePruning {
+				key := frontierKey{vertex: ne.To, lastEdge: next}
+				entries := frontiers[key]
+				dominated := false
+				keep := entries[:0]
+				for _, fe := range entries {
+					other := &arena[fe.labelIdx]
+					if other.dead {
+						continue
+					}
+					if other.dist.DominatesOrEqual(nd) {
+						dominated = true
+						keep = append(keep, fe)
+						continue
+					}
+					if nd.Dominates(other.dist) {
+						other.dead = true
+						res.PrunedDominance++
+						continue
+					}
+					keep = append(keep, fe)
+				}
+				if dominated {
+					frontiers[key] = keep
+					res.PrunedDominance++
+					continue
+				}
+				if len(keep) >= maxFrontier {
+					// Frontier full: keep the strongest by upper bound.
+					worst, worstUB := -1, math.Inf(1)
+					for i, fe := range keep {
+						if fe.ub < worstUB {
+							worst, worstUB = i, fe.ub
+						}
+					}
+					if worstUB >= ub {
+						frontiers[key] = keep
+						res.PrunedDominance++
+						continue
+					}
+					arena[keep[worst].labelIdx].dead = true
+					keep[worst] = keep[len(keep)-1]
+					keep = keep[:len(keep)-1]
+					res.PrunedDominance++
+				}
+				push(ne.To, next, nd, idx)
+				frontiers[key] = append(keep, frontierEntry{labelIdx: int32(len(arena) - 1), ub: ub})
+			} else {
+				push(ne.To, next, nd, idx)
+			}
+		}
+	}
+	if pq.Len() == 0 {
+		res.Complete = true
+	}
+
+	// Decisive-switch rule: fall back to the seed unless the search's
+	// best is better by more than the margin.
+	if len(opts.SeedPath) > 0 && opts.SwitchMargin > 0 && pivotProb < seedProb+opts.SwitchMargin {
+		pivotPath = append([]graph.EdgeID(nil), opts.SeedPath...)
+		pivotDist = seedDist
+		pivotProb = seedProb
+	}
+
+	res.Runtime = time.Since(start)
+	if !havePivot {
+		res.Found = false
+		return res, nil
+	}
+	res.Found = true
+	res.Prob = pivotProb
+	res.Dist = pivotDist
+	res.Path = pivotPath
+	return res, nil
+}
+
+func reconstructPath(arena []label, idx int32) []graph.EdgeID {
+	var rev []graph.EdgeID
+	for i := idx; i >= 0; i = arena[i].parent {
+		rev = append(rev, arena[i].lastEdge)
+	}
+	out := make([]graph.EdgeID, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"stochroute/internal/graph"
+	"stochroute/internal/hybrid"
+)
+
+// KShortestPaths implements Yen's algorithm for loopless k-shortest
+// paths under a deterministic weight function. It is used as a
+// candidate-generation baseline: rank the k best mean-cost paths, then
+// score each with the stochastic cost model (see RankByBudget).
+func KShortestPaths(g *graph.Graph, w WeightFunc, source, dest graph.VertexID, k int) ([][]graph.EdgeID, error) {
+	if k <= 0 {
+		return nil, errors.New("routing: KShortestPaths with non-positive k")
+	}
+	best, _, err := Dijkstra(g, w, source, dest)
+	if err != nil {
+		return nil, err
+	}
+	if source == dest {
+		return [][]graph.EdgeID{nil}, nil
+	}
+	paths := [][]graph.EdgeID{best}
+
+	type candidate struct {
+		path []graph.EdgeID
+		cost float64
+	}
+	var candidates []candidate
+	seen := map[string]bool{pathKey(best): true}
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		prevVerts := PathVertices(g, prev)
+		// Spur from every vertex of the previous path except dest.
+		for i := 0; i < len(prev); i++ {
+			spurNode := prevVerts[i]
+			rootPath := prev[:i]
+
+			// Edges banned: the next edge of every accepted path that
+			// shares the same root.
+			banned := map[graph.EdgeID]bool{}
+			for _, p := range paths {
+				if len(p) > i && samePrefix(p, prev, i) {
+					banned[p[i]] = true
+				}
+			}
+			// Vertices of the root path are banned to keep paths
+			// loopless (except the spur node itself).
+			bannedVerts := map[graph.VertexID]bool{}
+			for _, v := range prevVerts[:i] {
+				bannedVerts[v] = true
+			}
+
+			spurW := func(e graph.EdgeID) float64 {
+				if banned[e] {
+					return inf()
+				}
+				ed := g.Edge(e)
+				if bannedVerts[ed.From] || bannedVerts[ed.To] {
+					return inf()
+				}
+				return w(e)
+			}
+			spurPath, spurCost, err := Dijkstra(g, spurW, spurNode, dest)
+			if err != nil || spurCost >= inf() {
+				continue
+			}
+			total := append(append([]graph.EdgeID(nil), rootPath...), spurPath...)
+			key := pathKey(total)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			cost := 0.0
+			for _, e := range total {
+				cost += w(e)
+			}
+			candidates = append(candidates, candidate{path: total, cost: cost})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool { return candidates[a].cost < candidates[b].cost })
+		paths = append(paths, candidates[0].path)
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+func inf() float64 { return 1e18 }
+
+func samePrefix(a, b []graph.EdgeID, n int) bool {
+	if len(a) < n || len(b) < n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pathKey(p []graph.EdgeID) string {
+	buf := make([]byte, 0, len(p)*4)
+	for _, e := range p {
+		buf = append(buf, byte(e), byte(e>>8), byte(e>>16), byte(e>>24))
+	}
+	return string(buf)
+}
+
+// ScoredPath is a candidate path with its model distribution and
+// objective value.
+type ScoredPath struct {
+	Path []graph.EdgeID
+	Prob float64
+	Mean float64
+}
+
+// KSPBudgetRouting is the k-shortest-candidates baseline for budget
+// routing: generate the k best mean-cost paths with Yen's algorithm and
+// rank them by the cost model's P(<= budget). Weaker than PBR (the
+// optimum need not be among the k mean-best paths) but a common
+// practical heuristic, included for the ablation benches.
+func KSPBudgetRouting(g *graph.Graph, c hybrid.Coster, meanWeight WeightFunc, source, dest graph.VertexID, budget float64, k int) ([]ScoredPath, error) {
+	candidates, err := KShortestPaths(g, meanWeight, source, dest, k)
+	if err != nil {
+		return nil, err
+	}
+	return RankCandidates(c, budget, candidates)
+}
+
+// RankCandidates scores explicit candidate paths under a coster and
+// budget, best first.
+func RankCandidates(c hybrid.Coster, budget float64, candidates [][]graph.EdgeID) ([]ScoredPath, error) {
+	if len(candidates) == 0 {
+		return nil, errors.New("routing: RankCandidates with no candidates")
+	}
+	out := make([]ScoredPath, 0, len(candidates))
+	for i, p := range candidates {
+		if len(p) == 0 {
+			out = append(out, ScoredPath{Path: p, Prob: 1, Mean: 0})
+			continue
+		}
+		h := c.InitialHist(p[0])
+		for j := 1; j < len(p); j++ {
+			h = c.Extend(h, p[j-1], p[j])
+		}
+		if h == nil {
+			return nil, fmt.Errorf("routing: candidate %d produced nil distribution", i)
+		}
+		out = append(out, ScoredPath{Path: p, Prob: h.CDF(budget), Mean: h.Mean()})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Prob != out[b].Prob {
+			return out[a].Prob > out[b].Prob
+		}
+		return out[a].Mean < out[b].Mean
+	})
+	return out, nil
+}

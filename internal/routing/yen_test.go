@@ -1,0 +1,132 @@
+package routing
+
+import (
+	"testing"
+
+	"stochroute/internal/graph"
+	"stochroute/internal/netgen"
+)
+
+func TestKShortestPathsDiamond(t *testing.T) {
+	g, w := buildWeightedDiamond(t)
+	weight := func(e graph.EdgeID) float64 { return w[e] }
+	paths, err := KShortestPaths(g, weight, 0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	costs := make([]float64, len(paths))
+	for i, p := range paths {
+		if err := ValidatePath(g, p, 0, 3); err != nil {
+			t.Fatalf("path %d invalid: %v", i, err)
+		}
+		for _, e := range p {
+			costs[i] += w[e]
+		}
+	}
+	// Costs 2 (via 1), 7 (direct), 10 (via 2), in order.
+	want := []float64{2, 7, 10}
+	for i := range want {
+		if costs[i] != want[i] {
+			t.Errorf("path %d cost = %v, want %v (paths %v)", i, costs[i], want[i], paths)
+		}
+	}
+}
+
+func TestKShortestPathsDistinct(t *testing.T) {
+	cfg := netgen.DefaultConfig()
+	cfg.Rows, cfg.Cols = 8, 8
+	g, err := netgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight := func(e graph.EdgeID) float64 { return g.Edge(e).FreeFlowSeconds() }
+	src, dst := graph.VertexID(0), graph.VertexID(g.NumVertices()-1)
+	paths, err := KShortestPaths(g, weight, src, dst, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("grid should admit several paths, got %d", len(paths))
+	}
+	seen := map[string]bool{}
+	prevCost := -1.0
+	for i, p := range paths {
+		if err := ValidatePath(g, p, src, dst); err != nil {
+			t.Fatalf("path %d invalid: %v", i, err)
+		}
+		key := pathKey(p)
+		if seen[key] {
+			t.Fatalf("duplicate path %d", i)
+		}
+		seen[key] = true
+		cost := 0.0
+		for _, e := range p {
+			cost += weight(e)
+		}
+		if cost < prevCost-1e-9 {
+			t.Fatalf("paths not in cost order: %v after %v", cost, prevCost)
+		}
+		prevCost = cost
+		// Looplessness: no vertex repeats.
+		verts := map[graph.VertexID]bool{}
+		for _, v := range PathVertices(g, p) {
+			if verts[v] {
+				t.Fatalf("path %d revisits vertex %d", i, v)
+			}
+			verts[v] = true
+		}
+	}
+}
+
+func TestKShortestPathsEdgeCases(t *testing.T) {
+	g, w := buildWeightedDiamond(t)
+	weight := func(e graph.EdgeID) float64 { return w[e] }
+	if _, err := KShortestPaths(g, weight, 0, 3, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	paths, err := KShortestPaths(g, weight, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != nil {
+		t.Errorf("s==d should give one empty path: %v", paths)
+	}
+	// Requesting more paths than exist returns what exists.
+	paths, err = KShortestPaths(g, weight, 0, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Errorf("diamond has exactly 3 loopless paths, got %d", len(paths))
+	}
+}
+
+func TestKSPBudgetRouting(t *testing.T) {
+	g, c, risky, safe := riskyVsSafe(t)
+	meanW := func(e graph.EdgeID) float64 { return c.hists[e].Mean() }
+	scored, err := KSPBudgetRouting(g, c, meanW, 0, 3, 70, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scored) < 2 {
+		t.Fatalf("got %d scored paths", len(scored))
+	}
+	// Best-ranked must be the safe path with P = 1 at budget 70.
+	if scored[0].Prob != 1 {
+		t.Errorf("best candidate prob = %v", scored[0].Prob)
+	}
+	if scored[0].Path[0] != safe[0] {
+		t.Errorf("best candidate = %v, want safe %v", scored[0].Path, safe)
+	}
+	_ = risky
+}
+
+func TestRankCandidatesErrors(t *testing.T) {
+	_, c, _, _ := riskyVsSafe(t)
+	if _, err := RankCandidates(c, 70, nil); err == nil {
+		t.Error("no candidates should error")
+	}
+}

@@ -1,0 +1,106 @@
+package traj
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"stochroute/internal/graph"
+)
+
+// Binary trajectory file format ("SRT1") so cmd/gentraj output can feed
+// cmd/train and cmd/route:
+//
+//	magic  [4]byte "SRT1"
+//	n      uint32  trajectory count
+//	per trajectory: m uint32; m × (edge uint32, time float64)
+var trajMagic = [4]byte{'S', 'R', 'T', '1'}
+
+// WriteTrajectories serialises trajectories.
+func WriteTrajectories(w io.Writer, trs []Trajectory) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(trajMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(trs))); err != nil {
+		return err
+	}
+	for i := range trs {
+		tr := &trs[i]
+		if len(tr.Edges) != len(tr.Times) {
+			return fmt.Errorf("traj: trajectory %d has mismatched edges/times", i)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(tr.Edges))); err != nil {
+			return err
+		}
+		for j, e := range tr.Edges {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(e)); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, tr.Times[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrajectories deserialises trajectories written by
+// WriteTrajectories, validating edge IDs against g (pass nil to skip).
+func ReadTrajectories(r io.Reader, g *graph.Graph) ([]Trajectory, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("traj: read magic: %w", err)
+	}
+	if magic != trajMagic {
+		return nil, errors.New("traj: bad magic (not an SRT1 file)")
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<26 {
+		return nil, fmt.Errorf("traj: implausible trajectory count %d", n)
+	}
+	out := make([]Trajectory, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var m uint32
+		if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+			return nil, fmt.Errorf("traj: trajectory %d length: %w", i, err)
+		}
+		if m > 1<<20 {
+			return nil, fmt.Errorf("traj: implausible trajectory length %d", m)
+		}
+		tr := Trajectory{
+			Edges: make([]graph.EdgeID, m),
+			Times: make([]float64, m),
+		}
+		for j := uint32(0); j < m; j++ {
+			var e uint32
+			if err := binary.Read(br, binary.LittleEndian, &e); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(br, binary.LittleEndian, &tr.Times[j]); err != nil {
+				return nil, err
+			}
+			if g != nil && int(e) >= g.NumEdges() {
+				return nil, fmt.Errorf("traj: trajectory %d references edge %d outside graph", i, e)
+			}
+			if math.IsNaN(tr.Times[j]) || tr.Times[j] < 0 {
+				return nil, fmt.Errorf("traj: trajectory %d has invalid time %v", i, tr.Times[j])
+			}
+			tr.Edges[j] = graph.EdgeID(e)
+		}
+		if g != nil {
+			if err := tr.Validate(g); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}

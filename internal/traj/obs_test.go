@@ -1,0 +1,236 @@
+package traj
+
+import (
+	"bytes"
+	"testing"
+
+	"stochroute/internal/graph"
+	"stochroute/internal/hist"
+)
+
+func testObs(t *testing.T, w *World, nTraj int) *ObservationStore {
+	t.Helper()
+	trs, err := GenerateTrajectories(w, WalkConfig{
+		NumTrajectories: nTraj, MinEdges: 4, MaxEdges: 15, Seed: 33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := NewObservationStore(w.Graph(), w.Config().BucketWidth)
+	obs.Collect(trs)
+	return obs
+}
+
+func TestCollectCounts(t *testing.T) {
+	w := testWorld(t, nil)
+	trs, err := GenerateTrajectories(w, WalkConfig{NumTrajectories: 10, MinEdges: 5, MaxEdges: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := NewObservationStore(w.Graph(), w.Config().BucketWidth)
+	obs.Collect(trs)
+	if got := obs.NumEdgeObservations(); got != 50 {
+		t.Errorf("edge observations = %d, want 50", got)
+	}
+	pairObs := 0
+	for _, list := range obs.Pairs {
+		pairObs += len(list)
+	}
+	if pairObs != 40 { // 4 pairs per 5-edge trajectory
+		t.Errorf("pair observations = %d, want 40", pairObs)
+	}
+}
+
+func TestEdgeHistMatchesMarginal(t *testing.T) {
+	w := testWorld(t, nil)
+	obs := testObs(t, w, 8000)
+	width := w.Config().BucketWidth
+	checked := 0
+	for e, samples := range obs.Edge {
+		if len(samples) < 100 {
+			continue
+		}
+		h, err := obs.EdgeHist(e, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := w.EdgeMarginal(e)
+		d, err := hist.TotalVariation(h, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 0.2 {
+			t.Errorf("edge %d empirical marginal TV %v from truth (n=%d)", e, d, len(samples))
+		}
+		checked++
+		if checked > 20 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no edges with enough observations")
+	}
+}
+
+func TestEdgeHistErrors(t *testing.T) {
+	w := testWorld(t, nil)
+	obs := NewObservationStore(w.Graph(), 2)
+	if _, err := obs.EdgeHist(0, 2); err == nil {
+		t.Error("edge without observations should error")
+	}
+	if _, err := obs.PairSumHist(PairKey{0, 1}, 2); err == nil {
+		t.Error("pair without observations should error")
+	}
+}
+
+func TestPairsWithSupportSortedAndThresholded(t *testing.T) {
+	w := testWorld(t, nil)
+	obs := testObs(t, w, 1500)
+	pairs := obs.PairsWithSupport(10)
+	for i, k := range pairs {
+		if len(obs.Pairs[k]) < 10 {
+			t.Fatalf("pair %v has %d < 10 observations", k, len(obs.Pairs[k]))
+		}
+		if i > 0 {
+			prev := pairs[i-1]
+			if prev.First > k.First || (prev.First == k.First && prev.Second >= k.Second) {
+				t.Fatal("pairs not sorted")
+			}
+		}
+	}
+	if len(obs.PairsWithSupport(1)) < len(pairs) {
+		t.Error("lower threshold should never yield fewer pairs")
+	}
+}
+
+func TestDependenceTestPower(t *testing.T) {
+	w := testWorld(t, nil)
+	obs := testObs(t, w, 4000)
+	oracleDep, oracleInd := 0, 0
+	detectedDep, falsePos := 0, 0
+	for _, k := range obs.PairsWithSupport(30) {
+		via := w.Graph().Edge(k.Second).From
+		res, err := obs.DependenceTest(k, 3, 0.05)
+		isDep := err == nil && res.Dependent(0.05)
+		if w.PairIsDependent(via) {
+			oracleDep++
+			if isDep {
+				detectedDep++
+			}
+		} else {
+			oracleInd++
+			if isDep {
+				falsePos++
+			}
+		}
+	}
+	if oracleDep < 20 || oracleInd < 5 {
+		t.Skipf("not enough labelled pairs: %d dep, %d ind", oracleDep, oracleInd)
+	}
+	power := float64(detectedDep) / float64(oracleDep)
+	if power < 0.8 {
+		t.Errorf("dependence test power %v < 0.8 (%d/%d)", power, detectedDep, oracleDep)
+	}
+	fpr := float64(falsePos) / float64(oracleInd)
+	if fpr > 0.25 {
+		t.Errorf("false positive rate %v > 0.25 (%d/%d)", fpr, falsePos, oracleInd)
+	}
+}
+
+func TestPairCorrelationSign(t *testing.T) {
+	w := testWorld(t, func(c *WorldConfig) { c.DependentVertexProb = 1; c.Stickiness = 0.95 })
+	obs := testObs(t, w, 2000)
+	checked := 0
+	for _, k := range obs.PairsWithSupport(50) {
+		corr, err := obs.PairCorrelation(k)
+		if err != nil {
+			continue
+		}
+		if corr < 0.3 {
+			t.Errorf("pair %v correlation %v, want strongly positive in sticky world", k, corr)
+		}
+		checked++
+		if checked >= 10 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Skip("no pairs with enough support")
+	}
+}
+
+func TestPairMutualInformation(t *testing.T) {
+	wDep := testWorld(t, func(c *WorldConfig) { c.DependentVertexProb = 1; c.Stickiness = 0.95 })
+	obsDep := testObs(t, wDep, 2000)
+	wInd := testWorld(t, func(c *WorldConfig) { c.DependentVertexProb = 0 })
+	obsInd := testObs(t, wInd, 2000)
+
+	miDep, nDep := 0.0, 0
+	for _, k := range obsDep.PairsWithSupport(50) {
+		miDep += obsDep.PairMutualInformation(k, 3)
+		nDep++
+		if nDep >= 30 {
+			break
+		}
+	}
+	miInd, nInd := 0.0, 0
+	for _, k := range obsInd.PairsWithSupport(50) {
+		miInd += obsInd.PairMutualInformation(k, 3)
+		nInd++
+		if nInd >= 30 {
+			break
+		}
+	}
+	if nDep == 0 || nInd == 0 {
+		t.Skip("insufficient support")
+	}
+	if miDep/float64(nDep) <= miInd/float64(nInd) {
+		t.Errorf("dependent MI %v not above independent MI %v",
+			miDep/float64(nDep), miInd/float64(nInd))
+	}
+}
+
+func TestTrajectoryCodecRoundTrip(t *testing.T) {
+	w := testWorld(t, nil)
+	trs, err := GenerateTrajectories(w, WalkConfig{NumTrajectories: 30, MinEdges: 4, MaxEdges: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrajectories(&buf, trs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrajectories(&buf, w.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trs) {
+		t.Fatalf("round trip count %d != %d", len(got), len(trs))
+	}
+	for i := range trs {
+		for j := range trs[i].Edges {
+			if got[i].Edges[j] != trs[i].Edges[j] || got[i].Times[j] != trs[i].Times[j] {
+				t.Fatalf("trajectory %d differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestTrajectoryCodecErrors(t *testing.T) {
+	if _, err := ReadTrajectories(bytes.NewReader([]byte("BAD!")), nil); err == nil {
+		t.Error("bad magic should error")
+	}
+	if _, err := ReadTrajectories(bytes.NewReader(nil), nil); err == nil {
+		t.Error("empty input should error")
+	}
+	// Edge ID beyond the graph.
+	var buf bytes.Buffer
+	trs := []Trajectory{{Edges: []graph.EdgeID{99999}, Times: []float64{1}}}
+	if err := WriteTrajectories(&buf, trs); err != nil {
+		t.Fatal(err)
+	}
+	w := testWorld(t, nil)
+	if _, err := ReadTrajectories(&buf, w.Graph()); err == nil {
+		t.Error("out-of-range edge should error on validated read")
+	}
+}

@@ -1,0 +1,293 @@
+package traj
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"stochroute/internal/graph"
+	"stochroute/internal/pqueue"
+	"stochroute/internal/rng"
+)
+
+// Trajectory is one simulated vehicle trip: a contiguous edge sequence
+// with the observed travel time of each edge.
+type Trajectory struct {
+	Edges []graph.EdgeID
+	Times []float64 // seconds, parallel to Edges
+}
+
+// TotalTime returns the summed travel time of the trajectory.
+func (t *Trajectory) TotalTime() float64 {
+	total := 0.0
+	for _, x := range t.Times {
+		total += x
+	}
+	return total
+}
+
+// Validate checks edge contiguity against g.
+func (t *Trajectory) Validate(g *graph.Graph) error {
+	if len(t.Edges) != len(t.Times) {
+		return errors.New("traj: trajectory edges/times length mismatch")
+	}
+	for i := 1; i < len(t.Edges); i++ {
+		if g.Edge(t.Edges[i-1]).To != g.Edge(t.Edges[i]).From {
+			return fmt.Errorf("traj: trajectory discontinuous at hop %d", i)
+		}
+	}
+	return nil
+}
+
+// SampleTraversal draws the observed travel time of edge e given the
+// previous edge's latent mode (-1 for the first edge of a trip), and
+// returns the drawn time together with e's mode for chaining. via is the
+// intersection crossed between the previous edge and e (ignored when
+// prevMode < 0).
+func (w *World) SampleTraversal(r *rng.RNG, e graph.EdgeID, via graph.VertexID, prevMode int) (t float64, mode int) {
+	if prevMode < 0 {
+		mode = r.Categorical(w.cfg.ModePrior)
+	} else {
+		stick := 0.0
+		if w.depVertex[via] {
+			stick = w.cfg.Stickiness
+		}
+		if r.Bool(stick) {
+			mode = prevMode
+		} else {
+			mode = r.Categorical(w.cfg.ModePrior)
+		}
+	}
+	t = w.ModeTime(e, mode)
+	if w.cfg.NoiseProb > 0 && r.Bool(w.cfg.NoiseProb) {
+		if r.Bool(0.5) {
+			t += w.cfg.BucketWidth
+		} else {
+			t -= w.cfg.BucketWidth
+		}
+	}
+	return t, mode
+}
+
+// WalkConfig parameterises trajectory generation. Two trip shapes are
+// mixed: random walks (broad edge-pair coverage) and *route trips* —
+// vehicles following sensible origin→destination routes drawn from a
+// shared pool, the way real fleet trajectories do. Route trips are what
+// teach the estimator about long, query-like pre-paths.
+type WalkConfig struct {
+	NumTrajectories int
+	MinEdges        int
+	MaxEdges        int // applies to random walks only
+	Seed            uint64
+
+	// RouteFraction of trajectories follow pooled routes (0 = all
+	// random walks).
+	RouteFraction float64
+	// NumRoutes is the route-pool size (0 with RouteFraction > 0 uses
+	// 1000). Each route is a shortest path under per-route jittered
+	// free-flow weights between random endpoints.
+	NumRoutes int
+	// RouteJitter is the multiplicative weight jitter range (default
+	// 0.25 → weights in [0.75, 1.25]) that makes pool routes diverse.
+	RouteJitter float64
+}
+
+// DefaultWalkConfig generates enough trips to give most edge pairs
+// usable support on the default network.
+func DefaultWalkConfig() WalkConfig {
+	return WalkConfig{
+		NumTrajectories: 20000,
+		MinEdges:        4,
+		MaxEdges:        30,
+		Seed:            99,
+		RouteFraction:   0.5,
+		NumRoutes:       1500,
+		RouteJitter:     0.25,
+	}
+}
+
+// GenerateTrajectories simulates vehicle trips through the world,
+// sampling per-edge travel times from the latent-mode chain. A
+// RouteFraction of trips follow pooled origin→destination routes; the
+// rest are non-U-turning random walks. Walks that dead-end before
+// MinEdges are discarded and retried; the function errors if the graph
+// cannot support walks of the requested length.
+func GenerateTrajectories(w *World, cfg WalkConfig) ([]Trajectory, error) {
+	if cfg.NumTrajectories <= 0 {
+		return nil, errors.New("traj: NumTrajectories must be positive")
+	}
+	if cfg.MinEdges < 1 || cfg.MaxEdges < cfg.MinEdges {
+		return nil, fmt.Errorf("traj: invalid walk length range [%d, %d]", cfg.MinEdges, cfg.MaxEdges)
+	}
+	if cfg.RouteFraction < 0 || cfg.RouteFraction > 1 {
+		return nil, fmt.Errorf("traj: RouteFraction %v outside [0,1]", cfg.RouteFraction)
+	}
+	g := w.g
+	if g.NumEdges() == 0 {
+		return nil, errors.New("traj: empty graph")
+	}
+	r := rng.New(cfg.Seed)
+
+	var pool [][]graph.EdgeID
+	if cfg.RouteFraction > 0 {
+		pool = buildRoutePool(w, r.Split("routes"), cfg)
+	}
+
+	out := make([]Trajectory, 0, cfg.NumTrajectories)
+	const maxRetriesPerTrip = 200
+	for len(out) < cfg.NumTrajectories {
+		if len(pool) > 0 && r.Bool(cfg.RouteFraction) {
+			route := pool[r.Intn(len(pool))]
+			out = append(out, traverseRoute(w, r, route))
+			continue
+		}
+		var tr Trajectory
+		ok := false
+		for attempt := 0; attempt < maxRetriesPerTrip; attempt++ {
+			tr = walkOnce(w, r, cfg)
+			if len(tr.Edges) >= cfg.MinEdges {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return out, fmt.Errorf("traj: could not complete a %d-edge walk after %d attempts",
+				cfg.MinEdges, maxRetriesPerTrip)
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// traverseRoute samples travel times for a fixed edge sequence from the
+// latent-mode chain.
+func traverseRoute(w *World, r *rng.RNG, route []graph.EdgeID) Trajectory {
+	tr := Trajectory{
+		Edges: route,
+		Times: make([]float64, len(route)),
+	}
+	prevMode := -1
+	for i, e := range route {
+		via := w.g.Edge(e).From
+		t, mode := w.SampleTraversal(r, e, via, prevMode)
+		tr.Times[i] = t
+		prevMode = mode
+	}
+	return tr
+}
+
+// buildRoutePool computes diverse sensible routes: shortest paths under
+// per-route jittered free-flow weights between random endpoint pairs.
+// Routes shorter than MinEdges are discarded.
+func buildRoutePool(w *World, r *rng.RNG, cfg WalkConfig) [][]graph.EdgeID {
+	g := w.g
+	numRoutes := cfg.NumRoutes
+	if numRoutes <= 0 {
+		numRoutes = 1000
+	}
+	jitter := cfg.RouteJitter
+	if jitter <= 0 {
+		jitter = 0.25
+	}
+	freeflow := make([]float64, g.NumEdges())
+	for e := range freeflow {
+		freeflow[e] = g.Edge(graph.EdgeID(e)).FreeFlowSeconds()
+	}
+	var pool [][]graph.EdgeID
+	weights := make([]float64, g.NumEdges())
+	for attempt := 0; attempt < numRoutes*3 && len(pool) < numRoutes; attempt++ {
+		for e := range weights {
+			weights[e] = freeflow[e] * r.Range(1-jitter, 1+jitter)
+		}
+		src := graph.VertexID(r.Intn(g.NumVertices()))
+		dst := graph.VertexID(r.Intn(g.NumVertices()))
+		if src == dst {
+			continue
+		}
+		route := shortestPath(g, weights, src, dst)
+		if len(route) >= cfg.MinEdges {
+			pool = append(pool, route)
+		}
+	}
+	return pool
+}
+
+// shortestPath is a compact Dijkstra over explicit edge weights (the
+// routing package sits above traj in the dependency order, so a local
+// implementation avoids an import cycle).
+func shortestPath(g *graph.Graph, weights []float64, src, dst graph.VertexID) []graph.EdgeID {
+	const inf = math.MaxFloat64
+	dist := make([]float64, g.NumVertices())
+	via := make([]graph.EdgeID, g.NumVertices())
+	for i := range dist {
+		dist[i] = inf
+		via[i] = graph.NoEdge
+	}
+	dist[src] = 0
+	pq := pqueue.NewIndexedHeap(g.NumVertices())
+	pq.PushOrDecrease(int(src), 0)
+	for pq.Len() > 0 {
+		vi, d, _ := pq.Pop()
+		v := graph.VertexID(vi)
+		if d > dist[v] {
+			continue
+		}
+		if v == dst {
+			break
+		}
+		for _, e := range g.Out(v) {
+			to := g.Edge(e).To
+			if nd := d + weights[e]; nd < dist[to] {
+				dist[to] = nd
+				via[to] = e
+				pq.PushOrDecrease(int(to), nd)
+			}
+		}
+	}
+	if dist[dst] == inf {
+		return nil
+	}
+	var rev []graph.EdgeID
+	for v := dst; v != src; v = g.Edge(via[v]).From {
+		rev = append(rev, via[v])
+	}
+	out := make([]graph.EdgeID, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+func walkOnce(w *World, r *rng.RNG, cfg WalkConfig) Trajectory {
+	g := w.g
+	length := cfg.MinEdges + r.Intn(cfg.MaxEdges-cfg.MinEdges+1)
+	start := graph.VertexID(r.Intn(g.NumVertices()))
+	var tr Trajectory
+	prevMode := -1
+	prevFrom := graph.NoVertex
+	cur := start
+	for len(tr.Edges) < length {
+		outs := g.Out(cur)
+		if len(outs) == 0 {
+			break
+		}
+		// Choose a next edge avoiding an immediate U-turn when possible.
+		var candidates []graph.EdgeID
+		for _, e := range outs {
+			if g.Edge(e).To != prevFrom {
+				candidates = append(candidates, e)
+			}
+		}
+		if len(candidates) == 0 {
+			candidates = outs
+		}
+		e := candidates[r.Intn(len(candidates))]
+		t, mode := w.SampleTraversal(r, e, cur, prevMode)
+		tr.Edges = append(tr.Edges, e)
+		tr.Times = append(tr.Times, t)
+		prevMode = mode
+		prevFrom = cur
+		cur = g.Edge(e).To
+	}
+	return tr
+}
