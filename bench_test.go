@@ -7,6 +7,8 @@ package stochroute
 import (
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -15,6 +17,7 @@ import (
 	"stochroute/internal/hybrid"
 	"stochroute/internal/netgen"
 	"stochroute/internal/routing"
+	"stochroute/internal/server"
 )
 
 var (
@@ -274,6 +277,77 @@ func BenchmarkPathCost(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkConcurrentRouting measures serving-path throughput: parallel
+// budget-routing queries on ONE shared engine (the read-only query
+// path), raw and through the HTTP handler with the sharded result
+// cache off and on. This is the perf baseline for future serving PRs.
+func BenchmarkConcurrentRouting(b *testing.B) {
+	e := testEngine(b)
+	qs, err := e.SampleQueries(0.4, 1.2, 24, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budgets := make([]float64, len(qs))
+	for i, q := range qs {
+		optimistic, err := e.OptimisticTime(q.Source, q.Dest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		budgets[i] = 1.35 * optimistic
+	}
+	urls := make([]string, len(qs))
+	for i, q := range qs {
+		urls[i] = fmt.Sprintf("/route?source=%d&dest=%d&budget=%.3f", q.Source, q.Dest, budgets[i])
+	}
+
+	b.Run("engine", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				k := i % len(qs)
+				if _, err := e.Route(qs[k].Source, qs[k].Dest, budgets[k]); err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+	})
+
+	serveAll := func(b *testing.B, h http.Handler) {
+		b.Helper()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				req := httptest.NewRequest(http.MethodGet, urls[i%len(urls)], nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Errorf("status %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+				i++
+			}
+		})
+	}
+
+	b.Run("server/uncached", func(b *testing.B) {
+		srv := server.New(e, server.Config{RouteCache: -1, PairCache: -1})
+		serveAll(b, srv.Handler())
+	})
+
+	b.Run("server/cached", func(b *testing.B) {
+		srv := server.New(e, server.Config{})
+		h := srv.Handler()
+		for _, url := range urls { // warm the cache
+			req := httptest.NewRequest(http.MethodGet, url, nil)
+			h.ServeHTTP(httptest.NewRecorder(), req)
+		}
+		b.ResetTimer()
+		serveAll(b, h)
+	})
 }
 
 // BenchmarkConvolve measures raw histogram convolution at routing-typical

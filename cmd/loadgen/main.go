@@ -1,0 +1,190 @@
+// Command loadgen replays a routing workload against a running serve
+// instance and reports throughput and latency percentiles — the
+// serving-path measurement tool.
+//
+// Queries are drawn from the server's own workload generator
+// (/sample), so loadgen needs no local copy of the network; each
+// query's budget is its optimistic travel time scaled by
+// -budget-factor, mirroring the paper's query protocol.
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8080 -n 2000 -c 16 \
+//	        -queries 64 -lo-km 0.5 -hi-km 2 -budget-factor 1.35
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type sampleQuery struct {
+	Source      int     `json:"source"`
+	Dest        int     `json:"dest"`
+	DistKm      float64 `json:"dist_km"`
+	OptimisticS float64 `json:"optimistic_s"`
+}
+
+type sampleResponse struct {
+	Queries []sampleQuery `json:"queries"`
+}
+
+// outcome is one request's measurement.
+type outcome struct {
+	latency time.Duration
+	hit     bool
+	err     error
+}
+
+func firstError(results []outcome) error {
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	addr := flag.String("addr", "http://localhost:8080", "server base URL")
+	n := flag.Int("n", 1000, "total requests to send")
+	c := flag.Int("c", 16, "concurrent workers")
+	numQueries := flag.Int("queries", 64, "distinct queries to sample (reuse drives cache hits)")
+	loKm := flag.Float64("lo-km", 0.5, "minimum query distance, km")
+	hiKm := flag.Float64("hi-km", 2.0, "maximum query distance, km")
+	factor := flag.Float64("budget-factor", 1.35, "budget = factor x optimistic travel time")
+	anytimeMS := flag.Int("anytime-ms", 0, "use /route/anytime with this wall-clock limit (0 = full /route)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+	if *n <= 0 || *c <= 0 || *numQueries <= 0 {
+		log.Fatal("-n, -c and -queries must be positive")
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	queries, err := fetchQueries(client, *addr, *numQueries, *loKm, *hiKm, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(queries) == 0 {
+		log.Fatal("server returned no usable queries")
+	}
+	log.Printf("replaying %d requests over %d distinct queries with %d workers", *n, len(queries), *c)
+
+	results := make([]outcome, *n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *n {
+					return
+				}
+				q := queries[rng.Intn(len(queries))]
+				budget := q.OptimisticS * *factor
+				url := fmt.Sprintf("%s/route?source=%d&dest=%d&budget=%.3f", *addr, q.Source, q.Dest, budget)
+				if *anytimeMS > 0 {
+					url = fmt.Sprintf("%s/route/anytime?source=%d&dest=%d&budget=%.3f&limit_ms=%d",
+						*addr, q.Source, q.Dest, budget, *anytimeMS)
+				}
+				t0 := time.Now()
+				hit, err := fire(client, url)
+				results[i] = outcome{latency: time.Since(t0), hit: hit, err: err}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var latencies []time.Duration
+	hits, errs := 0, 0
+	for _, r := range results {
+		if r.err != nil {
+			errs++
+			continue
+		}
+		latencies = append(latencies, r.latency)
+		if r.hit {
+			hits++
+		}
+	}
+	if len(latencies) == 0 {
+		log.Fatalf("all %d requests failed; first error: %v", errs, firstError(results))
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+
+	ok := len(latencies)
+	fmt.Printf("requests     %d ok, %d failed in %v\n", ok, errs, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput   %.1f req/s\n", float64(ok)/elapsed.Seconds())
+	fmt.Printf("cache hits   %d (%.1f%%)\n", hits, 100*float64(hits)/float64(ok))
+	fmt.Printf("latency      p50=%v p90=%v p99=%v max=%v\n",
+		percentile(latencies, 0.50).Round(time.Microsecond),
+		percentile(latencies, 0.90).Round(time.Microsecond),
+		percentile(latencies, 0.99).Round(time.Microsecond),
+		latencies[ok-1].Round(time.Microsecond))
+	if errs > 0 {
+		log.Printf("first error: %v", firstError(results))
+	}
+}
+
+func fetchQueries(client *http.Client, addr string, n int, loKm, hiKm float64, seed int64) ([]sampleQuery, error) {
+	url := fmt.Sprintf("%s/sample?n=%d&lo_km=%g&hi_km=%g&seed=%d", addr, n, loKm, hiKm, seed)
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("sample: %s: %s", resp.Status, body)
+	}
+	var sr sampleResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return nil, fmt.Errorf("sample: %w", err)
+	}
+	return sr.Queries, nil
+}
+
+// fire issues one request, fully draining the body so connections are
+// reused, and reports whether the answer came from the server cache.
+func fire(client *http.Client, url string) (hit bool, err error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return resp.Header.Get("X-Cache") == "hit", nil
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,130 @@
+// Command serve runs the concurrent routing service: an HTTP/JSON API
+// (see internal/server) answering Probabilistic Budget Routing queries
+// over a loaded network and trained hybrid model.
+//
+// Serve either loads the artifacts produced by cmd/gennet, cmd/gentraj
+// and cmd/train:
+//
+//	serve -net net.srg -traj trips.srt -model model.srhm -addr :8080
+//
+// or, for a self-contained demo, generates a synthetic city and trains
+// a model in-process:
+//
+//	serve -synthetic -rows 20 -cols 20 -addr :8080
+//
+// SIGINT/SIGTERM shut the server down gracefully, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stochroute"
+	"stochroute/internal/graph"
+	"stochroute/internal/hybrid"
+	"stochroute/internal/server"
+	"stochroute/internal/traj"
+)
+
+// The engine is the server's backend; keep the contract checked here,
+// where the two meet.
+var _ server.Backend = (*stochroute.Engine)(nil)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	netPath := flag.String("net", "net.srg", "network file (SRG1)")
+	trajPath := flag.String("traj", "trips.srt", "trajectory file (SRT1), used to rebuild edge statistics")
+	modelPath := flag.String("model", "model.srhm", "trained model file (SRHM)")
+	width := flag.Float64("width", 2, "histogram grid width in seconds")
+	minObs := flag.Int("min-obs", 20, "minimum pair observations")
+
+	synthetic := flag.Bool("synthetic", false, "generate a synthetic city and train in-process instead of loading artifacts")
+	rows := flag.Int("rows", 20, "synthetic grid rows")
+	cols := flag.Int("cols", 20, "synthetic grid columns")
+	trajs := flag.Int("trajs", 3000, "synthetic training trajectories")
+
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request search timeout")
+	routeCache := flag.Int("route-cache", 4096, "route cache entries (negative disables)")
+	pairCache := flag.Int("pair-cache", 16384, "pair-sum cache entries (negative disables)")
+	shards := flag.Int("cache-shards", 16, "cache lock shards")
+	bucket := flag.Float64("budget-bucket", 15, "route cache budget bucket in seconds (0 = exact budgets)")
+	flag.Parse()
+
+	var (
+		eng *stochroute.Engine
+		err error
+	)
+	if *synthetic {
+		cfg := stochroute.DefaultConfig()
+		cfg.Network.Rows, cfg.Network.Cols = *rows, *cols
+		cfg.Walk.NumTrajectories = *trajs
+		log.Printf("building synthetic %dx%d engine (this trains a model; use artifact flags in production)", *rows, *cols)
+		eng, err = stochroute.BuildEngine(cfg, os.Stderr)
+	} else {
+		eng, err = loadEngine(*netPath, *trajPath, *modelPath, *width, *minObs)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := eng.Graph()
+	log.Printf("engine ready: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+
+	srv := server.New(eng, server.Config{
+		RequestTimeout:      *timeout,
+		RouteCache:          *routeCache,
+		PairCache:           *pairCache,
+		CacheShards:         *shards,
+		BudgetBucketSeconds: *bucket,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("listening on %s", *addr)
+	if err := srv.Serve(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("shut down cleanly")
+}
+
+// loadEngine assembles an engine from saved artifacts: the network, the
+// trajectories (to rebuild the knowledge base the model binds to) and
+// the trained model. Nothing is retrained.
+func loadEngine(netPath, trajPath, modelPath string, width float64, minObs int) (*stochroute.Engine, error) {
+	f, err := os.Open(netPath)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.Read(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	tf, err := os.Open(trajPath)
+	if err != nil {
+		return nil, err
+	}
+	trs, err := traj.ReadTrajectories(tf, g)
+	tf.Close()
+	if err != nil {
+		return nil, err
+	}
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	model, err := hybrid.ReadModel(mf)
+	mf.Close()
+	if err != nil {
+		return nil, err
+	}
+	return stochroute.NewEngineWithModel(g, trs, width, minObs, model)
+}

@@ -25,8 +25,21 @@
 //   - internal/hybrid — the paper's contribution: the hybrid cost model
 //   - internal/routing — Dijkstra baselines and Probabilistic Budget
 //     Routing with the paper's four prunings and the anytime extension
+//   - internal/server — the concurrent routing service: an HTTP/JSON
+//     API over a shared engine with a sharded LRU result cache (run it
+//     with cmd/serve, measure it with cmd/loadgen)
 //   - internal/exp — the harness that regenerates every table of the
 //     paper's evaluation
+//
+// # Concurrency
+//
+// The engine's whole query surface is read-only and safe for any
+// number of goroutines on one shared Engine: the hybrid estimator uses
+// the network's pure inference pass, and decision telemetry lives in
+// per-request structs (hybrid.QueryStats, surfaced as
+// RouteResult.NumConvolved/NumEstimated) plus atomic lifetime totals.
+// Earlier versions required serialising Route calls or cloning models
+// per goroutine; that caveat is gone.
 //
 // # Quick start
 //

@@ -17,9 +17,13 @@ import (
 )
 
 // Engine is the assembled system: a road network, the trained Hybrid
-// Model over it, and the query algorithms. Engines are safe for
-// concurrent reads of the graph but queries mutate model decision
-// counters, so serialise Route calls or clone models per goroutine.
+// Model over it, and the query algorithms. The whole query surface —
+// Route, RouteAnytime, RouteWithOptions, AlternativeRoutes,
+// PathDistribution, PairSum and friends — is read-only and safe for
+// any number of concurrent goroutines on one shared Engine; decision
+// telemetry is kept per-request and in atomic lifetime totals.
+// Mutating operations (LoadModel) must not race with in-flight
+// queries.
 type Engine struct {
 	graph *graph.Graph
 	index *graph.GridIndex
@@ -100,6 +104,36 @@ func NewEngineFromObservations(g *Graph, trajs []Trajectory, cfg hybrid.Config, 
 	}, nil
 }
 
+// NewEngineWithModel assembles an engine over an existing graph,
+// trajectory set and an already-trained model — the serving path:
+// the knowledge base is rebuilt from the observations and the model is
+// attached to it, with no training and no evaluation (Report is nil).
+// The model's grid width must match width.
+func NewEngineWithModel(g *Graph, trajs []Trajectory, width float64, minPairObs int, model *Model) (*Engine, error) {
+	if g == nil || g.NumVertices() == 0 {
+		return nil, errors.New("stochroute: nil or empty graph")
+	}
+	if model == nil {
+		return nil, errors.New("stochroute: nil model")
+	}
+	obs := traj.NewObservationStore(g, width)
+	obs.Collect(trajs)
+	kb, err := hybrid.BuildKnowledgeBase(g, obs, width, minPairObs)
+	if err != nil {
+		return nil, fmt.Errorf("stochroute: knowledge base: %w", err)
+	}
+	if err := model.AttachKB(kb); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		graph: g,
+		index: graph.NewGridIndex(g, 500),
+		obs:   obs,
+		kb:    kb,
+		model: model,
+	}, nil
+}
+
 // Graph returns the engine's road network.
 func (e *Engine) Graph() *Graph { return e.graph }
 
@@ -135,9 +169,31 @@ func (e *Engine) RouteAnytime(source, dest VertexID, budget float64, limit time.
 	return e.RouteWithOptions(source, dest, RouteOptions{Budget: budget, MaxDuration: limit})
 }
 
-// RouteWithOptions exposes every knob of the budget-routing search.
+// RouteWithOptions exposes every knob of the budget-routing search. The
+// result carries per-request cost-model telemetry (NumConvolved /
+// NumEstimated) collected race-free even when many queries run at once.
 func (e *Engine) RouteWithOptions(source, dest VertexID, opts RouteOptions) (*RouteResult, error) {
-	return routing.PBR(e.graph, e.model, source, dest, opts)
+	var qs hybrid.QueryStats
+	res, err := routing.PBR(e.graph, e.model.WithStats(&qs), source, dest, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.NumConvolved = qs.Convolved
+	res.NumEstimated = qs.Estimated
+	return res, nil
+}
+
+// DecisionCounts returns the model's lifetime convolve/estimate totals
+// across every query answered so far.
+func (e *Engine) DecisionCounts() (convolved, estimated uint64) {
+	return e.model.DecisionCounts()
+}
+
+// PairSum returns the model's distribution for traversing the adjacent
+// edge pair (first, second) — the hot unit of the paper's evaluation,
+// served (and cached) by internal/server.
+func (e *Engine) PairSum(first, second EdgeID) (*Hist, error) {
+	return e.model.PairSumEstimate(first, second)
 }
 
 // MeanRoute returns the classical mean-cost shortest path (the paper's
@@ -219,7 +275,11 @@ func (e *Engine) SaveModel(path string) error {
 }
 
 // LoadModel replaces the engine's hybrid model with one written by
-// SaveModel, attached to the engine's knowledge base.
+// SaveModel, attached to the engine's knowledge base. A loaded model
+// with MaxBuckets == 0 (unlimited support) inherits the previous
+// model's cap; an engine is normally constructed with a model, but if
+// this one was not, the loaded value stands as-is. LoadModel mutates
+// the engine and must not race with in-flight queries.
 func (e *Engine) LoadModel(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -233,7 +293,7 @@ func (e *Engine) LoadModel(path string) error {
 	if err := m.AttachKB(e.kb); err != nil {
 		return err
 	}
-	if m.MaxBuckets == 0 {
+	if m.MaxBuckets == 0 && e.model != nil {
 		m.MaxBuckets = e.model.MaxBuckets
 	}
 	e.model = m

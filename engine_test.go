@@ -1,6 +1,7 @@
 package stochroute
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"path/filepath"
@@ -15,7 +16,7 @@ var (
 	engErr  error
 )
 
-func testEngine(t *testing.T) *Engine {
+func testEngine(t testing.TB) *Engine {
 	t.Helper()
 	engOnce.Do(func() {
 		cfg := DefaultConfig()
@@ -136,6 +137,133 @@ func TestEnginePathDistributions(t *testing.T) {
 	// Means should be in the same ballpark as the deterministic mean cost.
 	if hyb.Mean() < meanCost*0.5 || hyb.Mean() > meanCost*2 {
 		t.Errorf("hybrid mean %v far from weight-sum %v", hyb.Mean(), meanCost)
+	}
+}
+
+// TestEngineConcurrentQueriesMatchSerial is the concurrency gate of the
+// serving refactor: 12 goroutines answer the same routing queries on
+// ONE shared engine — no clones, no locks — and every answer must be
+// bit-identical to serial execution. Run with -race.
+func TestEngineConcurrentQueriesMatchSerial(t *testing.T) {
+	e := testEngine(t)
+	qs, err := e.SampleQueries(0.4, 1.5, 6, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type answer struct {
+		budget float64
+		route  *RouteResult
+		dist   *Hist
+	}
+	serial := make([]answer, len(qs))
+	for i, q := range qs {
+		optimistic, err := e.OptimisticTime(q.Source, q.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := 1.35 * optimistic
+		res, err := e.Route(q.Source, q.Dest, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatalf("no path for %v", q)
+		}
+		dist, err := e.PathDistribution(res.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = answer{budget: budget, route: res, dist: dist}
+	}
+
+	const workers = 12
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, q := range qs {
+				want := serial[i]
+				res, err := e.Route(q.Source, q.Dest, want.budget)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if res.Prob != want.route.Prob {
+					errs[w] = fmt.Errorf("worker %d query %d: prob %v != serial %v", w, i, res.Prob, want.route.Prob)
+					return
+				}
+				if !slicesEqual(res.Path, want.route.Path) {
+					errs[w] = fmt.Errorf("worker %d query %d: path differs from serial", w, i)
+					return
+				}
+				dist, err := e.PathDistribution(res.Path)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if dist.Min != want.dist.Min || !floatsEqual(dist.P, want.dist.P) {
+					errs[w] = fmt.Errorf("worker %d query %d: distribution differs from serial", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	conv, est := e.DecisionCounts()
+	if conv+est == 0 {
+		t.Error("lifetime decision counters should have accumulated")
+	}
+}
+
+func slicesEqual(a, b []EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEngineRouteReportsDecisionStats checks the per-request telemetry
+// threaded through hybrid.QueryStats.
+func TestEngineRouteReportsDecisionStats(t *testing.T) {
+	e := testEngine(t)
+	qs, err := e.SampleQueries(0.5, 1.5, 1, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimistic, err := e.OptimisticTime(qs[0].Source, qs[0].Dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Route(qs[0].Source, qs[0].Dest, 1.35*optimistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumConvolved+res.NumEstimated == 0 {
+		t.Error("route result should carry per-request decision counts")
 	}
 }
 

@@ -1,0 +1,3 @@
+module stochroute
+
+go 1.24

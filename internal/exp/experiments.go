@@ -272,7 +272,7 @@ func RunQuality(s *Setup, cfg QualityConfig, out io.Writer) ([]QualityRow, error
 		}
 		outcomes := make([]queryOutcome, len(qs))
 		catName := cat.String()
-		err := forEachQuery(len(qs), s.Model, func(i int, m *hybrid.Model) error {
+		err := forEachQuery(len(qs), func(i int) error {
 			q := qs[i]
 			basePath, _, err := routing.MeanCostPath(s.Graph, s.KB, q.Source, q.Dest)
 			if err != nil {
@@ -298,7 +298,7 @@ func RunQuality(s *Setup, cfg QualityConfig, out io.Writer) ([]QualityRow, error
 			}
 			baseConvProb := baseConv.ProbWithinBudget(budget)
 			for li, limit := range limits {
-				res, err := routing.PBR(s.Graph, m, q.Source, q.Dest, routing.Options{
+				res, err := routing.PBR(s.Graph, s.Model, q.Source, q.Dest, routing.Options{
 					Budget:        budget,
 					MaxExpansions: limit,
 					SeedPath:      basePath,

@@ -3,22 +3,20 @@ package exp
 import (
 	"runtime"
 	"sync"
-
-	"stochroute/internal/hybrid"
 )
 
 // forEachQuery evaluates fn for every index in [0, n) across a worker
-// pool, giving each worker its own model clone (the network's forward
-// caches are not goroutine-safe). Results must be written into
+// pool. The hybrid model's query path is read-only, so workers share
+// whatever the closure captures. Results must be written into
 // pre-indexed slices by fn; the first error wins.
-func forEachQuery(n int, model *hybrid.Model, fn func(i int, m *hybrid.Model) error) error {
+func forEachQuery(n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i, model); err != nil {
+			if err := fn(i); err != nil {
 				return err
 			}
 		}
@@ -32,11 +30,10 @@ func forEachQuery(n int, model *hybrid.Model, fn func(i int, m *hybrid.Model) er
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		clone := model.CloneForConcurrentUse()
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if err := fn(i, clone); err != nil {
+				if err := fn(i); err != nil {
 					mu.Lock()
 					if firstEr == nil {
 						firstEr = err

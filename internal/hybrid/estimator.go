@@ -70,11 +70,14 @@ type Estimator struct {
 // renormalised: a softmax never emits exact zeros, and the spurious
 // smear — harmless on a single pair — compounds into a systematic
 // rightward drift over the dozens of extensions of a long path.
+//
+// Predict is read-only (it uses the network's pure inference pass) and
+// safe for concurrent use.
 func (e *Estimator) Predict(features []float64) [][]float64 {
 	row := append([]float64(nil), features...)
 	e.Scaler.TransformRow(row)
 	x := &ml.Matrix{Rows: 1, Cols: len(row), Data: row}
-	logits := e.Net.Forward(x)
+	logits := e.Net.Infer(x)
 	probs := ml.GroupedSoftmax(logits, e.Cfg.Bands)
 	out := make([][]float64, e.Cfg.Bands)
 	for b := 0; b < e.Cfg.Bands; b++ {

@@ -2,6 +2,7 @@ package hybrid
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -222,6 +223,85 @@ func TestModelCloneForConcurrentUse(t *testing.T) {
 	}
 }
 
+func TestSharedModelConcurrentQueries(t *testing.T) {
+	// The query path is read-only: many goroutines on ONE model (no
+	// clones) must produce exactly the serial answers, race-free.
+	m, _ := getModel(t)
+	e := getEnv(t)
+	pairs := e.obs.PairsWithSupport(20)
+	if len(pairs) > 40 {
+		pairs = pairs[:40]
+	}
+	if len(pairs) == 0 {
+		t.Skip("no pairs")
+	}
+	serial := make([]*hist.Hist, len(pairs))
+	for i, k := range pairs {
+		h, err := m.PairSumEstimate(k.First, k.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = h
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, k := range pairs {
+				h, err := m.PairSumEstimate(k.First, k.Second)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				tv, err := hist.TotalVariation(h, serial[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if tv > 0 {
+					errs[w] = fmt.Errorf("worker %d pair %v differs from serial by TV %v", w, k, tv)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWithStatsCountsPerRequest(t *testing.T) {
+	m, _ := getModel(t)
+	e := getEnv(t)
+	pairs := e.obs.PairsWithSupport(20)
+	if len(pairs) == 0 {
+		t.Skip("no pairs")
+	}
+	m.ResetCounters()
+	var qs QueryStats
+	c := m.WithStats(&qs)
+	k := pairs[0]
+	if _, err := PathCost(c, []graph.EdgeID{k.First, k.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if qs.Convolved+qs.Estimated != 1 {
+		t.Errorf("per-request stats counted %d decisions, want 1", qs.Convolved+qs.Estimated)
+	}
+	conv, est := m.DecisionCounts()
+	if int(conv) != qs.Convolved || int(est) != qs.Estimated {
+		t.Errorf("lifetime totals (%d,%d) disagree with request stats %+v", conv, est, qs)
+	}
+	if got := m.WithStats(nil); got != Coster(m) {
+		t.Error("WithStats(nil) should return the model itself")
+	}
+}
+
 func TestKnowledgeBaseMinTimeIsAdmissible(t *testing.T) {
 	e := getEnv(t)
 	for id := 0; id < e.g.NumEdges(); id++ {
@@ -354,7 +434,7 @@ func TestModelExtendProducesValidDistributions(t *testing.T) {
 			t.Fatalf("pair (%d,%d) min %v below optimistic bound %v", k.First, k.Second, out.Min, minBound)
 		}
 	}
-	if m.NumConvolved+m.NumEstimated == 0 {
+	if conv, est := m.DecisionCounts(); conv+est == 0 {
 		t.Error("decision counters not updated")
 	}
 }
@@ -382,8 +462,8 @@ func TestModelModes(t *testing.T) {
 	if _, err := m.PairSumEstimate(k.First, k.Second); err != nil {
 		t.Fatal(err)
 	}
-	if m.NumEstimated != 0 || m.NumConvolved != 1 {
-		t.Errorf("AlwaysConvolve counters: est=%d conv=%d", m.NumEstimated, m.NumConvolved)
+	if conv, est := m.DecisionCounts(); est != 0 || conv != 1 {
+		t.Errorf("AlwaysConvolve counters: est=%d conv=%d", est, conv)
 	}
 
 	m.Mode = AlwaysEstimate
@@ -391,8 +471,8 @@ func TestModelModes(t *testing.T) {
 	if _, err := m.PairSumEstimate(k.First, k.Second); err != nil {
 		t.Fatal(err)
 	}
-	if m.NumEstimated != 1 {
-		t.Errorf("AlwaysEstimate counters: est=%d conv=%d", m.NumEstimated, m.NumConvolved)
+	if conv, est := m.DecisionCounts(); est != 1 {
+		t.Errorf("AlwaysEstimate counters: est=%d conv=%d", est, conv)
 	}
 
 	m.Mode = Auto

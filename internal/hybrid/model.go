@@ -3,6 +3,7 @@ package hybrid
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"stochroute/internal/graph"
 	"stochroute/internal/hist"
@@ -69,6 +70,12 @@ func (c *ConvolutionCoster) Width() float64 { return c.KB.Width }
 
 // Model is the trained Hybrid Model: knowledge base + estimator +
 // classifier. It implements Coster.
+//
+// The query path (InitialHist, Extend, PairSumEstimate, PathCost) is
+// read-only apart from the lifetime decision counters, which are
+// atomic; a single Model therefore serves any number of concurrent
+// routing queries. Mutating fields (Mode, MaxBuckets, AttachKB) must
+// not race with in-flight queries.
 type Model struct {
 	KB         *KnowledgeBase
 	Estimator  *Estimator
@@ -78,14 +85,35 @@ type Model struct {
 	// (0 = unlimited).
 	MaxBuckets int
 
-	// Decision counters (not safe for concurrent use; reset with
-	// ResetCounters). They power the ablation reporting.
-	NumConvolved int
-	NumEstimated int
+	// Lifetime decision counters, maintained atomically across all
+	// concurrent queries. They power the ablation reporting; read them
+	// with DecisionCounts. For per-query counts, route through
+	// WithStats instead.
+	numConvolved atomic.Uint64
+	numEstimated atomic.Uint64
 }
 
-// ResetCounters zeroes the decision counters.
-func (m *Model) ResetCounters() { m.NumConvolved, m.NumEstimated = 0, 0 }
+// QueryStats accumulates per-request decision counts: how many hybrid
+// extensions convolved versus estimated while answering one query. A
+// QueryStats must not be shared across concurrently executing queries
+// (each request gets its own; the Model's lifetime totals are atomic
+// and separate).
+type QueryStats struct {
+	Convolved int
+	Estimated int
+}
+
+// DecisionCounts returns the lifetime convolve/estimate decision totals
+// across all queries answered by this model.
+func (m *Model) DecisionCounts() (convolved, estimated uint64) {
+	return m.numConvolved.Load(), m.numEstimated.Load()
+}
+
+// ResetCounters zeroes the lifetime decision counters.
+func (m *Model) ResetCounters() {
+	m.numConvolved.Store(0)
+	m.numEstimated.Store(0)
+}
 
 // InitialHist implements Coster.
 func (m *Model) InitialHist(e graph.EdgeID) *hist.Hist {
@@ -118,41 +146,83 @@ func (m *Model) ShouldEstimate(lastEdge, next graph.EdgeID) bool {
 }
 
 // Extend implements Coster: the hybrid step. The classifier picks
-// convolution or estimation at this intersection.
+// convolution or estimation at this intersection. Safe for concurrent
+// use; the decision is tallied into the model's atomic lifetime
+// counters.
 func (m *Model) Extend(virtual *hist.Hist, lastEdge, next graph.EdgeID) *hist.Hist {
-	var out *hist.Hist
+	out, estimated := m.extend(virtual, lastEdge, next)
+	if estimated {
+		m.numEstimated.Add(1)
+	} else {
+		m.numConvolved.Add(1)
+	}
+	return out
+}
+
+// extend is the counter-free hybrid step shared by Extend and the
+// per-request counting coster.
+func (m *Model) extend(virtual *hist.Hist, lastEdge, next graph.EdgeID) (out *hist.Hist, estimated bool) {
 	if m.ShouldEstimate(lastEdge, next) {
-		m.NumEstimated++
+		estimated = true
 		ps, has := m.KB.Pair(lastEdge, next)
 		out = m.Estimator.EstimateExtend(m.KB, virtual, next, ps, has)
 	} else {
-		m.NumConvolved++
 		out = hist.MustConvolve(virtual, m.KB.Edge(next).Marginal)
 	}
 	if m.MaxBuckets > 0 {
 		out = out.CapBuckets(m.MaxBuckets)
 	}
+	return out, estimated
+}
+
+// WithStats returns a Coster view of the model that additionally tallies
+// every Extend decision into qs. The view is meant to live for one
+// request: hand each routing query its own QueryStats and the queries
+// can run concurrently while still reporting per-request convolve vs.
+// estimate counts. The model's lifetime totals keep accumulating too.
+func (m *Model) WithStats(qs *QueryStats) Coster {
+	if qs == nil {
+		return m
+	}
+	return &countingCoster{m: m, qs: qs}
+}
+
+// countingCoster decorates a Model with per-request decision counting.
+type countingCoster struct {
+	m  *Model
+	qs *QueryStats
+}
+
+func (c *countingCoster) InitialHist(e graph.EdgeID) *hist.Hist { return c.m.InitialHist(e) }
+func (c *countingCoster) MinEdgeTime(e graph.EdgeID) float64    { return c.m.MinEdgeTime(e) }
+func (c *countingCoster) Width() float64                        { return c.m.Width() }
+
+func (c *countingCoster) Extend(virtual *hist.Hist, lastEdge, next graph.EdgeID) *hist.Hist {
+	out, estimated := c.m.extend(virtual, lastEdge, next)
+	if estimated {
+		c.qs.Estimated++
+		c.m.numEstimated.Add(1)
+	} else {
+		c.qs.Convolved++
+		c.m.numConvolved.Add(1)
+	}
 	return out
 }
 
 // CloneForConcurrentUse returns a model sharing this model's learned
-// weights and knowledge base but with private inference caches and
-// decision counters, so each goroutine of a parallel workload can route
-// with its own clone.
+// weights and knowledge base but with private decision counters.
+//
+// Deprecated: the query path is now read-only (the estimator uses the
+// network's pure inference pass and the counters are atomic), so a
+// single Model can be shared by any number of goroutines. The method
+// remains for callers that want isolated decision counters.
 func (m *Model) CloneForConcurrentUse() *Model {
 	out := &Model{
 		KB:         m.KB,
-		Classifier: m.Classifier, // logistic regression is stateless
+		Estimator:  m.Estimator,
+		Classifier: m.Classifier,
 		Mode:       m.Mode,
 		MaxBuckets: m.MaxBuckets,
-	}
-	if m.Estimator != nil {
-		out.Estimator = &Estimator{
-			Cfg:    m.Estimator.Cfg,
-			Net:    m.Estimator.Net.CloneShared(),
-			Scaler: m.Estimator.Scaler,
-			Width:  m.Estimator.Width,
-		}
 	}
 	return out
 }

@@ -9,11 +9,16 @@ import (
 )
 
 // Layer is one differentiable stage of a network. Forward caches
-// whatever Backward needs; layers are therefore not safe for concurrent
-// use by multiple goroutines.
+// whatever Backward needs; Forward/Backward are therefore not safe for
+// concurrent use by multiple goroutines. Infer is the pure counterpart:
+// it computes the same output as Forward without touching layer state,
+// so any number of goroutines may Infer on a shared layer.
 type Layer interface {
 	// Forward maps a batch (rows = samples) to the layer output.
 	Forward(x *Matrix) *Matrix
+	// Infer computes Forward's output without caching anything for
+	// Backward; safe for concurrent use.
+	Infer(x *Matrix) *Matrix
 	// Backward maps the gradient wrt the layer output to the gradient
 	// wrt the layer input, accumulating parameter gradients.
 	Backward(gradOut *Matrix) *Matrix
@@ -48,6 +53,11 @@ func NewDense(in, out int, r *rng.RNG) *Dense {
 // Forward implements Layer.
 func (d *Dense) Forward(x *Matrix) *Matrix {
 	d.lastX = x
+	return d.Infer(x)
+}
+
+// Infer implements Layer.
+func (d *Dense) Infer(x *Matrix) *Matrix {
 	out := MatMul(x, d.W)
 	out.AddRowVectorInPlace(d.B.Data)
 	return out
@@ -94,6 +104,17 @@ func (a *ReLU) Forward(x *Matrix) *Matrix {
 	return out
 }
 
+// Infer implements Layer.
+func (a *ReLU) Infer(x *Matrix) *Matrix {
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
 // Backward implements Layer.
 func (a *ReLU) Backward(gradOut *Matrix) *Matrix {
 	out := gradOut.Clone()
@@ -121,6 +142,11 @@ func (a *Tanh) Forward(x *Matrix) *Matrix {
 	out := x.Clone().Apply(math.Tanh)
 	a.lastOut = out
 	return out
+}
+
+// Infer implements Layer.
+func (a *Tanh) Infer(x *Matrix) *Matrix {
+	return x.Clone().Apply(math.Tanh)
 }
 
 // Backward implements Layer.
@@ -175,6 +201,17 @@ func (n *Network) Forward(x *Matrix) *Matrix {
 	return x
 }
 
+// Infer runs the batch through all layers without mutating any layer
+// state: the read-only forward pass used at serving time. Any number of
+// goroutines may call Infer on the same network concurrently, as long
+// as none of them trains it.
+func (n *Network) Infer(x *Matrix) *Matrix {
+	for _, l := range n.Layers {
+		x = l.Infer(x)
+	}
+	return x
+}
+
 // Backward propagates the output gradient through all layers,
 // accumulating parameter gradients.
 func (n *Network) Backward(gradOut *Matrix) {
@@ -217,34 +254,6 @@ func (n *Network) NumParams() int {
 		total += len(p.Data)
 	}
 	return total
-}
-
-// CloneShared returns a network that shares this network's weight
-// tensors but has its own forward/backward caches and gradient buffers,
-// so the clone can run Forward concurrently with other clones. Training
-// any clone mutates the shared weights; clone for inference only.
-func (n *Network) CloneShared() *Network {
-	out := &Network{Layers: make([]Layer, len(n.Layers))}
-	for i, l := range n.Layers {
-		switch layer := l.(type) {
-		case *Dense:
-			out.Layers[i] = &Dense{
-				W:  layer.W,
-				B:  layer.B,
-				gW: NewMatrix(layer.W.Rows, layer.W.Cols),
-				gB: NewMatrix(1, layer.B.Cols),
-			}
-		case *ReLU:
-			out.Layers[i] = &ReLU{}
-		case *Tanh:
-			out.Layers[i] = &Tanh{}
-		default:
-			// Unknown layer kinds cannot be safely shared; fall back to
-			// the original (callers then must not use it concurrently).
-			out.Layers[i] = l
-		}
-	}
-	return out
 }
 
 // Softmax converts each row of logits to a probability vector, with the

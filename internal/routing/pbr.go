@@ -77,6 +77,13 @@ type Result struct {
 	PrunedPivot     int
 	PrunedDominance int
 	Runtime         time.Duration
+
+	// Cost-model telemetry: how many hybrid extensions convolved vs.
+	// estimated while answering this query. PBR itself cannot observe
+	// the cost model's decisions; callers that route through
+	// hybrid.Model.WithStats (as Engine does) fill these in.
+	NumConvolved int
+	NumEstimated int
 }
 
 // label is a partial path in the search.

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// ShardedLRU is a fixed-capacity least-recently-used cache split across
+// independently locked shards, so concurrent request handlers contend
+// only per shard rather than on one global lock. Keys are distributed
+// by their runtime hash; every operation takes exactly one shard lock.
+//
+// A nil *ShardedLRU is a valid, permanently empty cache: Get misses,
+// Put is a no-op, Stats is zero. The server uses that to represent
+// "caching disabled" without branching at every call site.
+type ShardedLRU[K comparable, V any] struct {
+	seed   maphash.Seed
+	shards []lruShard[K, V]
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// NewShardedLRU returns a cache holding at most capacity entries spread
+// over the given number of shards (both floored at 1; shards is capped
+// at capacity so every shard can hold at least one entry). A capacity
+// <= 0 returns nil, the always-empty cache.
+func NewShardedLRU[K comparable, V any](shards, capacity int) *ShardedLRU[K, V] {
+	if capacity <= 0 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	c := &ShardedLRU[K, V]{
+		seed:   maphash.MakeSeed(),
+		shards: make([]lruShard[K, V], shards),
+	}
+	// Distribute the capacity exactly: the first capacity%shards shards
+	// take one extra entry, so the shard capacities sum to capacity.
+	per, extra := capacity/shards, capacity%shards
+	for i := range c.shards {
+		size := per
+		if i < extra {
+			size++
+		}
+		c.shards[i].capacity = size
+		c.shards[i].entries = make(map[K]*lruNode[K, V], size)
+	}
+	return c
+}
+
+func (c *ShardedLRU[K, V]) shard(key K) *lruShard[K, V] {
+	return &c.shards[maphash.Comparable(c.seed, key)%uint64(len(c.shards))]
+}
+
+// Get returns the cached value for key and marks it most recently used.
+func (c *ShardedLRU[K, V]) Get(key K) (V, bool) {
+	if c == nil {
+		var zero V
+		return zero, false
+	}
+	return c.shard(key).get(key)
+}
+
+// Put inserts or refreshes key, evicting the shard's least recently
+// used entry when the shard is full.
+func (c *ShardedLRU[K, V]) Put(key K, value V) {
+	if c == nil {
+		return
+	}
+	c.shard(key).put(key, value)
+}
+
+// Stats aggregates hit/miss/eviction counts and occupancy across shards.
+func (c *ShardedLRU[K, V]) Stats() CacheStats {
+	var s CacheStats
+	if c == nil {
+		return s
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.Evictions += sh.evictions
+		s.Entries += len(sh.entries)
+		s.Capacity += sh.capacity
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// lruNode is one entry in a shard's doubly linked recency list.
+type lruNode[K comparable, V any] struct {
+	key        K
+	value      V
+	prev, next *lruNode[K, V]
+}
+
+// lruShard is an independently locked LRU: a map for lookup plus a
+// recency list with head = most recently used.
+type lruShard[K comparable, V any] struct {
+	mu         sync.Mutex
+	capacity   int
+	entries    map[K]*lruNode[K, V]
+	head, tail *lruNode[K, V]
+
+	hits, misses, evictions uint64
+}
+
+func (s *lruShard[K, V]) get(key K) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		var zero V
+		return zero, false
+	}
+	s.hits++
+	s.moveToFront(n)
+	return n.value, true
+}
+
+func (s *lruShard[K, V]) put(key K, value V) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.entries[key]; ok {
+		n.value = value
+		s.moveToFront(n)
+		return
+	}
+	if len(s.entries) >= s.capacity {
+		lru := s.tail
+		s.unlink(lru)
+		delete(s.entries, lru.key)
+		s.evictions++
+	}
+	n := &lruNode[K, V]{key: key, value: value}
+	s.entries[key] = n
+	s.pushFront(n)
+}
+
+func (s *lruShard[K, V]) moveToFront(n *lruNode[K, V]) {
+	if s.head == n {
+		return
+	}
+	s.unlink(n)
+	s.pushFront(n)
+}
+
+func (s *lruShard[K, V]) pushFront(n *lruNode[K, V]) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *lruShard[K, V]) unlink(n *lruNode[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedLRUBasic(t *testing.T) {
+	c := NewShardedLRU[string, int](4, 64)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache should miss")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("a", 10) // refresh
+	if v, _ := c.Get("a"); v != 10 {
+		t.Errorf("refreshed value = %v", v)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Capacity < 64 {
+		t.Errorf("capacity %d < requested 64", s.Capacity)
+	}
+}
+
+func TestShardedLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	// One shard makes the recency order deterministic.
+	c := NewShardedLRU[int, int](1, 3)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Put(3, 3)
+	c.Get(1)    // 1 becomes MRU; LRU order now 2, 3, 1
+	c.Put(4, 4) // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Error("2 should have been evicted")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%d should still be cached", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestShardedLRUNilIsDisabled(t *testing.T) {
+	var c *ShardedLRU[int, int]
+	c.Put(1, 1)
+	if _, ok := c.Get(1); ok {
+		t.Error("nil cache should never hit")
+	}
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Errorf("nil stats = %+v", s)
+	}
+	if NewShardedLRU[int, int](4, 0) != nil {
+		t.Error("capacity 0 should return the nil cache")
+	}
+}
+
+func TestShardedLRUShardCapping(t *testing.T) {
+	// More shards than capacity must not create zero-capacity shards.
+	c := NewShardedLRU[int, int](64, 5)
+	for i := 0; i < 100; i++ {
+		c.Put(i, i)
+		if _, ok := c.Get(i); !ok {
+			t.Fatalf("just-inserted key %d missing", i)
+		}
+	}
+}
+
+func TestShardedLRUConcurrent(t *testing.T) {
+	c := NewShardedLRU[int, int](8, 256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (w*31 + i) % 512
+				if v, ok := c.Get(k); ok && v != k {
+					t.Errorf("key %d holds %d", k, v)
+					return
+				}
+				c.Put(k, k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Entries > s.Capacity {
+		t.Errorf("entries %d exceed capacity %d", s.Entries, s.Capacity)
+	}
+}
+
+func BenchmarkShardedLRUGet(b *testing.B) {
+	c := NewShardedLRU[int, int](16, 4096)
+	for i := 0; i < 4096; i++ {
+		c.Put(i, i)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Get(i % 4096)
+			i++
+		}
+	})
+}
+
+func BenchmarkShardedLRUMixed(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := NewShardedLRU[int, int](shards, 4096)
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if i%4 == 0 {
+						c.Put(i%8192, i)
+					} else {
+						c.Get(i % 8192)
+					}
+					i++
+				}
+			})
+		})
+	}
+}

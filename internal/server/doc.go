@@ -1,0 +1,55 @@
+// Package server turns a stochroute engine into a concurrent routing
+// service: an HTTP/JSON API answering Probabilistic Budget Routing
+// queries (Pedersen, Yang, Jensen; ICDE 2020) from many clients at
+// once over one shared graph and hybrid model.
+//
+// # API
+//
+// All endpoints are GET and return JSON; errors come back as
+// {"error": "..."} with a 4xx/5xx status. Query endpoints accept either
+// vertex IDs (source=, dest=) or WGS84 coordinates (from=lat,lon,
+// to=lat,lon) snapped to the nearest vertex.
+//
+//   - /route?source=&dest=&budget= — full budget-routing search: the
+//     path maximising P(arrival within budget seconds).
+//   - /route/anytime?...&limit_ms= — the anytime variant: the best
+//     pivot path found within the wall-clock limit.
+//   - /alternatives?source=&dest=&horizon=&max=[&budget=] — the
+//     stochastic skyline of mutually non-dominated routes within the
+//     time horizon.
+//   - /pairsum?first=&second= — the hybrid model's travel-time
+//     distribution for one adjacent edge pair.
+//   - /sample?n=&lo_km=&hi_km=&seed= — routing queries drawn from the
+//     workload generator, annotated with optimistic travel times (the
+//     input cmd/loadgen replays).
+//   - /healthz — liveness plus graph size.
+//   - /stats — request counts, cache effectiveness, in-flight gauge and
+//     the model's lifetime convolve/estimate decision totals.
+//
+// # Concurrency
+//
+// The whole query path is read-only: the hybrid model's estimator runs
+// the network's pure inference pass, and decision telemetry is kept in
+// per-request structs (hybrid.QueryStats) plus atomic lifetime totals,
+// so one engine serves any number of concurrent requests with no
+// locking and identical answers to serial execution. (Earlier versions
+// required serialising Route calls or cloning models per goroutine;
+// that caveat is gone.)
+//
+// # Caching
+//
+// Two sharded LRU caches (ShardedLRU) absorb hot traffic:
+//
+//   - Route results are keyed on (source, dest, budget bucket), where
+//     the budget is quantised to Config.BudgetBucketSeconds. Only
+//     complete, found searches are stored — the entry holds the path
+//     and its full travel-time distribution, and every hit recomputes
+//     the exact on-time probability for the request's budget from that
+//     distribution, so bucketing only ever coarsens which search ran,
+//     never the reported probability.
+//   - Pair-sum estimates are keyed on the (first, second) edge pair.
+//
+// Shards are independently locked and selected by key hash, keeping
+// cache contention negligible next to search cost. X-Cache: hit|miss
+// response headers expose per-request cache outcomes to load tools.
+package server

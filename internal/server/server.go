@@ -1,0 +1,665 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"stochroute/internal/geo"
+	"stochroute/internal/graph"
+	"stochroute/internal/hist"
+	"stochroute/internal/netgen"
+	"stochroute/internal/routing"
+)
+
+// Backend is the routing surface the server exposes over HTTP. Its
+// methods must be safe for concurrent use; *stochroute.Engine satisfies
+// the interface.
+type Backend interface {
+	Graph() *graph.Graph
+	NearestVertex(lat, lon float64) graph.VertexID
+	RouteWithOptions(source, dest graph.VertexID, opts routing.Options) (*routing.Result, error)
+	AlternativeRoutes(source, dest graph.VertexID, horizon float64, maxRoutes int) ([]routing.ParetoRoute, error)
+	PairSum(first, second graph.EdgeID) (*hist.Hist, error)
+	OptimisticTime(source, dest graph.VertexID) (float64, error)
+	SampleQueries(loKm, hiKm float64, n int, seed uint64) ([]netgen.Query, error)
+	DecisionCounts() (convolved, estimated uint64)
+}
+
+// Config tunes the serving layer. The zero value means "defaults";
+// negative cache capacities disable the respective cache.
+type Config struct {
+	// RequestTimeout caps the wall-clock time of one routing search
+	// (default 10s). Searches cut off by the timeout return their best
+	// pivot path with Complete=false and are not cached.
+	RequestTimeout time.Duration
+	// RouteCache is the route result cache capacity in entries
+	// (default 4096, negative disables).
+	RouteCache int
+	// PairCache is the pair-sum estimate cache capacity in entries
+	// (default 16384, negative disables).
+	PairCache int
+	// CacheShards is the lock-shard count of each cache (default 16).
+	CacheShards int
+	// BudgetBucketSeconds quantises the budget in route cache keys: two
+	// requests for the same (source, dest) whose budgets fall in the
+	// same bucket share one cached path, with the on-time probability
+	// recomputed exactly from the cached distribution per request
+	// (default 15s; <= 0 keys on the exact budget).
+	BudgetBucketSeconds float64
+	// MaxAlternatives caps the skyline size a client may request
+	// (default 16).
+	MaxAlternatives int
+	// MaxSample caps the query count of one /sample call (default 512).
+	MaxSample int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.RouteCache == 0 {
+		c.RouteCache = 4096
+	}
+	if c.PairCache == 0 {
+		c.PairCache = 16384
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.BudgetBucketSeconds == 0 {
+		c.BudgetBucketSeconds = 15
+	}
+	if c.MaxAlternatives <= 0 {
+		c.MaxAlternatives = 16
+	}
+	if c.MaxSample <= 0 {
+		c.MaxSample = 512
+	}
+	return c
+}
+
+// routeKey identifies one cacheable routing query.
+type routeKey struct {
+	src, dst graph.VertexID
+	bucket   uint64
+}
+
+// routeEntry is a cached complete route: the chosen path and its full
+// travel-time distribution, from which any budget in the key's bucket
+// recomputes its exact on-time probability.
+type routeEntry struct {
+	path []graph.EdgeID
+	dist *hist.Hist
+}
+
+type pairKey struct {
+	first, second graph.EdgeID
+}
+
+// endpointStats counts requests and errors for one endpoint.
+type endpointStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// Server is the concurrent routing service: an http.Handler answering
+// Probabilistic Budget Routing queries over a shared Backend, with a
+// sharded LRU cache for complete route results and hot pair-sum
+// estimates.
+type Server struct {
+	backend Backend
+	cfg     Config
+	mux     *http.ServeMux
+
+	routes *ShardedLRU[routeKey, routeEntry]
+	pairs  *ShardedLRU[pairKey, *hist.Hist]
+
+	started  time.Time
+	inflight atomic.Int64
+	stats    map[string]*endpointStats
+}
+
+// New assembles a Server over backend. The backend's query path must be
+// safe for concurrent use (see Backend).
+func New(backend Backend, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		backend: backend,
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		routes:  NewShardedLRU[routeKey, routeEntry](cfg.CacheShards, cfg.RouteCache),
+		pairs:   NewShardedLRU[pairKey, *hist.Hist](cfg.CacheShards, cfg.PairCache),
+		started: time.Now(),
+		stats:   make(map[string]*endpointStats),
+	}
+	s.handle("/route", s.handleRoute)
+	s.handle("/route/anytime", s.handleRouteAnytime)
+	s.handle("/alternatives", s.handleAlternatives)
+	s.handle("/pairsum", s.handlePairSum)
+	s.handle("/sample", s.handleSample)
+	s.handle("/healthz", s.handleHealthz)
+	s.handle("/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve runs the API on addr until ctx is cancelled, then shuts down
+// gracefully, draining in-flight requests for up to 5 seconds.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		<-errc // always http.ErrServerClosed after Shutdown
+		return nil
+	}
+}
+
+// handle registers a GET endpoint with request accounting.
+func (s *Server) handle(pattern string, h func(http.ResponseWriter, *http.Request) error) {
+	es := &endpointStats{}
+	s.stats[pattern] = es
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		es.requests.Add(1)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if err := h(w, r); err != nil {
+			es.errors.Add(1)
+			var he *httpError
+			if errors.As(err, &he) {
+				writeError(w, he.code, he.msg)
+			} else {
+				writeError(w, http.StatusInternalServerError, err.Error())
+			}
+		}
+	})
+}
+
+// httpError carries a client-visible status code through a handler
+// return.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// --- request parsing -------------------------------------------------
+
+// vertexParam parses an endpoint given either as a vertex ID (idKey) or
+// as a "lat,lon" coordinate (coordKey) snapped to the nearest vertex.
+func (s *Server) vertexParam(r *http.Request, idKey, coordKey string) (graph.VertexID, error) {
+	g := s.backend.Graph()
+	if raw := r.URL.Query().Get(idKey); raw != "" {
+		id, err := strconv.Atoi(raw)
+		if err != nil {
+			return graph.NoVertex, badRequest("%s: not an integer: %q", idKey, raw)
+		}
+		if id < 0 || id >= g.NumVertices() {
+			return graph.NoVertex, badRequest("%s: vertex %d out of range [0, %d)", idKey, id, g.NumVertices())
+		}
+		return graph.VertexID(id), nil
+	}
+	if raw := r.URL.Query().Get(coordKey); raw != "" {
+		parts := strings.Split(raw, ",")
+		if len(parts) != 2 {
+			return graph.NoVertex, badRequest("%s: want lat,lon, got %q", coordKey, raw)
+		}
+		lat, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		lon, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil || !(geo.Point{Lat: lat, Lon: lon}).Valid() {
+			return graph.NoVertex, badRequest("%s: invalid coordinate %q", coordKey, raw)
+		}
+		v := s.backend.NearestVertex(lat, lon)
+		if v == graph.NoVertex {
+			return graph.NoVertex, badRequest("%s: no vertex near %q", coordKey, raw)
+		}
+		return v, nil
+	}
+	return graph.NoVertex, badRequest("missing %s (vertex ID) or %s (lat,lon)", idKey, coordKey)
+}
+
+func (s *Server) endpointsParam(r *http.Request) (src, dst graph.VertexID, err error) {
+	if src, err = s.vertexParam(r, "source", "from"); err != nil {
+		return
+	}
+	dst, err = s.vertexParam(r, "dest", "to")
+	return
+}
+
+func floatParam(r *http.Request, key string, def float64) (float64, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, badRequest("%s: not a finite number: %q", key, raw)
+	}
+	return v, nil
+}
+
+func intParam(r *http.Request, key string, def int) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("%s: not an integer: %q", key, raw)
+	}
+	return v, nil
+}
+
+func (s *Server) budgetParam(r *http.Request) (float64, error) {
+	budget, err := floatParam(r, "budget", 0)
+	if err != nil {
+		return 0, err
+	}
+	if budget <= 0 {
+		return 0, badRequest("budget: must be a positive number of seconds")
+	}
+	return budget, nil
+}
+
+func (s *Server) bucketOf(budget float64) uint64 {
+	if s.cfg.BudgetBucketSeconds > 0 {
+		return uint64(budget / s.cfg.BudgetBucketSeconds)
+	}
+	return math.Float64bits(budget)
+}
+
+// --- route endpoints -------------------------------------------------
+
+// routeResponse is the JSON answer of /route and /route/anytime.
+type routeResponse struct {
+	Source          graph.VertexID `json:"source"`
+	Dest            graph.VertexID `json:"dest"`
+	Budget          float64        `json:"budget_s"`
+	Found           bool           `json:"found"`
+	Complete        bool           `json:"complete"`
+	Prob            float64        `json:"prob"`
+	MeanSeconds     float64        `json:"mean_s,omitempty"`
+	Path            []graph.EdgeID `json:"path,omitempty"`
+	Expansions      int            `json:"expansions,omitempty"`
+	GeneratedLabels int            `json:"generated_labels,omitempty"`
+	Convolved       int            `json:"convolved,omitempty"`
+	Estimated       int            `json:"estimated,omitempty"`
+	RuntimeMS       float64        `json:"runtime_ms"`
+	Cached          bool           `json:"cached"`
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
+	return s.routeCommon(w, r, 0)
+}
+
+func (s *Server) handleRouteAnytime(w http.ResponseWriter, r *http.Request) error {
+	limitMS, err := intParam(r, "limit_ms", 1000)
+	if err != nil {
+		return err
+	}
+	if limitMS <= 0 {
+		return badRequest("limit_ms: must be positive")
+	}
+	limit := time.Duration(limitMS) * time.Millisecond
+	if limit > s.cfg.RequestTimeout {
+		limit = s.cfg.RequestTimeout
+	}
+	return s.routeCommon(w, r, limit)
+}
+
+// routeCommon answers a budget-routing query; limit > 0 marks an
+// anytime request. Cache protocol: complete found results are stored
+// under (source, dest, budget bucket) holding the path and its full
+// distribution; a hit — including for anytime requests, since a proven
+// optimum is at least as good as any cutoff search — recomputes the
+// exact probability for the request's budget from the cached
+// distribution. Incomplete (cut-off) results are never stored.
+func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.Duration) error {
+	start := time.Now()
+	src, dst, err := s.endpointsParam(r)
+	if err != nil {
+		return err
+	}
+	budget, err := s.budgetParam(r)
+	if err != nil {
+		return err
+	}
+
+	key := routeKey{src: src, dst: dst, bucket: s.bucketOf(budget)}
+	if entry, ok := s.routes.Get(key); ok {
+		w.Header().Set("X-Cache", "hit")
+		return writeJSON(w, &routeResponse{
+			Source:      src,
+			Dest:        dst,
+			Budget:      budget,
+			Found:       true,
+			Complete:    true,
+			Prob:        entry.dist.CDF(budget),
+			MeanSeconds: entry.dist.Mean(),
+			Path:        entry.path,
+			RuntimeMS:   msSince(start),
+			Cached:      true,
+		})
+	}
+	w.Header().Set("X-Cache", "miss")
+
+	opts := routing.Options{Budget: budget, MaxDuration: s.cfg.RequestTimeout}
+	if limit > 0 {
+		opts.MaxDuration = limit
+	}
+	res, err := s.backend.RouteWithOptions(src, dst, opts)
+	if errors.Is(err, routing.ErrUnreachable) {
+		return writeJSON(w, &routeResponse{
+			Source: src, Dest: dst, Budget: budget,
+			Complete: true, RuntimeMS: msSince(start),
+		})
+	}
+	if err != nil {
+		return err
+	}
+	if res.Found && res.Complete {
+		s.routes.Put(key, routeEntry{path: res.Path, dist: res.Dist})
+	}
+	out := &routeResponse{
+		Source:          src,
+		Dest:            dst,
+		Budget:          budget,
+		Found:           res.Found,
+		Complete:        res.Complete,
+		Prob:            res.Prob,
+		Path:            res.Path,
+		Expansions:      res.Expansions,
+		GeneratedLabels: res.GeneratedLabels,
+		Convolved:       res.NumConvolved,
+		Estimated:       res.NumEstimated,
+		RuntimeMS:       msSince(start),
+	}
+	if res.Dist != nil {
+		out.MeanSeconds = res.Dist.Mean()
+	}
+	return writeJSON(w, out)
+}
+
+// --- alternatives ----------------------------------------------------
+
+type alternativeResponse struct {
+	Path        []graph.EdgeID `json:"path"`
+	MeanSeconds float64        `json:"mean_s"`
+	MinSeconds  float64        `json:"min_s"`
+	Prob        float64        `json:"prob,omitempty"`
+}
+
+type alternativesResponse struct {
+	Source    graph.VertexID        `json:"source"`
+	Dest      graph.VertexID        `json:"dest"`
+	Horizon   float64               `json:"horizon_s"`
+	Routes    []alternativeResponse `json:"routes"`
+	RuntimeMS float64               `json:"runtime_ms"`
+}
+
+func (s *Server) handleAlternatives(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	src, dst, err := s.endpointsParam(r)
+	if err != nil {
+		return err
+	}
+	horizon, err := floatParam(r, "horizon", 0)
+	if err != nil {
+		return err
+	}
+	if horizon <= 0 {
+		return badRequest("horizon: must be a positive number of seconds")
+	}
+	maxRoutes, err := intParam(r, "max", 8)
+	if err != nil {
+		return err
+	}
+	if maxRoutes <= 0 || maxRoutes > s.cfg.MaxAlternatives {
+		return badRequest("max: must be in [1, %d]", s.cfg.MaxAlternatives)
+	}
+	// budget is optional: when present each skyline member also reports
+	// its on-time probability at that budget.
+	budget, err := floatParam(r, "budget", 0)
+	if err != nil {
+		return err
+	}
+	routes, err := s.backend.AlternativeRoutes(src, dst, horizon, maxRoutes)
+	if errors.Is(err, routing.ErrUnreachable) {
+		return writeJSON(w, &alternativesResponse{
+			Source: src, Dest: dst, Horizon: horizon,
+			Routes: []alternativeResponse{}, RuntimeMS: msSince(start),
+		})
+	}
+	if err != nil {
+		return err
+	}
+	out := &alternativesResponse{
+		Source:  src,
+		Dest:    dst,
+		Horizon: horizon,
+		Routes:  make([]alternativeResponse, 0, len(routes)),
+	}
+	for _, rt := range routes {
+		ar := alternativeResponse{
+			Path:        rt.Path,
+			MeanSeconds: rt.Dist.Mean(),
+			MinSeconds:  rt.Dist.Min,
+		}
+		if budget > 0 {
+			ar.Prob = rt.Dist.CDF(budget)
+		}
+		out.Routes = append(out.Routes, ar)
+	}
+	out.RuntimeMS = msSince(start)
+	return writeJSON(w, out)
+}
+
+// --- pair sums -------------------------------------------------------
+
+type pairSumResponse struct {
+	First       graph.EdgeID `json:"first"`
+	Second      graph.EdgeID `json:"second"`
+	Min         float64      `json:"min_s"`
+	Width       float64      `json:"width_s"`
+	P           []float64    `json:"p"`
+	MeanSeconds float64      `json:"mean_s"`
+	Cached      bool         `json:"cached"`
+}
+
+func (s *Server) handlePairSum(w http.ResponseWriter, r *http.Request) error {
+	g := s.backend.Graph()
+	first, err := intParam(r, "first", -1)
+	if err != nil {
+		return err
+	}
+	second, err := intParam(r, "second", -1)
+	if err != nil {
+		return err
+	}
+	if first < 0 || first >= g.NumEdges() || second < 0 || second >= g.NumEdges() {
+		return badRequest("first/second: edge IDs must be in [0, %d)", g.NumEdges())
+	}
+	key := pairKey{first: graph.EdgeID(first), second: graph.EdgeID(second)}
+	h, cached := s.pairs.Get(key)
+	if !cached {
+		h, err = s.backend.PairSum(key.first, key.second)
+		if err != nil {
+			return badRequest("%v", err)
+		}
+		s.pairs.Put(key, h)
+	}
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	return writeJSON(w, &pairSumResponse{
+		First:       key.first,
+		Second:      key.second,
+		Min:         h.Min,
+		Width:       h.Width,
+		P:           h.P,
+		MeanSeconds: h.Mean(),
+		Cached:      cached,
+	})
+}
+
+// --- workload sampling ----------------------------------------------
+
+type sampleQuery struct {
+	Source      graph.VertexID `json:"source"`
+	Dest        graph.VertexID `json:"dest"`
+	DistKm      float64        `json:"dist_km"`
+	OptimisticS float64        `json:"optimistic_s"`
+}
+
+type sampleResponse struct {
+	Queries []sampleQuery `json:"queries"`
+}
+
+// handleSample draws routing queries from the backend's workload
+// generator, annotated with their optimistic travel time so clients
+// (cmd/loadgen) can derive realistic budgets without the graph.
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
+	n, err := intParam(r, "n", 32)
+	if err != nil {
+		return err
+	}
+	if n <= 0 || n > s.cfg.MaxSample {
+		return badRequest("n: must be in [1, %d]", s.cfg.MaxSample)
+	}
+	loKm, err := floatParam(r, "lo_km", 0.5)
+	if err != nil {
+		return err
+	}
+	hiKm, err := floatParam(r, "hi_km", 2.0)
+	if err != nil {
+		return err
+	}
+	if loKm < 0 || hiKm <= loKm {
+		return badRequest("lo_km/hi_km: want 0 <= lo_km < hi_km")
+	}
+	seed, err := intParam(r, "seed", 1)
+	if err != nil {
+		return err
+	}
+	qs, err := s.backend.SampleQueries(loKm, hiKm, n, uint64(seed))
+	if err != nil && len(qs) == 0 {
+		return badRequest("%v", err)
+	}
+	out := &sampleResponse{Queries: make([]sampleQuery, 0, len(qs))}
+	for _, q := range qs {
+		opt, err := s.backend.OptimisticTime(q.Source, q.Dest)
+		if err != nil {
+			continue // unreachable pair; not a useful load query
+		}
+		out.Queries = append(out.Queries, sampleQuery{
+			Source:      q.Source,
+			Dest:        q.Dest,
+			DistKm:      q.DistKm,
+			OptimisticS: opt,
+		})
+	}
+	return writeJSON(w, out)
+}
+
+// --- health and stats ------------------------------------------------
+
+type healthResponse struct {
+	Status   string  `json:"status"`
+	Vertices int     `json:"vertices"`
+	Edges    int     `json:"edges"`
+	UptimeS  float64 `json:"uptime_s"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	g := s.backend.Graph()
+	return writeJSON(w, &healthResponse{
+		Status:   "ok",
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		UptimeS:  time.Since(s.started).Seconds(),
+	})
+}
+
+type endpointStatsResponse struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+}
+
+type statsResponse struct {
+	UptimeS    float64                          `json:"uptime_s"`
+	Inflight   int64                            `json:"inflight"`
+	Endpoints  map[string]endpointStatsResponse `json:"endpoints"`
+	RouteCache CacheStats                       `json:"route_cache"`
+	PairCache  CacheStats                       `json:"pair_cache"`
+	Convolved  uint64                           `json:"convolved_total"`
+	Estimated  uint64                           `json:"estimated_total"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	conv, est := s.backend.DecisionCounts()
+	out := &statsResponse{
+		UptimeS:    time.Since(s.started).Seconds(),
+		Inflight:   s.inflight.Load(),
+		Endpoints:  make(map[string]endpointStatsResponse, len(s.stats)),
+		RouteCache: s.routes.Stats(),
+		PairCache:  s.pairs.Stats(),
+		Convolved:  conv,
+		Estimated:  est,
+	}
+	for pattern, es := range s.stats {
+		out.Endpoints[pattern] = endpointStatsResponse{
+			Requests: es.requests.Load(),
+			Errors:   es.errors.Load(),
+		}
+	}
+	return writeJSON(w, out)
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

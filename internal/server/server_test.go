@@ -1,0 +1,407 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stochroute/internal/graph"
+	"stochroute/internal/hist"
+	"stochroute/internal/netgen"
+	"stochroute/internal/routing"
+)
+
+// fakeBackend is a deterministic, trivially cheap Backend: routes are
+// synthesised from the query endpoints, so handler behaviour (parsing,
+// caching, stats) can be asserted exactly and the search count observed.
+type fakeBackend struct {
+	g          *graph.Graph
+	routeCalls atomic.Int64
+	pairCalls  atomic.Int64
+	// completeOver marks searches as cut off (Complete=false) whenever
+	// the request's MaxDuration is below this threshold.
+	completeOver time.Duration
+}
+
+func newFakeBackend(t testing.TB) *fakeBackend {
+	t.Helper()
+	cfg := netgen.DefaultConfig()
+	cfg.Rows, cfg.Cols = 6, 6
+	cfg.MotorwayRing = false
+	cfg.DropFrac = 0
+	g, err := netgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fakeBackend{g: g}
+}
+
+// distFor is the deterministic travel-time distribution of a fake
+// route: uniform mass on four buckets starting at src+dst+10 seconds.
+func (f *fakeBackend) distFor(src, dst graph.VertexID) *hist.Hist {
+	return hist.Uniform(float64(src+dst)+10, 5, 4)
+}
+
+func (f *fakeBackend) Graph() *graph.Graph { return f.g }
+
+func (f *fakeBackend) NearestVertex(lat, lon float64) graph.VertexID {
+	return 0
+}
+
+func (f *fakeBackend) RouteWithOptions(src, dst graph.VertexID, opts routing.Options) (*routing.Result, error) {
+	f.routeCalls.Add(1)
+	d := f.distFor(src, dst)
+	complete := f.completeOver == 0 || opts.MaxDuration >= f.completeOver
+	return &routing.Result{
+		Path:         []graph.EdgeID{graph.EdgeID(src), graph.EdgeID(dst)},
+		Dist:         d,
+		Prob:         d.CDF(opts.Budget),
+		Found:        true,
+		Complete:     complete,
+		Expansions:   7,
+		NumConvolved: 2,
+		NumEstimated: 1,
+	}, nil
+}
+
+func (f *fakeBackend) AlternativeRoutes(src, dst graph.VertexID, horizon float64, maxRoutes int) ([]routing.ParetoRoute, error) {
+	return []routing.ParetoRoute{
+		{Path: []graph.EdgeID{0, 1}, Dist: f.distFor(src, dst)},
+	}, nil
+}
+
+func (f *fakeBackend) PairSum(first, second graph.EdgeID) (*hist.Hist, error) {
+	f.pairCalls.Add(1)
+	if f.g.Edge(first).To != f.g.Edge(second).From {
+		return nil, fmt.Errorf("edges %d and %d are not adjacent", first, second)
+	}
+	return hist.Uniform(float64(first+second)+4, 2, 3), nil
+}
+
+func (f *fakeBackend) OptimisticTime(src, dst graph.VertexID) (float64, error) {
+	return float64(src+dst) + 10, nil
+}
+
+func (f *fakeBackend) SampleQueries(loKm, hiKm float64, n int, seed uint64) ([]netgen.Query, error) {
+	qs := make([]netgen.Query, n)
+	for i := range qs {
+		qs[i] = netgen.Query{Source: graph.VertexID(i % f.g.NumVertices()), Dest: graph.VertexID((i + 1) % f.g.NumVertices()), DistKm: 1}
+	}
+	return qs, nil
+}
+
+func (f *fakeBackend) DecisionCounts() (uint64, uint64) { return 5, 3 }
+
+func get(t *testing.T, h http.Handler, url string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s: invalid JSON %q: %v", url, rec.Body.String(), err)
+		}
+	}
+	return rec, body
+}
+
+func TestRouteEndpointAndCache(t *testing.T) {
+	fb := newFakeBackend(t)
+	s := New(fb, Config{BudgetBucketSeconds: 15})
+	h := s.Handler()
+
+	rec, body := get(t, h, "/route?source=1&dest=2&budget=100")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if rec.Header().Get("X-Cache") != "miss" {
+		t.Error("first request should miss")
+	}
+	if body["found"] != true || body["complete"] != true || body["cached"] != false {
+		t.Errorf("unexpected body %v", body)
+	}
+	wantProb := fb.distFor(1, 2).CDF(100)
+	if got := body["prob"].(float64); got != wantProb {
+		t.Errorf("prob = %v, want %v", got, wantProb)
+	}
+
+	// Same bucket (100 and 104 with 15s buckets): served from cache,
+	// with the probability recomputed exactly at the new budget.
+	rec, body = get(t, h, "/route?source=1&dest=2&budget=104")
+	if rec.Header().Get("X-Cache") != "hit" {
+		t.Error("second request should hit")
+	}
+	if body["cached"] != true {
+		t.Errorf("cached flag missing: %v", body)
+	}
+	if got, want := body["prob"].(float64), fb.distFor(1, 2).CDF(104); got != want {
+		t.Errorf("cached prob = %v, want exact recompute %v", got, want)
+	}
+	if calls := fb.routeCalls.Load(); calls != 1 {
+		t.Errorf("backend searched %d times, want 1", calls)
+	}
+
+	// A different bucket searches again.
+	get(t, h, "/route?source=1&dest=2&budget=200")
+	if calls := fb.routeCalls.Load(); calls != 2 {
+		t.Errorf("backend searched %d times, want 2", calls)
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	s := New(newFakeBackend(t), Config{})
+	h := s.Handler()
+	cases := []string{
+		"/route?dest=2&budget=100",                             // missing source
+		"/route?source=1&dest=2",                               // missing budget
+		"/route?source=1&dest=2&budget=-5",                     // bad budget
+		"/route?source=1&dest=2&budget=abc",                    // unparsable budget
+		"/route?source=999999&dest=2&budget=100",               // out of range
+		"/route?from=91,0&to=0,0&budget=100",                   // invalid latitude
+		"/alternatives?source=1&dest=2",                        // missing horizon
+		"/alternatives?source=1&dest=2&horizon=100&max=9999",   // max too large
+		"/pairsum?first=0",                                     // missing second
+		"/pairsum?first=0&second=999999",                       // out of range
+		"/sample?n=100000",                                     // n too large
+		"/sample?lo_km=5&hi_km=1",                              // inverted band
+		"/route/anytime?source=1&dest=2&budget=100&limit_ms=0", // bad limit
+	}
+	for _, url := range cases {
+		rec, body := get(t, h, url)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %v)", url, rec.Code, body)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s: missing error message", url)
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/route?source=1&dest=2&budget=100", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST status %d, want 405", rec.Code)
+	}
+}
+
+func TestIncompleteResultsAreNotCached(t *testing.T) {
+	fb := newFakeBackend(t)
+	fb.completeOver = time.Hour // every bounded search reports cut off
+	s := New(fb, Config{})
+	h := s.Handler()
+
+	_, body := get(t, h, "/route/anytime?source=1&dest=2&budget=100&limit_ms=50")
+	if body["complete"] != false {
+		t.Fatalf("expected incomplete result, got %v", body)
+	}
+	rec, _ := get(t, h, "/route/anytime?source=1&dest=2&budget=100&limit_ms=50")
+	if rec.Header().Get("X-Cache") != "miss" {
+		t.Error("incomplete result must not be served from cache")
+	}
+	if calls := fb.routeCalls.Load(); calls != 2 {
+		t.Errorf("backend searched %d times, want 2", calls)
+	}
+}
+
+func TestAnytimeServedFromCompleteCache(t *testing.T) {
+	fb := newFakeBackend(t)
+	s := New(fb, Config{})
+	h := s.Handler()
+	get(t, h, "/route?source=1&dest=2&budget=100")
+	rec, _ := get(t, h, "/route/anytime?source=1&dest=2&budget=100&limit_ms=50")
+	if rec.Header().Get("X-Cache") != "hit" {
+		t.Error("anytime should reuse a cached complete optimum")
+	}
+	if calls := fb.routeCalls.Load(); calls != 1 {
+		t.Errorf("backend searched %d times, want 1", calls)
+	}
+}
+
+func TestPairSumEndpoint(t *testing.T) {
+	fb := newFakeBackend(t)
+	s := New(fb, Config{})
+	h := s.Handler()
+	// Find an adjacent edge pair in the fake graph.
+	g := fb.g
+	var first, second graph.EdgeID = graph.NoEdge, graph.NoEdge
+	for e := 0; e < g.NumEdges() && second == graph.NoEdge; e++ {
+		for _, nxt := range g.Out(g.Edge(graph.EdgeID(e)).To) {
+			first, second = graph.EdgeID(e), nxt
+			break
+		}
+	}
+	if second == graph.NoEdge {
+		t.Fatal("no adjacent pair in fake graph")
+	}
+	url := fmt.Sprintf("/pairsum?first=%d&second=%d", first, second)
+	rec, body := get(t, h, url)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if body["cached"] != false || rec.Header().Get("X-Cache") != "miss" {
+		t.Error("first pairsum should miss")
+	}
+	rec, body = get(t, h, url)
+	if body["cached"] != true || rec.Header().Get("X-Cache") != "hit" {
+		t.Error("second pairsum should hit")
+	}
+	if calls := fb.pairCalls.Load(); calls != 1 {
+		t.Errorf("backend computed %d pair sums, want 1", calls)
+	}
+	// Non-adjacent pair: client error, not 500.
+	rec, _ = get(t, h, "/pairsum?first=0&second=0")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("non-adjacent pair: status %d, want 400", rec.Code)
+	}
+}
+
+func TestAlternativesEndpoint(t *testing.T) {
+	s := New(newFakeBackend(t), Config{})
+	rec, body := get(t, s.Handler(), "/alternatives?source=1&dest=2&horizon=500&max=4&budget=120")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	routes := body["routes"].([]any)
+	if len(routes) != 1 {
+		t.Fatalf("routes = %v", routes)
+	}
+	r0 := routes[0].(map[string]any)
+	if r0["prob"].(float64) <= 0 {
+		t.Errorf("budget given, want positive prob: %v", r0)
+	}
+}
+
+func TestSampleEndpoint(t *testing.T) {
+	s := New(newFakeBackend(t), Config{})
+	rec, body := get(t, s.Handler(), "/sample?n=5&lo_km=0.5&hi_km=2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	qs := body["queries"].([]any)
+	if len(qs) != 5 {
+		t.Fatalf("queries = %d, want 5", len(qs))
+	}
+	q0 := qs[0].(map[string]any)
+	if q0["optimistic_s"].(float64) <= 0 {
+		t.Errorf("missing optimistic time: %v", q0)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	s := New(newFakeBackend(t), Config{})
+	h := s.Handler()
+	rec, body := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", rec.Code, body)
+	}
+	if body["vertices"].(float64) <= 0 || body["edges"].(float64) <= 0 {
+		t.Error("healthz should report graph size")
+	}
+
+	get(t, h, "/route?source=1&dest=2&budget=100")
+	get(t, h, "/route?source=1&dest=2&budget=100")
+	get(t, h, "/route?source=1&dest=2") // validation error
+
+	_, body = get(t, h, "/stats")
+	eps := body["endpoints"].(map[string]any)
+	route := eps["/route"].(map[string]any)
+	if route["requests"].(float64) != 3 || route["errors"].(float64) != 1 {
+		t.Errorf("route endpoint stats = %v", route)
+	}
+	rc := body["route_cache"].(map[string]any)
+	if rc["hits"].(float64) != 1 || rc["misses"].(float64) != 1 {
+		t.Errorf("route cache stats = %v", rc)
+	}
+	if body["convolved_total"].(float64) != 5 || body["estimated_total"].(float64) != 3 {
+		t.Errorf("decision totals = %v", body)
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	fb := newFakeBackend(t)
+	s := New(fb, Config{RouteCache: -1, PairCache: -1})
+	h := s.Handler()
+	get(t, h, "/route?source=1&dest=2&budget=100")
+	get(t, h, "/route?source=1&dest=2&budget=100")
+	if calls := fb.routeCalls.Load(); calls != 2 {
+		t.Errorf("disabled cache: backend searched %d times, want 2", calls)
+	}
+}
+
+// TestConcurrentHandlers hammers the full handler stack from many
+// goroutines; combined with -race this is the serving-layer concurrency
+// gate. Every response must equal the deterministic serial answer.
+func TestConcurrentHandlers(t *testing.T) {
+	fb := newFakeBackend(t)
+	s := New(fb, Config{})
+	h := s.Handler()
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				src := graph.VertexID(1 + (w+i)%4)
+				dst := graph.VertexID(6 + i%3)
+				budget := 100.0 + float64(i%5)
+				req := httptest.NewRequest(http.MethodGet,
+					fmt.Sprintf("/route?source=%d&dest=%d&budget=%g", src, dst, budget), nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+				var body struct {
+					Prob   float64 `json:"prob"`
+					Found  bool    `json:"found"`
+					Cached bool    `json:"cached"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+					errs <- err
+					return
+				}
+				want := fb.distFor(src, dst).CDF(budget)
+				if !body.Found || body.Prob != want {
+					errs <- fmt.Errorf("route(%d,%d,%g) = %v, want prob %v", src, dst, budget, body, want)
+					return
+				}
+				if i%10 == 0 {
+					get(t, h, "/stats")
+					get(t, h, "/healthz")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	s := New(newFakeBackend(t), Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, "127.0.0.1:0") }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not shut down")
+	}
+}
