@@ -15,9 +15,11 @@ import (
 	"stochroute/internal/exp"
 	"stochroute/internal/hist"
 	"stochroute/internal/hybrid"
+	"stochroute/internal/ingest"
 	"stochroute/internal/netgen"
 	"stochroute/internal/routing"
 	"stochroute/internal/server"
+	"stochroute/internal/traj"
 )
 
 var (
@@ -348,6 +350,37 @@ func BenchmarkConcurrentRouting(b *testing.B) {
 		b.ResetTimer()
 		serveAll(b, h)
 	})
+}
+
+// BenchmarkIngest measures the write path's fold rate: trajectories
+// per second validated and merged into the incremental observation
+// aggregate on a live engine. Drift windows and rebuilds are disabled
+// — they are background amortised costs, not per-trajectory ones — so
+// the number is the synchronous cost a POST /ingest request pays per
+// trajectory.
+func BenchmarkIngest(b *testing.B) {
+	e := testEngine(b)
+	trs, err := traj.GenerateTrajectories(e.World(), traj.WalkConfig{
+		NumTrajectories: 2048, MinEdges: 4, MaxEdges: 20, Seed: 123,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ingest.Config{
+		Hybrid:                 hybrid.DefaultConfig(),
+		Drift:                  ingest.DriftConfig{Window: -1},
+		MinRebuildTrajectories: 1 << 30,
+	}
+	cfg.Hybrid.Width = e.Model().Width()
+	in := ingest.New(e, cfg, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(trs)
+		if accepted, rejected := in.Ingest(trs[k : k+1]); accepted != 1 || rejected != 0 {
+			b.Fatalf("trajectory %d rejected", k)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "trajs/s")
 }
 
 // BenchmarkConvolve measures raw histogram convolution at routing-typical

@@ -28,6 +28,7 @@ func main() {
 	depProb := flag.Float64("dep", 0.75, "probability an intersection couples adjacent edges")
 	stickiness := flag.Float64("stick", 0.85, "congestion-mode carry-over probability at dependent intersections")
 	noise := flag.Float64("noise", 0, "per-traversal ±1-bucket noise probability")
+	congestion := flag.Float64("congestion", 1, "scale every congestion-mode multiplier (e.g. 2 = traffic twice as slow; feed the result to cmd/replay to exercise drift detection)")
 	width := flag.Float64("width", 2, "travel-time grid width in seconds")
 	worldSeed := flag.Uint64("world-seed", 7, "world model seed")
 	walkSeed := flag.Uint64("walk-seed", 99, "trajectory sampling seed")
@@ -50,6 +51,16 @@ func main() {
 	worldCfg.NoiseProb = *noise
 	worldCfg.BucketWidth = *width
 	worldCfg.Seed = *worldSeed
+	if *congestion != 1 {
+		for i := range worldCfg.ModeFactors {
+			worldCfg.ModeFactors[i] *= *congestion
+		}
+		for _, factors := range worldCfg.CategoryFactors {
+			for i := range factors {
+				factors[i] *= *congestion
+			}
+		}
+	}
 	world, err := traj.NewWorld(g, worldCfg)
 	if err != nil {
 		log.Fatal(err)

@@ -12,6 +12,13 @@
 //
 //	serve -synthetic -rows 20 -cols 20 -addr :8080
 //
+// Unless -ingest=false, the service also accepts live trajectories on
+// POST /ingest (stream them with cmd/replay), monitors them for
+// distribution drift against the serving model, and retrains +
+// hot-swaps the model in the background when drift fires (or every
+// -rebuild-every trajectories). /stats reports the model epoch and the
+// write path's counters.
+//
 // SIGINT/SIGTERM shut the server down gracefully, draining in-flight
 // requests.
 package main
@@ -28,13 +35,17 @@ import (
 	"stochroute"
 	"stochroute/internal/graph"
 	"stochroute/internal/hybrid"
+	"stochroute/internal/ingest"
 	"stochroute/internal/server"
 	"stochroute/internal/traj"
 )
 
-// The engine is the server's backend; keep the contract checked here,
-// where the two meet.
-var _ server.Backend = (*stochroute.Engine)(nil)
+// The engine is the server's backend and the ingestor's swap target;
+// keep both contracts checked here, where the three meet.
+var (
+	_ server.Backend = (*stochroute.Engine)(nil)
+	_ ingest.Target  = (*stochroute.Engine)(nil)
+)
 
 func main() {
 	log.SetFlags(0)
@@ -57,26 +68,80 @@ func main() {
 	pairCache := flag.Int("pair-cache", 16384, "pair-sum cache entries (negative disables)")
 	shards := flag.Int("cache-shards", 16, "cache lock shards")
 	bucket := flag.Float64("budget-bucket", 15, "route cache budget bucket in seconds (0 = exact budgets)")
+
+	ingestOn := flag.Bool("ingest", true, "enable POST /ingest with drift-triggered background retraining")
+	driftWindow := flag.Int("drift-window", 400, "trajectories per drift evaluation window (negative disables drift detection)")
+	driftThreshold := flag.Float64("drift-threshold", 0.12, "per-edge JS divergence counting as drifted")
+	driftFrac := flag.Float64("drift-frac", 0.25, "fraction of drifted edges that triggers a rebuild")
+	rebuildEvery := flag.Int("rebuild-every", 0, "unconditionally rebuild after this many ingested trajectories (0 = drift only)")
+	rebuildEpochs := flag.Int("rebuild-epochs", 0, "estimator epochs per background rebuild (0 = match cmd/train's default; align with the -epochs you trained with)")
+	rebuildTrainPairs := flag.Int("rebuild-train-pairs", 0, "training pairs per background rebuild (0 = default)")
+	rebuildTestPairs := flag.Int("rebuild-test-pairs", 0, "held-out pairs per background rebuild (0 = default)")
+	rebuildPrefixRows := flag.Int("rebuild-prefix-rows", -1, "virtual-edge phase-2 rows per rebuild (-1 = default, 0 disables the phase)")
+	maxTrajectories := flag.Int("max-trajectories", 50000, "aggregate bound: past this the oldest half ages out (negative = unbounded)")
+	maxIngestBytes := flag.Int64("max-ingest-bytes", 8<<20, "largest accepted /ingest body")
 	flag.Parse()
 
 	var (
-		eng *stochroute.Engine
-		err error
+		eng       *stochroute.Engine
+		seedTrajs []traj.Trajectory
+		hybridCfg hybrid.Config
+		err       error
 	)
 	if *synthetic {
 		cfg := stochroute.DefaultConfig()
 		cfg.Network.Rows, cfg.Network.Cols = *rows, *cols
 		cfg.Walk.NumTrajectories = *trajs
+		hybridCfg = cfg.Hybrid
 		log.Printf("building synthetic %dx%d engine (this trains a model; use artifact flags in production)", *rows, *cols)
 		eng, err = stochroute.BuildEngine(cfg, os.Stderr)
 	} else {
-		eng, err = loadEngine(*netPath, *trajPath, *modelPath, *width, *minObs)
+		hybridCfg = hybrid.DefaultConfig()
+		hybridCfg.Width = *width
+		hybridCfg.MinPairObs = *minObs
+		eng, seedTrajs, err = loadEngine(*netPath, *trajPath, *modelPath, *width, *minObs)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	g := eng.Graph()
-	log.Printf("engine ready: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	log.Printf("engine ready: %d vertices, %d edges (model epoch %d)", g.NumVertices(), g.NumEdges(), eng.ModelEpoch())
+
+	var ing *ingest.Ingestor
+	if *ingestOn {
+		// The rebuild trains with the same hyperparameters the serving
+		// model was built with (the synthetic build config, or
+		// width/min-obs in artifact mode) unless overridden: an operator
+		// who validated a light offline training run should not get
+		// default-heavy retraining behind their back.
+		if *rebuildEpochs > 0 {
+			hybridCfg.Estimator.Train.Epochs = *rebuildEpochs
+		}
+		if *rebuildTrainPairs > 0 {
+			hybridCfg.TrainPairs = *rebuildTrainPairs
+		}
+		if *rebuildTestPairs > 0 {
+			hybridCfg.TestPairs = *rebuildTestPairs
+		}
+		if *rebuildPrefixRows >= 0 {
+			hybridCfg.PrefixRows = *rebuildPrefixRows
+		}
+		ing = ingest.New(eng, ingest.Config{
+			Hybrid: hybridCfg,
+			Drift: ingest.DriftConfig{
+				Window:        *driftWindow,
+				EdgeThreshold: *driftThreshold,
+				DriftedFrac:   *driftFrac,
+				RebuildEvery:  *rebuildEvery,
+			},
+			MaxTrajectories: *maxTrajectories,
+		}, os.Stderr)
+		if len(seedTrajs) > 0 {
+			accepted, rejected := ing.Seed(seedTrajs)
+			log.Printf("ingest: seeded aggregate with %d baseline trajectories (%d rejected)", accepted, rejected)
+		}
+		log.Print("ingest: POST /ingest enabled (stream trajectories with cmd/replay)")
+	}
 
 	srv := server.New(eng, server.Config{
 		RequestTimeout:      *timeout,
@@ -84,6 +149,8 @@ func main() {
 		PairCache:           *pairCache,
 		CacheShards:         *shards,
 		BudgetBucketSeconds: *bucket,
+		Ingestor:            ing,
+		MaxIngestBytes:      *maxIngestBytes,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -96,35 +163,37 @@ func main() {
 }
 
 // loadEngine assembles an engine from saved artifacts: the network, the
-// trajectories (to rebuild the knowledge base the model binds to) and
-// the trained model. Nothing is retrained.
-func loadEngine(netPath, trajPath, modelPath string, width float64, minObs int) (*stochroute.Engine, error) {
+// trajectories (to rebuild the knowledge base the model binds to, and
+// to seed the ingestion aggregate) and the trained model. Nothing is
+// retrained.
+func loadEngine(netPath, trajPath, modelPath string, width float64, minObs int) (*stochroute.Engine, []traj.Trajectory, error) {
 	f, err := os.Open(netPath)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	g, err := graph.Read(f)
 	f.Close()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tf, err := os.Open(trajPath)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	trs, err := traj.ReadTrajectories(tf, g)
 	tf.Close()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	mf, err := os.Open(modelPath)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	model, err := hybrid.ReadModel(mf)
 	mf.Close()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return stochroute.NewEngineWithModel(g, trs, width, minObs, model)
+	eng, err := stochroute.NewEngineWithModel(g, trs, width, minObs, model)
+	return eng, trs, err
 }

@@ -26,8 +26,12 @@
 //   - internal/routing — Dijkstra baselines and Probabilistic Budget
 //     Routing with the paper's four prunings and the anytime extension
 //   - internal/server — the concurrent routing service: an HTTP/JSON
-//     API over a shared engine with a sharded LRU result cache (run it
-//     with cmd/serve, measure it with cmd/loadgen)
+//     API over a shared engine with an epoch-validated sharded LRU
+//     result cache (run it with cmd/serve, measure it with cmd/loadgen)
+//   - internal/ingest — the write path: streaming trajectory ingestion
+//     with drift detection and background retraining, published
+//     through the engine's epoch-tagged model hot swap (exercise it
+//     end to end with cmd/replay against POST /ingest)
 //   - internal/exp — the harness that regenerates every table of the
 //     paper's evaluation
 //
@@ -40,6 +44,14 @@
 // RouteResult.NumConvolved/NumEstimated) plus atomic lifetime totals.
 // Earlier versions required serialising Route calls or cloning models
 // per goroutine; that caveat is gone.
+//
+// The serving model itself lives behind an epoch-tagged atomic
+// pointer: Engine.SwapModel (used by internal/ingest after a
+// background rebuild, and by LoadModel) publishes a new model
+// generation without pausing queries. In-flight queries finish on the
+// snapshot they started with, new queries see the new generation, and
+// every RouteResult carries the ModelEpoch that answered it so callers
+// and caches can tell generations apart.
 //
 // # Quick start
 //

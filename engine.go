@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"stochroute/internal/geo"
@@ -16,21 +18,48 @@ import (
 	"stochroute/internal/traj"
 )
 
+// modelSnapshot is one immutable serving generation: the model, the
+// knowledge base it is attached to, and the observations both were
+// derived from, tagged with a monotonically increasing epoch. Queries
+// load the snapshot once and use it consistently throughout, so a
+// concurrent swap can never hand half a query the old model and half
+// the new one.
+type modelSnapshot struct {
+	model     *hybrid.Model
+	kb        *hybrid.KnowledgeBase
+	obs       *traj.ObservationStore
+	epoch     uint64
+	swappedAt time.Time
+
+	// baseConvolved/baseEstimated carry the decision totals of every
+	// retired generation, folded in at swap time, so DecisionCounts is
+	// one snapshot read — the fold and the publish are a single atomic
+	// pointer store, never transiently double-counted.
+	baseConvolved uint64
+	baseEstimated uint64
+}
+
 // Engine is the assembled system: a road network, the trained Hybrid
 // Model over it, and the query algorithms. The whole query surface —
 // Route, RouteAnytime, RouteWithOptions, AlternativeRoutes,
 // PathDistribution, PairSum and friends — is read-only and safe for
 // any number of concurrent goroutines on one shared Engine; decision
 // telemetry is kept per-request and in atomic lifetime totals.
-// Mutating operations (LoadModel) must not race with in-flight
-// queries.
+//
+// The serving model lives behind an epoch-tagged atomic pointer:
+// SwapModel (and LoadModel, which is built on it) atomically publishes
+// a new model generation while queries are in flight. In-flight
+// queries finish on the snapshot they started with; new queries see
+// the new epoch. Every RouteResult is stamped with the epoch that
+// answered it so callers (and the serving layer's caches) can
+// correlate answers with model generations.
 type Engine struct {
 	graph *graph.Graph
 	index *graph.GridIndex
 	world *traj.World // nil when built from external observations
-	obs   *traj.ObservationStore
-	kb    *hybrid.KnowledgeBase
-	model *hybrid.Model
+
+	current atomic.Pointer[modelSnapshot]
+	swapMu  sync.Mutex // serialises swaps; queries never take it
 
 	// Report is the KL-divergence evaluation captured during training.
 	Report *EvalReport
@@ -94,14 +123,13 @@ func NewEngineFromObservations(g *Graph, trajs []Trajectory, cfg hybrid.Config, 
 	}
 	fmt.Fprintf(logW, "stochroute: KL(hybrid)=%.4f KL(conv)=%.4f on %d held-out pairs\n",
 		report.MeanKLHybrid, report.MeanKLConv, report.TestPairs)
-	return &Engine{
+	eng := &Engine{
 		graph:  g,
 		index:  graph.NewGridIndex(g, 500),
-		obs:    obs,
-		kb:     kb,
-		model:  model,
 		Report: report,
-	}, nil
+	}
+	eng.current.Store(&modelSnapshot{model: model, kb: kb, obs: obs, epoch: 1, swappedAt: time.Now()})
+	return eng, nil
 }
 
 // NewEngineWithModel assembles an engine over an existing graph,
@@ -125,26 +153,91 @@ func NewEngineWithModel(g *Graph, trajs []Trajectory, width float64, minPairObs 
 	if err := model.AttachKB(kb); err != nil {
 		return nil, err
 	}
-	return &Engine{
+	eng := &Engine{
 		graph: g,
 		index: graph.NewGridIndex(g, 500),
-		obs:   obs,
-		kb:    kb,
-		model: model,
-	}, nil
+	}
+	eng.current.Store(&modelSnapshot{model: model, kb: kb, obs: obs, epoch: 1, swappedAt: time.Now()})
+	return eng, nil
 }
 
 // Graph returns the engine's road network.
 func (e *Engine) Graph() *Graph { return e.graph }
 
-// Model returns the trained hybrid model.
-func (e *Engine) Model() *Model { return e.model }
+// Model returns the currently serving hybrid model.
+func (e *Engine) Model() *Model { return e.current.Load().model }
 
-// KnowledgeBase returns the per-edge/per-pair statistics.
-func (e *Engine) KnowledgeBase() *KnowledgeBase { return e.kb }
+// KnowledgeBase returns the per-edge/per-pair statistics of the
+// currently serving model generation.
+func (e *Engine) KnowledgeBase() *KnowledgeBase { return e.current.Load().kb }
 
-// Observations returns the trajectory-derived training data.
-func (e *Engine) Observations() *ObservationStore { return e.obs }
+// Observations returns the observation aggregate the currently serving
+// model generation was derived from.
+func (e *Engine) Observations() *ObservationStore { return e.current.Load().obs }
+
+// ModelEpoch returns the monotonically increasing generation number of
+// the currently serving model. The initial model is epoch 1; every
+// SwapModel/LoadModel bumps it.
+func (e *Engine) ModelEpoch() uint64 { return e.current.Load().epoch }
+
+// LastSwap returns the serving epoch and the time it was published.
+func (e *Engine) LastSwap() (epoch uint64, at time.Time) {
+	cur := e.current.Load()
+	return cur.epoch, cur.swappedAt
+}
+
+// SwapModel atomically publishes model (with its attached knowledge
+// base) as the next serving generation and returns the new epoch.
+// obs optionally records the observation aggregate the model was
+// rebuilt from (nil keeps the previous aggregate). In-flight queries
+// finish on the snapshot they started with; queries that start after
+// SwapModel returns see the new model and carry the new epoch in
+// their RouteResult. Safe to call while any number of queries run.
+func (e *Engine) SwapModel(model *Model, obs *ObservationStore) (uint64, error) {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	return e.swapLocked(model, obs)
+}
+
+// swapLocked publishes model as the next generation. Callers hold
+// e.swapMu.
+func (e *Engine) swapLocked(model *Model, obs *ObservationStore) (uint64, error) {
+	if model == nil {
+		return 0, errors.New("stochroute: SwapModel with nil model")
+	}
+	kb := model.KB
+	if kb == nil {
+		return 0, errors.New("stochroute: SwapModel with no knowledge base attached")
+	}
+	if g := kb.Graph(); g == nil || g.NumVertices() != e.graph.NumVertices() || g.NumEdges() != e.graph.NumEdges() {
+		return 0, errors.New("stochroute: SwapModel knowledge base built over a different graph")
+	}
+	prev := e.current.Load()
+	if obs == nil {
+		obs = prev.obs
+	}
+	next := &modelSnapshot{
+		model:         model,
+		kb:            kb,
+		obs:           obs,
+		epoch:         prev.epoch + 1,
+		swappedAt:     time.Now(),
+		baseConvolved: prev.baseConvolved,
+		baseEstimated: prev.baseEstimated,
+	}
+	// Fold the retiring model's lifetime decision counters into the
+	// new snapshot's base so DecisionCounts keeps counting across
+	// swaps. (Queries still in flight on the old model may add a few
+	// more decisions after this read; those are lost from the total.)
+	if prev.model != model {
+		conv, est := prev.model.DecisionCounts()
+		next.baseConvolved += conv
+		next.baseEstimated += est
+		model.ResetCounters()
+	}
+	e.current.Store(next)
+	return next.epoch, nil
+}
 
 // World returns the synthetic ground-truth world, or nil for engines
 // built from external observations.
@@ -171,54 +264,61 @@ func (e *Engine) RouteAnytime(source, dest VertexID, budget float64, limit time.
 
 // RouteWithOptions exposes every knob of the budget-routing search. The
 // result carries per-request cost-model telemetry (NumConvolved /
-// NumEstimated) collected race-free even when many queries run at once.
+// NumEstimated) collected race-free even when many queries run at once,
+// plus the ModelEpoch of the generation that answered it.
 func (e *Engine) RouteWithOptions(source, dest VertexID, opts RouteOptions) (*RouteResult, error) {
+	cur := e.current.Load()
 	var qs hybrid.QueryStats
-	res, err := routing.PBR(e.graph, e.model.WithStats(&qs), source, dest, opts)
+	res, err := routing.PBR(e.graph, cur.model.WithStats(&qs), source, dest, opts)
 	if err != nil {
 		return nil, err
 	}
 	res.NumConvolved = qs.Convolved
 	res.NumEstimated = qs.Estimated
+	res.ModelEpoch = cur.epoch
 	return res, nil
 }
 
-// DecisionCounts returns the model's lifetime convolve/estimate totals
-// across every query answered so far.
+// DecisionCounts returns the engine's lifetime convolve/estimate totals
+// across every query answered so far, including by model generations
+// since retired by SwapModel.
 func (e *Engine) DecisionCounts() (convolved, estimated uint64) {
-	return e.model.DecisionCounts()
+	cur := e.current.Load()
+	conv, est := cur.model.DecisionCounts()
+	return cur.baseConvolved + conv, cur.baseEstimated + est
 }
 
 // PairSum returns the model's distribution for traversing the adjacent
 // edge pair (first, second) — the hot unit of the paper's evaluation,
 // served (and cached) by internal/server.
 func (e *Engine) PairSum(first, second EdgeID) (*Hist, error) {
-	return e.model.PairSumEstimate(first, second)
+	return e.current.Load().model.PairSumEstimate(first, second)
 }
 
 // MeanRoute returns the classical mean-cost shortest path (the paper's
 // pitfall baseline) and its expected travel time in seconds.
 func (e *Engine) MeanRoute(source, dest VertexID) ([]EdgeID, float64, error) {
-	return routing.MeanCostPath(e.graph, e.kb, source, dest)
+	return routing.MeanCostPath(e.graph, e.current.Load().kb, source, dest)
 }
 
 // OptimisticTime returns the fastest-possible travel time in seconds
 // between the endpoints under the model's admissible lower bounds.
 func (e *Engine) OptimisticTime(source, dest VertexID) (float64, error) {
-	_, t, err := routing.Dijkstra(e.graph, e.kb.MinEdgeTime, source, dest)
+	_, t, err := routing.Dijkstra(e.graph, e.current.Load().kb.MinEdgeTime, source, dest)
 	return t, err
 }
 
 // PathDistribution computes the hybrid travel-time distribution of an
 // explicit edge path via the iterative virtual-edge procedure.
 func (e *Engine) PathDistribution(edges []EdgeID) (*Hist, error) {
-	return hybrid.PathCost(e.model, edges)
+	return hybrid.PathCost(e.current.Load().model, edges)
 }
 
 // ConvolutionDistribution computes the same path's distribution under
 // the independence assumption — the baseline the paper improves on.
 func (e *Engine) ConvolutionDistribution(edges []EdgeID) (*Hist, error) {
-	return hybrid.PathCost(&hybrid.ConvolutionCoster{KB: e.kb, MaxBuckets: e.model.MaxBuckets}, edges)
+	cur := e.current.Load()
+	return hybrid.PathCost(&hybrid.ConvolutionCoster{KB: cur.kb, MaxBuckets: cur.model.MaxBuckets}, edges)
 }
 
 // TrueDistribution returns the oracle distribution of a path under the
@@ -260,26 +360,25 @@ func LoadGraph(path string) (*Graph, error) {
 	return graph.Read(f)
 }
 
-// SaveModel writes the trained hybrid model to path in the SRHM binary
-// format.
+// SaveModel writes the currently serving hybrid model to path in the
+// SRHM binary format.
 func (e *Engine) SaveModel(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := hybrid.WriteModel(f, e.model); err != nil {
+	if err := hybrid.WriteModel(f, e.current.Load().model); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// LoadModel replaces the engine's hybrid model with one written by
-// SaveModel, attached to the engine's knowledge base. A loaded model
-// with MaxBuckets == 0 (unlimited support) inherits the previous
-// model's cap; an engine is normally constructed with a model, but if
-// this one was not, the loaded value stands as-is. LoadModel mutates
-// the engine and must not race with in-flight queries.
+// LoadModel hot-swaps in a model written by SaveModel, attached to the
+// currently serving knowledge base, bumping the model epoch. A loaded
+// model with MaxBuckets == 0 (unlimited support) inherits the previous
+// model's cap. Safe to call while queries are in flight: this is
+// SwapModel with the model read from disk.
 func (e *Engine) LoadModel(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -290,14 +389,21 @@ func (e *Engine) LoadModel(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := m.AttachKB(e.kb); err != nil {
+	// Attach under the swap lock so a concurrent SwapModel (e.g. an
+	// ingest rebuild finishing) cannot slip between reading the current
+	// knowledge base and publishing: the loaded model always binds to
+	// the knowledge base it will actually serve with.
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	cur := e.current.Load()
+	if err := m.AttachKB(cur.kb); err != nil {
 		return err
 	}
-	if m.MaxBuckets == 0 && e.model != nil {
-		m.MaxBuckets = e.model.MaxBuckets
+	if m.MaxBuckets == 0 {
+		m.MaxBuckets = cur.model.MaxBuckets
 	}
-	e.model = m
-	return nil
+	_, err = e.swapLocked(m, nil)
+	return err
 }
 
 // AlternativeRoute is one member of the stochastic skyline.
@@ -308,7 +414,7 @@ type AlternativeRoute = routing.ParetoRoute
 // unknown deadline would choose from. The budget-routing answer for any
 // budget within the horizon is (up to search caps) a member of this set.
 func (e *Engine) AlternativeRoutes(source, dest VertexID, horizon float64, maxRoutes int) ([]AlternativeRoute, error) {
-	return routing.ParetoRoutes(e.graph, e.model, source, dest, routing.ParetoOptions{
+	return routing.ParetoRoutes(e.graph, e.current.Load().model, source, dest, routing.ParetoOptions{
 		Horizon:   horizon,
 		MaxRoutes: maxRoutes,
 	})
@@ -318,8 +424,9 @@ func (e *Engine) AlternativeRoutes(source, dest VertexID, horizon float64, maxRo
 // (Yen's algorithm) and ranks them by the hybrid model's on-time
 // probability at the given budget — the k-shortest-paths baseline.
 func (e *Engine) RankedAlternatives(source, dest VertexID, budget float64, k int) ([]routing.ScoredPath, error) {
-	return routing.KSPBudgetRouting(e.graph, e.model, func(id EdgeID) float64 {
-		return e.kb.Edge(id).Mean
+	cur := e.current.Load()
+	return routing.KSPBudgetRouting(e.graph, cur.model, func(id EdgeID) float64 {
+		return cur.kb.Edge(id).Mean
 	}, source, dest, budget, k)
 }
 
@@ -327,11 +434,12 @@ func (e *Engine) RankedAlternatives(source, dest VertexID, budget float64, k int
 // present) ground-truth distributions for one adjacent edge pair — the
 // unit the paper's KL evaluation compares.
 func (e *Engine) PairExample(first, second EdgeID) (hybridDist, convDist, truth *Hist, err error) {
-	hybridDist, err = e.model.PairSumEstimate(first, second)
+	cur := e.current.Load()
+	hybridDist, err = cur.model.PairSumEstimate(first, second)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	convDist = hist.MustConvolve(e.kb.Edge(first).Marginal, e.kb.Edge(second).Marginal)
+	convDist = hist.MustConvolve(cur.kb.Edge(first).Marginal, cur.kb.Edge(second).Marginal)
 	if e.world != nil {
 		truth = e.world.PairJointSum(first, second, e.graph.Edge(second).From)
 	}

@@ -414,3 +414,102 @@ func TestNewEngineFromObservationsValidation(t *testing.T) {
 		t.Error("nil graph should error")
 	}
 }
+
+// TestEngineHotSwapDuringQueries exercises the epoch-tagged model swap
+// while queries run (the -race gate for SwapModel): answers must stay
+// correct throughout, and post-swap results must carry the new epoch.
+// The swapped-in model shares the serving model's weights, so every
+// answer — old or new generation — must equal the serial baseline.
+func TestEngineHotSwapDuringQueries(t *testing.T) {
+	e := testEngine(t)
+	qs, err := e.SampleQueries(0.4, 1.2, 4, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := make([]float64, len(qs))
+	want := make([]float64, len(qs))
+	for i, q := range qs {
+		optimistic, err := e.OptimisticTime(q.Source, q.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budgets[i] = 1.35 * optimistic
+		res, err := e.Route(q.Source, q.Dest, budgets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Prob
+	}
+
+	startEpoch := e.ModelEpoch()
+	clone := e.Model().CloneForConcurrentUse()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				k := (w + i) % len(qs)
+				res, err := e.Route(qs[k].Source, qs[k].Dest, budgets[k])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if res.Prob != want[k] {
+					errs[w] = fmt.Errorf("worker %d: prob %v != serial %v (epoch %d)", w, res.Prob, want[k], res.ModelEpoch)
+					return
+				}
+				if res.ModelEpoch != startEpoch && res.ModelEpoch != startEpoch+1 {
+					errs[w] = fmt.Errorf("worker %d: unexpected epoch %d", w, res.ModelEpoch)
+					return
+				}
+			}
+		}(w)
+	}
+
+	epoch, err := e.SwapModel(clone, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != startEpoch+1 {
+		t.Errorf("swap returned epoch %d, want %d", epoch, startEpoch+1)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if e.ModelEpoch() != epoch {
+		t.Errorf("ModelEpoch = %d, want %d", e.ModelEpoch(), epoch)
+	}
+	if gotEpoch, at := e.LastSwap(); gotEpoch != epoch || at.IsZero() {
+		t.Errorf("LastSwap = (%d, %v)", gotEpoch, at)
+	}
+	res, err := e.Route(qs[0].Source, qs[0].Dest, budgets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelEpoch != epoch {
+		t.Errorf("post-swap route carries epoch %d, want %d", res.ModelEpoch, epoch)
+	}
+	conv, est := e.DecisionCounts()
+	if conv+est == 0 {
+		t.Error("lifetime decision totals should survive the swap")
+	}
+}
+
+func TestEngineSwapModelValidation(t *testing.T) {
+	e := testEngine(t)
+	if _, err := e.SwapModel(nil, nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	orphan := &Model{}
+	if _, err := e.SwapModel(orphan, nil); err == nil {
+		t.Error("model without knowledge base accepted")
+	}
+}

@@ -1,0 +1,39 @@
+// Package ingest is the write path of the routing service: a streaming
+// trajectory-ingestion subsystem that keeps the hybrid model (Pedersen,
+// Yang, Jensen; ICDE 2020) learning while the engine serves queries.
+//
+// The paper trains its model offline from map-matched GPS trajectories,
+// but real road networks drift — travel-time distributions shift with
+// traffic — so a production deployment must fold live trajectories back
+// into the model without stopping the read path. The subsystem has
+// three cooperating parts:
+//
+//   - Ingestor accepts trajectory batches (via the Go API or the
+//     server's POST /ingest endpoint), validates them against the road
+//     graph, and folds them into an incremental observation aggregate —
+//     append-only traj.ObservationStore merges, never a rebuild from
+//     scratch. Ingestion is cheap and synchronous; everything expensive
+//     happens in the background.
+//
+//   - DriftMonitor watches a sliding window of fresh observations and
+//     compares per-edge empirical travel-time histograms against the
+//     serving model's marginals with the Jensen–Shannon divergence
+//     (internal/hist). When enough edges drift past the configured
+//     threshold — or unconditionally every DriftConfig.RebuildEvery
+//     accepted trajectories — a rebuild triggers.
+//
+//   - The rebuild runs in a single background goroutine over a
+//     point-in-time snapshot of the aggregate (ingestion continues
+//     concurrently): it re-derives the knowledge base's histograms,
+//     retrains the estimation network and the convolve-vs-estimate
+//     classifier, and publishes the result through Target.SwapModel —
+//     the engine's epoch-tagged atomic pointer hot swap. Queries in
+//     flight finish on the old generation; new queries see the new
+//     epoch, and the serving layer's result caches invalidate on the
+//     epoch bump, so stale route answers never survive a swap.
+//
+// A failed rebuild (for example, too few pairs with support yet) is
+// counted and logged but never disturbs the serving model. Use
+// cmd/replay to stream a recorded SRT1 trajectory file through
+// POST /ingest at a configurable rate and exercise the whole pipeline.
+package ingest

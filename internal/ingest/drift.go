@@ -1,0 +1,146 @@
+package ingest
+
+import (
+	"stochroute/internal/graph"
+	"stochroute/internal/hist"
+	"stochroute/internal/hybrid"
+	"stochroute/internal/traj"
+)
+
+// DriftConfig tunes when the ingestor decides the serving model has
+// gone stale. The zero value means "defaults"; a negative Window
+// disables drift detection entirely (trajectory-count rebuilds still
+// apply when RebuildEvery is set).
+type DriftConfig struct {
+	// Window is the number of accepted trajectories per drift
+	// evaluation window (default 400, negative disables detection).
+	Window int
+	// MinEdgeObs is the number of fresh samples an edge needs within
+	// the window before its histogram is compared (default 8).
+	MinEdgeObs int
+	// MinEdges is the number of comparable edges a window needs before
+	// a drift score may fire a rebuild (default 5) — a handful of busy
+	// edges must not retrain the whole network.
+	MinEdges int
+	// EdgeThreshold is the Jensen–Shannon divergence (nats, max ln 2)
+	// between an edge's fresh histogram and its serving marginal above
+	// which the edge counts as drifted (default 0.12).
+	EdgeThreshold float64
+	// DriftedFrac is the fraction of comparable edges that must drift
+	// for the window to fire (default 0.25).
+	DriftedFrac float64
+	// RebuildEvery unconditionally triggers a rebuild after this many
+	// accepted trajectories since the last one, regardless of drift
+	// (default 0 = disabled).
+	RebuildEvery int
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Window == 0 {
+		c.Window = 400
+	}
+	if c.MinEdgeObs <= 0 {
+		c.MinEdgeObs = 8
+	}
+	if c.MinEdges <= 0 {
+		c.MinEdges = 5
+	}
+	if c.EdgeThreshold == 0 {
+		c.EdgeThreshold = 0.12
+	}
+	if c.DriftedFrac == 0 {
+		c.DriftedFrac = 0.25
+	}
+	return c
+}
+
+// DriftReport is the outcome of evaluating one drift window.
+type DriftReport struct {
+	// Checked is the number of edges with enough fresh samples to
+	// compare; Drifted of them exceeded EdgeThreshold.
+	Checked int
+	Drifted int
+	// Score is Drifted/Checked (0 when nothing was comparable).
+	Score float64
+	// MaxDivergence and MeanDivergence summarise the per-edge JS
+	// divergences of the checked edges.
+	MaxDivergence  float64
+	MeanDivergence float64
+	// Fired reports whether the window met the rebuild criteria.
+	Fired bool
+}
+
+// DriftMonitor accumulates fresh per-edge travel-time samples over a
+// window of accepted trajectories and scores them against the serving
+// model's marginals. It is not safe for concurrent use; the Ingestor
+// serialises access under its mutex.
+type DriftMonitor struct {
+	cfg   DriftConfig
+	width float64
+	fresh map[graph.EdgeID][]float64
+	seen  int
+}
+
+// NewDriftMonitor returns a monitor on the given histogram grid width
+// (which must match the serving knowledge base's width).
+func NewDriftMonitor(cfg DriftConfig, width float64) *DriftMonitor {
+	return &DriftMonitor{
+		cfg:   cfg.withDefaults(),
+		width: width,
+		fresh: make(map[graph.EdgeID][]float64),
+	}
+}
+
+// Enabled reports whether drift detection is on.
+func (m *DriftMonitor) Enabled() bool { return m.cfg.Window > 0 }
+
+// Observe folds one accepted trajectory into the current window.
+func (m *DriftMonitor) Observe(tr *traj.Trajectory) {
+	if !m.Enabled() {
+		return
+	}
+	for i, e := range tr.Edges {
+		m.fresh[e] = append(m.fresh[e], tr.Times[i])
+	}
+	m.seen++
+}
+
+// Ready reports whether the window is full and should be evaluated.
+func (m *DriftMonitor) Ready() bool { return m.Enabled() && m.seen >= m.cfg.Window }
+
+// Evaluate scores the current window against kb's per-edge marginals
+// and resets the window. Edges whose fresh histogram cannot be
+// compared (too few samples, grid mismatch) are skipped.
+func (m *DriftMonitor) Evaluate(kb *hybrid.KnowledgeBase) DriftReport {
+	var rep DriftReport
+	sum := 0.0
+	for e, samples := range m.fresh {
+		if len(samples) < m.cfg.MinEdgeObs {
+			continue
+		}
+		freshHist, err := hist.FromSamples(samples, m.width)
+		if err != nil {
+			continue
+		}
+		js, err := hist.JS(freshHist, kb.Edge(e).Marginal)
+		if err != nil {
+			continue
+		}
+		rep.Checked++
+		sum += js
+		if js > rep.MaxDivergence {
+			rep.MaxDivergence = js
+		}
+		if js > m.cfg.EdgeThreshold {
+			rep.Drifted++
+		}
+	}
+	if rep.Checked > 0 {
+		rep.Score = float64(rep.Drifted) / float64(rep.Checked)
+		rep.MeanDivergence = sum / float64(rep.Checked)
+	}
+	rep.Fired = rep.Checked >= m.cfg.MinEdges && rep.Score >= m.cfg.DriftedFrac
+	m.fresh = make(map[graph.EdgeID][]float64)
+	m.seen = 0
+	return rep
+}

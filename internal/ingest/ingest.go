@@ -1,0 +1,349 @@
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stochroute/internal/graph"
+	"stochroute/internal/hybrid"
+	"stochroute/internal/traj"
+)
+
+// Target is the serving engine the ingestor feeds: it exposes the road
+// graph trajectories are validated against, the currently serving
+// knowledge base drift is scored against, and the epoch-tagged model
+// hot swap a finished rebuild publishes through. *stochroute.Engine
+// satisfies the interface. All methods must be safe for concurrent
+// use.
+type Target interface {
+	Graph() *graph.Graph
+	KnowledgeBase() *hybrid.KnowledgeBase
+	ModelEpoch() uint64
+	SwapModel(model *hybrid.Model, obs *traj.ObservationStore) (uint64, error)
+}
+
+// Config tunes the ingestion subsystem.
+type Config struct {
+	// Hybrid parameterises background retraining: grid width, minimum
+	// pair support, estimator and classifier settings. Width must
+	// match the serving model's grid width.
+	Hybrid hybrid.Config
+	// Drift tunes drift detection and the trajectory-count rebuild
+	// trigger.
+	Drift DriftConfig
+	// MinRebuildTrajectories is the minimum aggregate size before any
+	// rebuild may start (default 200): retraining on a handful of
+	// trajectories would replace a good model with noise.
+	MinRebuildTrajectories int
+	// MaxTrajectories bounds the cumulative aggregate (default 50000,
+	// negative = unbounded). Past the bound the oldest half ages out
+	// and the aggregate is recollected from the retained tail, keeping
+	// memory and rebuild cost flat on a long-running service and
+	// letting post-drift data displace the old regime instead of being
+	// forever diluted by it.
+	MaxTrajectories int
+}
+
+func (c Config) withDefaults() Config {
+	c.Drift = c.Drift.withDefaults()
+	if c.MinRebuildTrajectories <= 0 {
+		c.MinRebuildTrajectories = 200
+	}
+	if c.MaxTrajectories == 0 {
+		c.MaxTrajectories = 50000
+	}
+	return c
+}
+
+// Status is a point-in-time snapshot of the subsystem, surfaced by the
+// server's /stats endpoint.
+type Status struct {
+	// Accepted and Rejected count live ingestion only; Seeded counts
+	// baseline trajectories preloaded with Seed.
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+	Seeded   uint64 `json:"seeded"`
+	// Trajectories and EdgeObservations size the cumulative aggregate
+	// (seeded + live, after any age-out); AggregatePrunes counts
+	// MaxTrajectories age-outs.
+	Trajectories     int    `json:"trajectories"`
+	EdgeObservations int    `json:"edge_observations"`
+	AggregatePrunes  uint64 `json:"aggregate_prunes"`
+	// SinceRebuild counts accepted trajectories since the last rebuild
+	// trigger.
+	SinceRebuild  int    `json:"since_rebuild"`
+	Rebuilding    bool   `json:"rebuilding"`
+	Rebuilds      uint64 `json:"rebuilds"`
+	RebuildErrors uint64 `json:"rebuild_errors"`
+	DriftEvents   uint64 `json:"drift_events"`
+	// LastDriftScore is the drifted-edge fraction of the most recently
+	// evaluated window.
+	LastDriftScore float64 `json:"last_drift_score"`
+	// LastSwapUnixMS is the wall-clock time of the last successful
+	// model swap (0 = never).
+	LastSwapUnixMS int64 `json:"last_swap_unix_ms"`
+}
+
+// Ingestor is the streaming write path: it validates incoming
+// trajectories, folds them into an incremental observation aggregate,
+// monitors drift against the serving model, and rebuilds + hot-swaps
+// the model in the background when a trigger fires. All methods are
+// safe for concurrent use.
+type Ingestor struct {
+	target Target
+	cfg    Config
+	logf   func(format string, args ...any)
+
+	mu           sync.Mutex
+	obs          *traj.ObservationStore // cumulative append-only aggregate
+	trajs        []traj.Trajectory      // cumulative accepted trajectories
+	drift        *DriftMonitor
+	sinceRebuild int
+	rebuilding   bool
+	rebuildWG    sync.WaitGroup
+
+	accepted       atomic.Uint64
+	rejected       atomic.Uint64
+	seeded         atomic.Uint64
+	prunes         atomic.Uint64
+	rebuilds       atomic.Uint64
+	rebuildErrors  atomic.Uint64
+	driftEvents    atomic.Uint64
+	lastDriftScore atomic.Uint64 // math.Float64bits
+	lastSwapUnixMS atomic.Int64
+}
+
+// New assembles an ingestor over target. Progress lines go to logW
+// (nil silences them).
+func New(target Target, cfg Config, logW io.Writer) *Ingestor {
+	cfg = cfg.withDefaults()
+	logf := func(string, ...any) {}
+	if logW != nil {
+		logf = func(format string, args ...any) { fmt.Fprintf(logW, format+"\n", args...) }
+	}
+	return &Ingestor{
+		target: target,
+		cfg:    cfg,
+		logf:   logf,
+		obs:    traj.NewObservationStore(target.Graph(), cfg.Hybrid.Width),
+		drift:  NewDriftMonitor(cfg.Drift, cfg.Hybrid.Width),
+	}
+}
+
+// Seed preloads the aggregate with baseline trajectories (for example
+// the offline training set the serving model came from) without
+// feeding the drift monitor or triggering rebuilds. Returns how many
+// were accepted and rejected.
+func (in *Ingestor) Seed(trs []traj.Trajectory) (accepted, rejected int) {
+	return in.fold(trs, false)
+}
+
+// Ingest validates and folds a batch of trajectories into the
+// aggregate, feeds the drift monitor, and — when a drift or
+// trajectory-count trigger fires and no rebuild is in flight — kicks
+// off a background rebuild of the model. Invalid trajectories
+// (discontinuous, unknown edges, non-finite or negative times) are
+// counted and skipped, never fatal. Returns how many were accepted
+// and rejected.
+func (in *Ingestor) Ingest(trs []traj.Trajectory) (accepted, rejected int) {
+	return in.fold(trs, true)
+}
+
+func (in *Ingestor) fold(trs []traj.Trajectory, live bool) (accepted, rejected int) {
+	g := in.target.Graph()
+	valid := make([]traj.Trajectory, 0, len(trs))
+	for i := range trs {
+		if err := validateTrajectory(g, &trs[i]); err != nil {
+			rejected++
+			continue
+		}
+		valid = append(valid, trs[i])
+	}
+	accepted = len(valid)
+	if live {
+		in.accepted.Add(uint64(accepted))
+		in.rejected.Add(uint64(rejected))
+	} else {
+		in.seeded.Add(uint64(accepted))
+	}
+	if accepted == 0 {
+		return
+	}
+	// Build the delta outside the lock; merging it in is cheap.
+	delta := traj.NewObservationStore(g, in.cfg.Hybrid.Width)
+	delta.Collect(valid)
+
+	var (
+		trigger   bool
+		reason    string
+		snapObs   *traj.ObservationStore
+		snapTrajs []traj.Trajectory
+	)
+	in.mu.Lock()
+	in.obs.Merge(delta)
+	in.trajs = append(in.trajs, valid...)
+	if in.cfg.MaxTrajectories > 0 && len(in.trajs) > in.cfg.MaxTrajectories {
+		in.pruneLocked()
+	}
+	if live {
+		in.sinceRebuild += accepted
+		for i := range valid {
+			in.drift.Observe(&valid[i])
+		}
+		trigger, reason = in.checkTriggersLocked()
+		if trigger && !in.rebuilding && len(in.trajs) >= in.cfg.MinRebuildTrajectories {
+			in.rebuilding = true
+			in.sinceRebuild = 0
+			snapObs = in.obs.Snapshot()
+			// O(1) snapshot: in.trajs is append-only between prunes
+			// (appends past the clamped cap never enter this view) and
+			// pruneLocked replaces the slice wholesale, leaving an
+			// outstanding snapshot on the old backing array.
+			snapTrajs = in.trajs[:len(in.trajs):len(in.trajs)]
+		} else {
+			trigger = false
+		}
+	}
+	in.mu.Unlock()
+
+	if trigger {
+		in.rebuildWG.Add(1)
+		go in.rebuild(snapObs, snapTrajs, reason)
+	}
+	return
+}
+
+// pruneLocked ages out the oldest half of the aggregate once it
+// exceeds Config.MaxTrajectories: the newest half is retained and the
+// observation store is recollected from it. A rebuild snapshot taken
+// earlier keeps its own maps and slice, so an in-flight rebuild is
+// unaffected. The recollect runs under in.mu and stalls concurrent
+// Ingest calls briefly, but only once per MaxTrajectories/2 accepted
+// trajectories — amortised it is a small fraction of the per-batch
+// merge cost. Callers hold in.mu.
+func (in *Ingestor) pruneLocked() {
+	keep := in.cfg.MaxTrajectories / 2
+	if keep < 1 {
+		keep = 1
+	}
+	dropped := len(in.trajs) - keep
+	in.trajs = append([]traj.Trajectory(nil), in.trajs[len(in.trajs)-keep:]...)
+	obs := traj.NewObservationStore(in.target.Graph(), in.cfg.Hybrid.Width)
+	obs.Collect(in.trajs)
+	in.obs = obs
+	in.prunes.Add(1)
+	in.logf("ingest: aggregate pruned: dropped %d oldest trajectories, retained %d", dropped, keep)
+}
+
+// checkTriggersLocked evaluates a full drift window and the
+// trajectory-count trigger. Callers hold in.mu.
+func (in *Ingestor) checkTriggersLocked() (bool, string) {
+	if in.drift.Ready() {
+		rep := in.drift.Evaluate(in.target.KnowledgeBase())
+		in.lastDriftScore.Store(math.Float64bits(rep.Score))
+		if rep.Fired {
+			in.driftEvents.Add(1)
+			in.logf("ingest: drift fired: %d/%d edges past threshold (max JS %.3f, mean %.3f)",
+				rep.Drifted, rep.Checked, rep.MaxDivergence, rep.MeanDivergence)
+			return true, "drift"
+		}
+	}
+	if in.cfg.Drift.RebuildEvery > 0 && in.sinceRebuild >= in.cfg.Drift.RebuildEvery {
+		return true, "trajectory count"
+	}
+	return false, ""
+}
+
+// rebuild re-derives the knowledge base and retrains the hybrid model
+// on a snapshot of the aggregate, then hot-swaps it into the target.
+// Runs in its own goroutine; at most one rebuild is in flight.
+func (in *Ingestor) rebuild(obs *traj.ObservationStore, trajs []traj.Trajectory, reason string) {
+	defer func() {
+		in.mu.Lock()
+		in.rebuilding = false
+		in.mu.Unlock()
+		in.rebuildWG.Done()
+	}()
+	start := time.Now()
+	err := func() error {
+		kb, err := hybrid.BuildKnowledgeBase(in.target.Graph(), obs, in.cfg.Hybrid.Width, in.cfg.Hybrid.MinPairObs)
+		if err != nil {
+			return err
+		}
+		model, report, err := hybrid.Train(kb, obs, trajs, nil, in.cfg.Hybrid)
+		if err != nil {
+			return err
+		}
+		epoch, err := in.target.SwapModel(model, obs)
+		if err != nil {
+			return err
+		}
+		in.lastSwapUnixMS.Store(time.Now().UnixMilli())
+		in.logf("ingest: rebuild (%s): trained on %d trajectories in %s (KL hybrid %.4f vs conv %.4f); serving model epoch %d",
+			reason, len(trajs), time.Since(start).Round(time.Millisecond),
+			report.MeanKLHybrid, report.MeanKLConv, epoch)
+		return nil
+	}()
+	if err != nil {
+		in.rebuildErrors.Add(1)
+		in.logf("ingest: rebuild (%s) failed after %s: %v", reason, time.Since(start).Round(time.Millisecond), err)
+		return
+	}
+	in.rebuilds.Add(1)
+}
+
+// WaitRebuilds blocks until every rebuild kicked off by prior Ingest
+// calls has finished. Meant for tests and orderly shutdown; do not
+// call it concurrently with Ingest.
+func (in *Ingestor) WaitRebuilds() { in.rebuildWG.Wait() }
+
+// Status snapshots the subsystem's counters.
+func (in *Ingestor) Status() Status {
+	in.mu.Lock()
+	trajs := len(in.trajs)
+	edgeObs := in.obs.NumEdgeObservations()
+	since := in.sinceRebuild
+	rebuilding := in.rebuilding
+	in.mu.Unlock()
+	return Status{
+		Accepted:         in.accepted.Load(),
+		Rejected:         in.rejected.Load(),
+		Seeded:           in.seeded.Load(),
+		Trajectories:     trajs,
+		EdgeObservations: edgeObs,
+		AggregatePrunes:  in.prunes.Load(),
+		SinceRebuild:     since,
+		Rebuilding:       rebuilding,
+		Rebuilds:         in.rebuilds.Load(),
+		RebuildErrors:    in.rebuildErrors.Load(),
+		DriftEvents:      in.driftEvents.Load(),
+		LastDriftScore:   math.Float64frombits(in.lastDriftScore.Load()),
+		LastSwapUnixMS:   in.lastSwapUnixMS.Load(),
+	}
+}
+
+// validateTrajectory rejects anything that could corrupt the aggregate:
+// empty or length-mismatched trips, edges outside the graph,
+// discontinuous hops, and non-finite or negative travel times.
+func validateTrajectory(g *graph.Graph, tr *traj.Trajectory) error {
+	if len(tr.Edges) == 0 {
+		return fmt.Errorf("ingest: empty trajectory")
+	}
+	if len(tr.Edges) != len(tr.Times) {
+		return fmt.Errorf("ingest: %d edges but %d times", len(tr.Edges), len(tr.Times))
+	}
+	for i, e := range tr.Edges {
+		if int(e) < 0 || int(e) >= g.NumEdges() {
+			return fmt.Errorf("ingest: edge %d outside graph", e)
+		}
+		t := tr.Times[i]
+		if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+			return fmt.Errorf("ingest: invalid travel time %v", t)
+		}
+	}
+	return tr.Validate(g)
+}

@@ -1,0 +1,364 @@
+package ingest
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"stochroute/internal/graph"
+	"stochroute/internal/hybrid"
+	"stochroute/internal/netgen"
+	"stochroute/internal/traj"
+)
+
+// fakeTarget is a minimal serving engine: a graph, a swappable
+// knowledge base, and an epoch counter.
+type fakeTarget struct {
+	g *graph.Graph
+
+	mu      sync.Mutex
+	kb      *hybrid.KnowledgeBase
+	epoch   uint64
+	swapped *hybrid.Model
+}
+
+func (t *fakeTarget) Graph() *graph.Graph { return t.g }
+
+func (t *fakeTarget) KnowledgeBase() *hybrid.KnowledgeBase {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.kb
+}
+
+func (t *fakeTarget) ModelEpoch() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+func (t *fakeTarget) SwapModel(m *hybrid.Model, obs *traj.ObservationStore) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.kb = m.KB
+	t.swapped = m
+	t.epoch++
+	return t.epoch, nil
+}
+
+type fixture struct {
+	g     *graph.Graph
+	world *traj.World
+	trajs []traj.Trajectory
+	obs   *traj.ObservationStore
+	kb    *hybrid.KnowledgeBase
+	width float64
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+func testFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		cfg := netgen.DefaultConfig()
+		cfg.Rows, cfg.Cols = 8, 8
+		cfg.CellMeters = 150
+		g, err := netgen.Generate(cfg)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		wcfg := traj.DefaultWorldConfig()
+		wcfg.NoiseProb = 0
+		world, err := traj.NewWorld(g, wcfg)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		trs, err := traj.GenerateTrajectories(world, traj.WalkConfig{
+			NumTrajectories: 700, MinEdges: 4, MaxEdges: 12, Seed: 11,
+		})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		obs := traj.NewObservationStore(g, wcfg.BucketWidth)
+		obs.Collect(trs)
+		kb, err := hybrid.BuildKnowledgeBase(g, obs, wcfg.BucketWidth, 6)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix = &fixture{g: g, world: world, trajs: trs, obs: obs, kb: kb, width: wcfg.BucketWidth}
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+// lightHybridConfig is a retraining config small enough for tests.
+func lightHybridConfig(width float64) hybrid.Config {
+	cfg := hybrid.DefaultConfig()
+	cfg.Width = width
+	cfg.MinPairObs = 6
+	cfg.TrainPairs, cfg.TestPairs = 120, 30
+	cfg.Estimator.Train.Epochs = 6
+	cfg.PrefixRows = 0
+	return cfg
+}
+
+// shifted returns copies of trs with every travel time scaled by f —
+// the "traffic got worse everywhere" drift scenario.
+func shifted(trs []traj.Trajectory, f float64) []traj.Trajectory {
+	out := make([]traj.Trajectory, len(trs))
+	for i, tr := range trs {
+		times := make([]float64, len(tr.Times))
+		for j, x := range tr.Times {
+			times[j] = x * f
+		}
+		out[i] = traj.Trajectory{Edges: tr.Edges, Times: times}
+	}
+	return out
+}
+
+func TestIngestValidation(t *testing.T) {
+	fx := testFixture(t)
+	tgt := &fakeTarget{g: fx.g, kb: fx.kb, epoch: 1}
+	in := New(tgt, Config{
+		Hybrid: lightHybridConfig(fx.width),
+		Drift:  DriftConfig{Window: -1},
+	}, nil)
+
+	good := fx.trajs[0]
+	bad := []traj.Trajectory{
+		{}, // empty
+		{Edges: good.Edges, Times: good.Times[:1]},                                      // length mismatch
+		{Edges: []graph.EdgeID{graph.EdgeID(fx.g.NumEdges() + 5)}, Times: []float64{3}}, // unknown edge
+		{Edges: []graph.EdgeID{-1}, Times: []float64{3}},                                // negative edge
+		{Edges: good.Edges, Times: negateFirst(good.Times)},                             // negative time
+		{Edges: good.Edges, Times: nanFirst(good.Times)},                                // NaN time
+		discontinuous(fx.g, good),                                                       // broken hop
+	}
+	accepted, rejected := in.Ingest(append([]traj.Trajectory{good}, bad...))
+	if accepted != 1 || rejected != len(bad) {
+		t.Fatalf("accepted %d rejected %d, want 1 and %d", accepted, rejected, len(bad))
+	}
+	st := in.Status()
+	if st.Accepted != 1 || st.Rejected != uint64(len(bad)) {
+		t.Errorf("status counters = %+v", st)
+	}
+	if st.Trajectories != 1 || st.EdgeObservations != len(good.Edges) {
+		t.Errorf("aggregate = %d trajectories / %d observations, want 1 / %d",
+			st.Trajectories, st.EdgeObservations, len(good.Edges))
+	}
+}
+
+func negateFirst(times []float64) []float64 {
+	out := append([]float64(nil), times...)
+	out[0] = -out[0]
+	return out
+}
+
+func nanFirst(times []float64) []float64 {
+	out := append([]float64(nil), times...)
+	out[0] = math.NaN()
+	return out
+}
+
+// discontinuous breaks the first hop of a copy of tr by replacing its
+// second edge with one that does not start where the first ends.
+func discontinuous(g *graph.Graph, tr traj.Trajectory) traj.Trajectory {
+	edges := append([]graph.EdgeID(nil), tr.Edges...)
+	first := g.Edge(edges[0])
+	for e := 0; e < g.NumEdges(); e++ {
+		if g.Edge(graph.EdgeID(e)).From != first.To {
+			edges[1] = graph.EdgeID(e)
+			break
+		}
+	}
+	return traj.Trajectory{Edges: edges, Times: tr.Times}
+}
+
+// TestIngestAggregateMatchesCollect: folding batches through Ingest
+// must build exactly the aggregate one Collect would.
+func TestIngestAggregateMatchesCollect(t *testing.T) {
+	fx := testFixture(t)
+	tgt := &fakeTarget{g: fx.g, kb: fx.kb, epoch: 1}
+	in := New(tgt, Config{
+		Hybrid: lightHybridConfig(fx.width),
+		Drift:  DriftConfig{Window: -1},
+	}, nil)
+
+	trs := fx.trajs[:100]
+	for lo := 0; lo < len(trs); lo += 13 {
+		hi := lo + 13
+		if hi > len(trs) {
+			hi = len(trs)
+		}
+		in.Ingest(trs[lo:hi])
+	}
+	whole := traj.NewObservationStore(fx.g, fx.width)
+	whole.Collect(trs)
+	st := in.Status()
+	if st.EdgeObservations != whole.NumEdgeObservations() {
+		t.Errorf("aggregate has %d edge observations, want %d", st.EdgeObservations, whole.NumEdgeObservations())
+	}
+	if st.Trajectories != len(trs) {
+		t.Errorf("aggregate has %d trajectories, want %d", st.Trajectories, len(trs))
+	}
+}
+
+// TestDriftMonitor: a window drawn from the serving distribution must
+// not fire; the same window with doubled travel times must.
+func TestDriftMonitor(t *testing.T) {
+	fx := testFixture(t)
+
+	m := NewDriftMonitor(DriftConfig{Window: 150}, fx.width)
+	for i := range fx.trajs[:150] {
+		m.Observe(&fx.trajs[i])
+	}
+	if !m.Ready() {
+		t.Fatal("window should be full")
+	}
+	rep := m.Evaluate(fx.kb)
+	if rep.Checked == 0 {
+		t.Fatal("baseline window compared no edges")
+	}
+	if rep.Fired {
+		t.Errorf("baseline window fired: %+v", rep)
+	}
+	if m.Ready() {
+		t.Error("Evaluate should reset the window")
+	}
+
+	shift := shifted(fx.trajs[:150], 2)
+	for i := range shift {
+		m.Observe(&shift[i])
+	}
+	rep = m.Evaluate(fx.kb)
+	if !rep.Fired {
+		t.Errorf("shifted window did not fire: %+v", rep)
+	}
+	if rep.Score <= 0.5 {
+		t.Errorf("shifted window score %v, want > 0.5", rep.Score)
+	}
+}
+
+// TestRebuildAndHotSwap is the subsystem's core loop: stream shifted
+// trajectories, watch the drift trigger fire, and verify the
+// background rebuild trains a model on the new data and swaps it in
+// with a bumped epoch.
+func TestRebuildAndHotSwap(t *testing.T) {
+	fx := testFixture(t)
+	tgt := &fakeTarget{g: fx.g, kb: fx.kb, epoch: 1}
+	in := New(tgt, Config{
+		Hybrid: lightHybridConfig(fx.width),
+		Drift: DriftConfig{
+			Window:     200,
+			MinEdgeObs: 6,
+		},
+		MinRebuildTrajectories: 150,
+	}, nil)
+
+	shift := shifted(fx.trajs, 2)
+	for lo := 0; lo < 500; lo += 50 {
+		in.Ingest(shift[lo : lo+50])
+	}
+	in.WaitRebuilds()
+
+	st := in.Status()
+	if st.DriftEvents == 0 {
+		t.Fatalf("drift never fired: %+v", st)
+	}
+	if st.Rebuilds == 0 {
+		t.Fatalf("no successful rebuild: %+v (rebuild errors: %d)", st, st.RebuildErrors)
+	}
+	if tgt.ModelEpoch() < 2 {
+		t.Fatalf("model epoch = %d, want >= 2", tgt.ModelEpoch())
+	}
+	if st.LastSwapUnixMS == 0 {
+		t.Error("last swap timestamp not recorded")
+	}
+
+	// The rebuilt knowledge base must reflect the doubled travel
+	// times: pick a well-observed edge and compare marginal means.
+	newKB := tgt.KnowledgeBase()
+	var busiest graph.EdgeID = -1
+	most := 0
+	for e, samples := range fx.obs.Edge {
+		if len(samples) > most {
+			busiest, most = e, len(samples)
+		}
+	}
+	oldMean := fx.kb.Edge(busiest).Marginal.Mean()
+	newMean := newKB.Edge(busiest).Marginal.Mean()
+	if newMean < oldMean*1.5 {
+		t.Errorf("rebuilt marginal mean %v not reflecting 2x shift from %v", newMean, oldMean)
+	}
+}
+
+// TestNoRebuildBelowMinimum: triggers must not fire a rebuild before
+// the aggregate is big enough to train on.
+func TestNoRebuildBelowMinimum(t *testing.T) {
+	fx := testFixture(t)
+	tgt := &fakeTarget{g: fx.g, kb: fx.kb, epoch: 1}
+	in := New(tgt, Config{
+		Hybrid:                 lightHybridConfig(fx.width),
+		Drift:                  DriftConfig{Window: -1, RebuildEvery: 10},
+		MinRebuildTrajectories: 1 << 30,
+	}, nil)
+	in.Ingest(shifted(fx.trajs[:60], 2))
+	in.WaitRebuilds()
+	st := in.Status()
+	if st.Rebuilds != 0 || st.RebuildErrors != 0 || st.Rebuilding {
+		t.Errorf("rebuild ran below the aggregate minimum: %+v", st)
+	}
+	if tgt.ModelEpoch() != 1 {
+		t.Errorf("epoch moved to %d", tgt.ModelEpoch())
+	}
+}
+
+// TestSeedCountersAndAggregateBound: seeded baseline must not count as
+// live ingestion, and the aggregate must age out its oldest half once
+// it exceeds MaxTrajectories.
+func TestSeedCountersAndAggregateBound(t *testing.T) {
+	fx := testFixture(t)
+	tgt := &fakeTarget{g: fx.g, kb: fx.kb, epoch: 1}
+	in := New(tgt, Config{
+		Hybrid:                 lightHybridConfig(fx.width),
+		Drift:                  DriftConfig{Window: -1},
+		MinRebuildTrajectories: 1 << 30,
+		MaxTrajectories:        100,
+	}, nil)
+
+	if accepted, rejected := in.Seed(fx.trajs[:50]); accepted != 50 || rejected != 0 {
+		t.Fatalf("Seed = %d/%d", accepted, rejected)
+	}
+	st := in.Status()
+	if st.Seeded != 50 || st.Accepted != 0 || st.Trajectories != 50 {
+		t.Errorf("after seed: %+v", st)
+	}
+
+	in.Ingest(fx.trajs[50:150]) // 150 total exceeds the bound of 100
+	st = in.Status()
+	if st.AggregatePrunes == 0 {
+		t.Fatalf("aggregate never pruned: %+v", st)
+	}
+	if st.Trajectories != 50 { // prune retains MaxTrajectories/2
+		t.Errorf("retained %d trajectories, want 50", st.Trajectories)
+	}
+	if st.Accepted != 100 || st.Seeded != 50 {
+		t.Errorf("counters after prune: %+v", st)
+	}
+	// The recollected store must exactly match the retained tail.
+	want := traj.NewObservationStore(fx.g, fx.width)
+	want.Collect(fx.trajs[100:150])
+	if st.EdgeObservations != want.NumEdgeObservations() {
+		t.Errorf("aggregate has %d observations, want %d (retained tail only)",
+			st.EdgeObservations, want.NumEdgeObservations())
+	}
+}

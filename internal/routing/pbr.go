@@ -84,6 +84,12 @@ type Result struct {
 	// hybrid.Model.WithStats (as Engine does) fill these in.
 	NumConvolved int
 	NumEstimated int
+
+	// ModelEpoch identifies the model generation that answered the
+	// query, for engines that hot-swap models while serving (see
+	// Engine.SwapModel). PBR itself does not know about epochs; the
+	// engine stamps it. 0 means "not tracked".
+	ModelEpoch uint64
 }
 
 // label is a partial path in the search.

@@ -131,3 +131,43 @@ func BenchmarkShardedLRUMixed(b *testing.B) {
 		})
 	}
 }
+
+func TestShardedLRUEpochInvalidation(t *testing.T) {
+	c := NewShardedLRU[int, string](4, 32)
+	c.Put(1, "old")
+	if v, ok := c.Get(1); !ok || v != "old" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+
+	c.AdvanceEpoch(5)
+	if _, ok := c.Get(1); ok {
+		t.Error("entry from epoch 0 survived AdvanceEpoch(5)")
+	}
+	if s := c.Stats(); s.Invalidations != 1 || s.Epoch != 5 {
+		t.Errorf("stats after invalidation = %+v", s)
+	}
+
+	// A stale-tagged Put is admitted but can never be served.
+	c.PutAt(2, "stale", 3)
+	if _, ok := c.Get(2); ok {
+		t.Error("entry tagged with an old epoch was served")
+	}
+	// A current-tagged Put serves normally.
+	c.PutAt(3, "fresh", 5)
+	if v, ok := c.Get(3); !ok || v != "fresh" {
+		t.Errorf("Get(3) = %q, %v", v, ok)
+	}
+
+	// Epochs never move backwards.
+	c.AdvanceEpoch(2)
+	if c.Epoch() != 5 {
+		t.Errorf("epoch regressed to %d", c.Epoch())
+	}
+
+	// Nil cache: epoch ops are no-ops.
+	var nilCache *ShardedLRU[int, string]
+	nilCache.AdvanceEpoch(9)
+	if nilCache.Epoch() != 0 {
+		t.Error("nil cache should report epoch 0")
+	}
+}

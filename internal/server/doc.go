@@ -1,17 +1,19 @@
 // Package server turns a stochroute engine into a concurrent routing
 // service: an HTTP/JSON API answering Probabilistic Budget Routing
 // queries (Pedersen, Yang, Jensen; ICDE 2020) from many clients at
-// once over one shared graph and hybrid model.
+// once over one shared graph and hybrid model, with an optional write
+// path (POST /ingest) that keeps the model learning while it serves.
 //
 // # API
 //
-// All endpoints are GET and return JSON; errors come back as
-// {"error": "..."} with a 4xx/5xx status. Query endpoints accept either
-// vertex IDs (source=, dest=) or WGS84 coordinates (from=lat,lon,
-// to=lat,lon) snapped to the nearest vertex.
+// All endpoints return JSON; errors come back as {"error": "..."} with
+// a 4xx/5xx status. Query endpoints are GET and accept either vertex
+// IDs (source=, dest=) or WGS84 coordinates (from=lat,lon, to=lat,lon)
+// snapped to the nearest vertex.
 //
 //   - /route?source=&dest=&budget= — full budget-routing search: the
-//     path maximising P(arrival within budget seconds).
+//     path maximising P(arrival within budget seconds). Responses
+//     carry model_epoch, the model generation that answered.
 //   - /route/anytime?...&limit_ms= — the anytime variant: the best
 //     pivot path found within the wall-clock limit.
 //   - /alternatives?source=&dest=&horizon=&max=[&budget=] — the
@@ -22,9 +24,25 @@
 //   - /sample?n=&lo_km=&hi_km=&seed= — routing queries drawn from the
 //     workload generator, annotated with optimistic travel times (the
 //     input cmd/loadgen replays).
-//   - /healthz — liveness plus graph size.
-//   - /stats — request counts, cache effectiveness, in-flight gauge and
-//     the model's lifetime convolve/estimate decision totals.
+//   - /ingest (POST, enabled by Config.Ingestor) — the write path:
+//     {"trajectories": [{"edges": [...], "times": [...]}, ...]}.
+//     Trajectories are validated against the graph (invalid ones are
+//     counted and skipped, never fatal) and folded into the ingestion
+//     subsystem (internal/ingest); the acknowledgement reports the
+//     accepted/rejected split and the current model epoch. Stream a
+//     recorded SRT1 file through this endpoint with cmd/replay.
+//   - /healthz — liveness, graph size and the serving model epoch.
+//   - /stats — request counts, cache effectiveness (including epoch
+//     invalidations), in-flight gauge, the model epoch, the engine's
+//     lifetime convolve/estimate decision totals, and — when ingestion
+//     is enabled — the write path's counters: accepted/rejected,
+//     aggregate size, drift events, last drift score, rebuilds and the
+//     last-swap timestamp.
+//
+// JSON request bodies are hardened: they are read through
+// http.MaxBytesReader (Config.MaxIngestBytes, 413 past the cap) and
+// unknown fields are rejected, so an oversized or malformed /ingest
+// payload can neither balloon memory nor be silently half-parsed.
 //
 // # Concurrency
 //
@@ -36,7 +54,7 @@
 // required serialising Route calls or cloning models per goroutine;
 // that caveat is gone.)
 //
-// # Caching
+// # Caching and model hot swaps
 //
 // Two sharded LRU caches (ShardedLRU) absorb hot traffic:
 //
@@ -49,7 +67,15 @@
 //     never the reported probability.
 //   - Pair-sum estimates are keyed on the (first, second) edge pair.
 //
-// Shards are independently locked and selected by key hash, keeping
-// cache contention negligible next to search cost. X-Cache: hit|miss
-// response headers expose per-request cache outcomes to load tools.
+// Both caches are epoch-validated: entries are tagged with the model
+// epoch that computed them, the cache's validity epoch advances to the
+// backend's epoch on every request, and Get serves an entry only when
+// its tag equals the current epoch. When the ingestion subsystem
+// hot-swaps a rebuilt model the epoch bump therefore invalidates every
+// pre-swap entry in O(1) — stale route results never survive a swap —
+// with stale entries reclaimed lazily on first touch or by ordinary
+// LRU eviction. Shards are independently locked and selected by key
+// hash, keeping cache contention negligible next to search cost.
+// X-Cache: hit|miss response headers expose per-request cache outcomes
+// to load tools.
 package server

@@ -15,13 +15,17 @@ import (
 	"stochroute/internal/geo"
 	"stochroute/internal/graph"
 	"stochroute/internal/hist"
+	"stochroute/internal/ingest"
 	"stochroute/internal/netgen"
 	"stochroute/internal/routing"
+	"stochroute/internal/traj"
 )
 
 // Backend is the routing surface the server exposes over HTTP. Its
 // methods must be safe for concurrent use; *stochroute.Engine satisfies
-// the interface.
+// the interface. ModelEpoch identifies the serving model generation —
+// it moves forward when the ingestion subsystem hot-swaps a rebuilt
+// model, and the server uses it to invalidate its result caches.
 type Backend interface {
 	Graph() *graph.Graph
 	NearestVertex(lat, lon float64) graph.VertexID
@@ -31,6 +35,7 @@ type Backend interface {
 	OptimisticTime(source, dest graph.VertexID) (float64, error)
 	SampleQueries(loKm, hiKm float64, n int, seed uint64) ([]netgen.Query, error)
 	DecisionCounts() (convolved, estimated uint64)
+	ModelEpoch() uint64
 }
 
 // Config tunes the serving layer. The zero value means "defaults";
@@ -59,6 +64,13 @@ type Config struct {
 	MaxAlternatives int
 	// MaxSample caps the query count of one /sample call (default 512).
 	MaxSample int
+	// Ingestor, when set, enables the POST /ingest endpoint: the write
+	// path that folds streamed trajectories into the model (see
+	// internal/ingest). Nil leaves the endpoint unregistered.
+	Ingestor *ingest.Ingestor
+	// MaxIngestBytes caps one /ingest request body (default 8 MiB);
+	// oversized payloads are rejected before they can balloon memory.
+	MaxIngestBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSample <= 0 {
 		c.MaxSample = 512
 	}
+	if c.MaxIngestBytes <= 0 {
+		c.MaxIngestBytes = 8 << 20
+	}
 	return c
 }
 
@@ -94,10 +109,12 @@ type routeKey struct {
 
 // routeEntry is a cached complete route: the chosen path and its full
 // travel-time distribution, from which any budget in the key's bucket
-// recomputes its exact on-time probability.
+// recomputes its exact on-time probability, plus the model epoch that
+// computed it (also the entry's cache-validity tag).
 type routeEntry struct {
-	path []graph.EdgeID
-	dist *hist.Hist
+	path  []graph.EdgeID
+	dist  *hist.Hist
+	epoch uint64
 }
 
 type pairKey struct {
@@ -140,13 +157,16 @@ func New(backend Backend, cfg Config) *Server {
 		started: time.Now(),
 		stats:   make(map[string]*endpointStats),
 	}
-	s.handle("/route", s.handleRoute)
-	s.handle("/route/anytime", s.handleRouteAnytime)
-	s.handle("/alternatives", s.handleAlternatives)
-	s.handle("/pairsum", s.handlePairSum)
-	s.handle("/sample", s.handleSample)
-	s.handle("/healthz", s.handleHealthz)
-	s.handle("/stats", s.handleStats)
+	s.handle("/route", http.MethodGet, s.handleRoute)
+	s.handle("/route/anytime", http.MethodGet, s.handleRouteAnytime)
+	s.handle("/alternatives", http.MethodGet, s.handleAlternatives)
+	s.handle("/pairsum", http.MethodGet, s.handlePairSum)
+	s.handle("/sample", http.MethodGet, s.handleSample)
+	s.handle("/healthz", http.MethodGet, s.handleHealthz)
+	s.handle("/stats", http.MethodGet, s.handleStats)
+	if cfg.Ingestor != nil {
+		s.handle("/ingest", http.MethodPost, s.handleIngest)
+	}
 	return s
 }
 
@@ -177,13 +197,14 @@ func (s *Server) Serve(ctx context.Context, addr string) error {
 	}
 }
 
-// handle registers a GET endpoint with request accounting.
-func (s *Server) handle(pattern string, h func(http.ResponseWriter, *http.Request) error) {
+// handle registers an endpoint with request accounting, restricted to
+// one HTTP method.
+func (s *Server) handle(pattern, method string, h func(http.ResponseWriter, *http.Request) error) {
 	es := &endpointStats{}
 	s.stats[pattern] = es
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			w.Header().Set("Allow", http.MethodGet)
+		if r.Method != method {
+			w.Header().Set("Allow", method)
 			writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 			return
 		}
@@ -224,6 +245,29 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 func writeJSON(w http.ResponseWriter, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	return json.NewEncoder(w).Encode(v)
+}
+
+// decodeJSON reads a request body into v with the two hardenings every
+// JSON endpoint gets: the body is wrapped in http.MaxBytesReader so an
+// oversized payload fails fast instead of ballooning memory, and
+// unknown fields are rejected so malformed clients hear about their
+// mistake instead of being silently half-ignored.
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &httpError{code: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+		}
+		return badRequest("invalid JSON body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("trailing data after JSON body")
+	}
+	return nil
 }
 
 // --- request parsing -------------------------------------------------
@@ -327,8 +371,11 @@ type routeResponse struct {
 	GeneratedLabels int            `json:"generated_labels,omitempty"`
 	Convolved       int            `json:"convolved,omitempty"`
 	Estimated       int            `json:"estimated,omitempty"`
-	RuntimeMS       float64        `json:"runtime_ms"`
-	Cached          bool           `json:"cached"`
+	// ModelEpoch is the model generation that computed the answer, so
+	// clients can correlate responses with hot swaps.
+	ModelEpoch uint64  `json:"model_epoch"`
+	RuntimeMS  float64 `json:"runtime_ms"`
+	Cached     bool    `json:"cached"`
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
@@ -357,6 +404,14 @@ func (s *Server) handleRouteAnytime(w http.ResponseWriter, r *http.Request) erro
 // optimum is at least as good as any cutoff search — recomputes the
 // exact probability for the request's budget from the cached
 // distribution. Incomplete (cut-off) results are never stored.
+//
+// Hot-swap protocol: the cache's validity epoch is advanced to the
+// backend's model epoch at every request, and entries are tagged with
+// the epoch of the model that computed them (RouteResult.ModelEpoch —
+// the search may already run on a newer model than the one observed at
+// request start). A hit therefore always carries the current model
+// generation's answer: once a swap bumps the epoch, every pre-swap
+// entry is invalid and the next request recomputes.
 func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.Duration) error {
 	start := time.Now()
 	src, dst, err := s.endpointsParam(r)
@@ -368,6 +423,8 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 		return err
 	}
 
+	epoch := s.backend.ModelEpoch()
+	s.routes.AdvanceEpoch(epoch)
 	key := routeKey{src: src, dst: dst, bucket: s.bucketOf(budget)}
 	if entry, ok := s.routes.Get(key); ok {
 		w.Header().Set("X-Cache", "hit")
@@ -380,6 +437,7 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 			Prob:        entry.dist.CDF(budget),
 			MeanSeconds: entry.dist.Mean(),
 			Path:        entry.path,
+			ModelEpoch:  entry.epoch,
 			RuntimeMS:   msSince(start),
 			Cached:      true,
 		})
@@ -394,14 +452,14 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 	if errors.Is(err, routing.ErrUnreachable) {
 		return writeJSON(w, &routeResponse{
 			Source: src, Dest: dst, Budget: budget,
-			Complete: true, RuntimeMS: msSince(start),
+			Complete: true, ModelEpoch: epoch, RuntimeMS: msSince(start),
 		})
 	}
 	if err != nil {
 		return err
 	}
 	if res.Found && res.Complete {
-		s.routes.Put(key, routeEntry{path: res.Path, dist: res.Dist})
+		s.routes.PutAt(key, routeEntry{path: res.Path, dist: res.Dist, epoch: res.ModelEpoch}, res.ModelEpoch)
 	}
 	out := &routeResponse{
 		Source:          src,
@@ -415,6 +473,7 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 		GeneratedLabels: res.GeneratedLabels,
 		Convolved:       res.NumConvolved,
 		Estimated:       res.NumEstimated,
+		ModelEpoch:      res.ModelEpoch,
 		RuntimeMS:       msSince(start),
 	}
 	if res.Dist != nil {
@@ -522,6 +581,11 @@ func (s *Server) handlePairSum(w http.ResponseWriter, r *http.Request) error {
 	if first < 0 || first >= g.NumEdges() || second < 0 || second >= g.NumEdges() {
 		return badRequest("first/second: edge IDs must be in [0, %d)", g.NumEdges())
 	}
+	// Pair sums depend on the model too: tag entries with the epoch
+	// observed before computing. The model that actually answers is at
+	// least that new, so a tag admitted as current is never stale.
+	epoch := s.backend.ModelEpoch()
+	s.pairs.AdvanceEpoch(epoch)
 	key := pairKey{first: graph.EdgeID(first), second: graph.EdgeID(second)}
 	h, cached := s.pairs.Get(key)
 	if !cached {
@@ -529,7 +593,7 @@ func (s *Server) handlePairSum(w http.ResponseWriter, r *http.Request) error {
 		if err != nil {
 			return badRequest("%v", err)
 		}
-		s.pairs.Put(key, h)
+		s.pairs.PutAt(key, h, epoch)
 	}
 	if cached {
 		w.Header().Set("X-Cache", "hit")
@@ -606,22 +670,70 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, out)
 }
 
+// --- ingestion -------------------------------------------------------
+
+// ingestTrajectory is one trip in a POST /ingest body: a contiguous
+// edge sequence with the observed per-edge travel times.
+type ingestTrajectory struct {
+	Edges []graph.EdgeID `json:"edges"`
+	Times []float64      `json:"times"`
+}
+
+type ingestRequest struct {
+	Trajectories []ingestTrajectory `json:"trajectories"`
+}
+
+type ingestResponse struct {
+	Accepted   int    `json:"accepted"`
+	Rejected   int    `json:"rejected"`
+	ModelEpoch uint64 `json:"model_epoch"`
+	Rebuilding bool   `json:"rebuilding"`
+}
+
+// handleIngest feeds a trajectory batch to the ingestion subsystem.
+// Invalid trajectories are counted per batch, never fatal; the
+// response reports the split plus the current model epoch so a
+// streaming client (cmd/replay) can watch its data take effect.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
+	var req ingestRequest
+	if err := decodeJSON(w, r, s.cfg.MaxIngestBytes, &req); err != nil {
+		return err
+	}
+	if len(req.Trajectories) == 0 {
+		return badRequest("trajectories: empty batch")
+	}
+	trs := make([]traj.Trajectory, len(req.Trajectories))
+	for i, tr := range req.Trajectories {
+		trs[i] = traj.Trajectory{Edges: tr.Edges, Times: tr.Times}
+	}
+	accepted, rejected := s.cfg.Ingestor.Ingest(trs)
+	st := s.cfg.Ingestor.Status()
+	return writeJSON(w, &ingestResponse{
+		Accepted:   accepted,
+		Rejected:   rejected,
+		ModelEpoch: s.backend.ModelEpoch(),
+		Rebuilding: st.Rebuilding,
+	})
+}
+
 // --- health and stats ------------------------------------------------
 
 type healthResponse struct {
-	Status   string  `json:"status"`
-	Vertices int     `json:"vertices"`
-	Edges    int     `json:"edges"`
-	UptimeS  float64 `json:"uptime_s"`
+	Status     string  `json:"status"`
+	Vertices   int     `json:"vertices"`
+	Edges      int     `json:"edges"`
+	ModelEpoch uint64  `json:"model_epoch"`
+	UptimeS    float64 `json:"uptime_s"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 	g := s.backend.Graph()
 	return writeJSON(w, &healthResponse{
-		Status:   "ok",
-		Vertices: g.NumVertices(),
-		Edges:    g.NumEdges(),
-		UptimeS:  time.Since(s.started).Seconds(),
+		Status:     "ok",
+		Vertices:   g.NumVertices(),
+		Edges:      g.NumEdges(),
+		ModelEpoch: s.backend.ModelEpoch(),
+		UptimeS:    time.Since(s.started).Seconds(),
 	})
 }
 
@@ -633,11 +745,16 @@ type endpointStatsResponse struct {
 type statsResponse struct {
 	UptimeS    float64                          `json:"uptime_s"`
 	Inflight   int64                            `json:"inflight"`
+	ModelEpoch uint64                           `json:"model_epoch"`
 	Endpoints  map[string]endpointStatsResponse `json:"endpoints"`
 	RouteCache CacheStats                       `json:"route_cache"`
 	PairCache  CacheStats                       `json:"pair_cache"`
 	Convolved  uint64                           `json:"convolved_total"`
 	Estimated  uint64                           `json:"estimated_total"`
+	// Ingest reports the write path's counters (absent when ingestion
+	// is disabled); LastSwapUnixMS within it is the time of the last
+	// model hot swap.
+	Ingest *ingest.Status `json:"ingest,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
@@ -645,11 +762,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	out := &statsResponse{
 		UptimeS:    time.Since(s.started).Seconds(),
 		Inflight:   s.inflight.Load(),
+		ModelEpoch: s.backend.ModelEpoch(),
 		Endpoints:  make(map[string]endpointStatsResponse, len(s.stats)),
 		RouteCache: s.routes.Stats(),
 		PairCache:  s.pairs.Stats(),
 		Convolved:  conv,
 		Estimated:  est,
+	}
+	if s.cfg.Ingestor != nil {
+		st := s.cfg.Ingestor.Status()
+		out.Ingest = &st
 	}
 	for pattern, es := range s.stats {
 		out.Endpoints[pattern] = endpointStatsResponse{

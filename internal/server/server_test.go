@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -13,15 +14,20 @@ import (
 
 	"stochroute/internal/graph"
 	"stochroute/internal/hist"
+	"stochroute/internal/hybrid"
+	"stochroute/internal/ingest"
 	"stochroute/internal/netgen"
 	"stochroute/internal/routing"
+	"stochroute/internal/traj"
 )
 
 // fakeBackend is a deterministic, trivially cheap Backend: routes are
-// synthesised from the query endpoints, so handler behaviour (parsing,
-// caching, stats) can be asserted exactly and the search count observed.
+// synthesised from the query endpoints and the current model epoch, so
+// handler behaviour (parsing, caching, epoch invalidation, stats) can
+// be asserted exactly and the search count observed.
 type fakeBackend struct {
 	g          *graph.Graph
+	epoch      atomic.Uint64
 	routeCalls atomic.Int64
 	pairCalls  atomic.Int64
 	// completeOver marks searches as cut off (Complete=false) whenever
@@ -39,16 +45,22 @@ func newFakeBackend(t testing.TB) *fakeBackend {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &fakeBackend{g: g}
+	fb := &fakeBackend{g: g}
+	fb.epoch.Store(1)
+	return fb
 }
 
 // distFor is the deterministic travel-time distribution of a fake
-// route: uniform mass on four buckets starting at src+dst+10 seconds.
-func (f *fakeBackend) distFor(src, dst graph.VertexID) *hist.Hist {
-	return hist.Uniform(float64(src+dst)+10, 5, 4)
+// route at the given model epoch: uniform mass on four buckets
+// starting at src+dst+10 seconds, shifted 100s per epoch so answers
+// from different model generations are unmistakable.
+func (f *fakeBackend) distFor(src, dst graph.VertexID, epoch uint64) *hist.Hist {
+	return hist.Uniform(float64(src+dst)+10+100*float64(epoch-1), 5, 4)
 }
 
 func (f *fakeBackend) Graph() *graph.Graph { return f.g }
+
+func (f *fakeBackend) ModelEpoch() uint64 { return f.epoch.Load() }
 
 func (f *fakeBackend) NearestVertex(lat, lon float64) graph.VertexID {
 	return 0
@@ -56,7 +68,8 @@ func (f *fakeBackend) NearestVertex(lat, lon float64) graph.VertexID {
 
 func (f *fakeBackend) RouteWithOptions(src, dst graph.VertexID, opts routing.Options) (*routing.Result, error) {
 	f.routeCalls.Add(1)
-	d := f.distFor(src, dst)
+	epoch := f.epoch.Load()
+	d := f.distFor(src, dst, epoch)
 	complete := f.completeOver == 0 || opts.MaxDuration >= f.completeOver
 	return &routing.Result{
 		Path:         []graph.EdgeID{graph.EdgeID(src), graph.EdgeID(dst)},
@@ -67,12 +80,13 @@ func (f *fakeBackend) RouteWithOptions(src, dst graph.VertexID, opts routing.Opt
 		Expansions:   7,
 		NumConvolved: 2,
 		NumEstimated: 1,
+		ModelEpoch:   epoch,
 	}, nil
 }
 
 func (f *fakeBackend) AlternativeRoutes(src, dst graph.VertexID, horizon float64, maxRoutes int) ([]routing.ParetoRoute, error) {
 	return []routing.ParetoRoute{
-		{Path: []graph.EdgeID{0, 1}, Dist: f.distFor(src, dst)},
+		{Path: []graph.EdgeID{0, 1}, Dist: f.distFor(src, dst, f.epoch.Load())},
 	}, nil
 }
 
@@ -127,7 +141,7 @@ func TestRouteEndpointAndCache(t *testing.T) {
 	if body["found"] != true || body["complete"] != true || body["cached"] != false {
 		t.Errorf("unexpected body %v", body)
 	}
-	wantProb := fb.distFor(1, 2).CDF(100)
+	wantProb := fb.distFor(1, 2, 1).CDF(100)
 	if got := body["prob"].(float64); got != wantProb {
 		t.Errorf("prob = %v, want %v", got, wantProb)
 	}
@@ -141,7 +155,7 @@ func TestRouteEndpointAndCache(t *testing.T) {
 	if body["cached"] != true {
 		t.Errorf("cached flag missing: %v", body)
 	}
-	if got, want := body["prob"].(float64), fb.distFor(1, 2).CDF(104); got != want {
+	if got, want := body["prob"].(float64), fb.distFor(1, 2, 1).CDF(104); got != want {
 		t.Errorf("cached prob = %v, want exact recompute %v", got, want)
 	}
 	if calls := fb.routeCalls.Load(); calls != 1 {
@@ -370,7 +384,7 @@ func TestConcurrentHandlers(t *testing.T) {
 					errs <- err
 					return
 				}
-				want := fb.distFor(src, dst).CDF(budget)
+				want := fb.distFor(src, dst, 1).CDF(budget)
 				if !body.Found || body.Prob != want {
 					errs <- fmt.Errorf("route(%d,%d,%g) = %v, want prob %v", src, dst, budget, body, want)
 					return
@@ -403,5 +417,228 @@ func TestServeGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Serve did not shut down")
+	}
+}
+
+// ingestTargetStub adapts a fakeBackend into an ingest.Target whose
+// SwapModel just bumps the backend epoch. Drift stays disabled in the
+// tests that use it, so the nil knowledge base is never touched.
+type ingestTargetStub struct {
+	fb *fakeBackend
+}
+
+func (t *ingestTargetStub) Graph() *graph.Graph                  { return t.fb.g }
+func (t *ingestTargetStub) KnowledgeBase() *hybrid.KnowledgeBase { return nil }
+func (t *ingestTargetStub) ModelEpoch() uint64                   { return t.fb.epoch.Load() }
+func (t *ingestTargetStub) SwapModel(m *hybrid.Model, obs *traj.ObservationStore) (uint64, error) {
+	return t.fb.epoch.Add(1), nil
+}
+
+func testIngestor(fb *fakeBackend) *ingest.Ingestor {
+	return ingest.New(&ingestTargetStub{fb: fb}, ingest.Config{
+		Hybrid:                 hybrid.Config{Width: 2, MinPairObs: 4},
+		Drift:                  ingest.DriftConfig{Window: -1},
+		MinRebuildTrajectories: 1 << 30, // never rebuild in handler tests
+	}, nil)
+}
+
+// adjacentPair returns an adjacent edge pair of g.
+func adjacentPair(t *testing.T, g *graph.Graph) (graph.EdgeID, graph.EdgeID) {
+	t.Helper()
+	for e := 0; e < g.NumEdges(); e++ {
+		id := graph.EdgeID(e)
+		for _, nxt := range g.Out(g.Edge(id).To) {
+			return id, nxt
+		}
+	}
+	t.Fatal("no adjacent pair in graph")
+	return graph.NoEdge, graph.NoEdge
+}
+
+func postJSON(t *testing.T, h http.Handler, url, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s: invalid JSON %q: %v", url, rec.Body.String(), err)
+		}
+	}
+	return rec, out
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	fb := newFakeBackend(t)
+	s := New(fb, Config{Ingestor: testIngestor(fb), MaxIngestBytes: 4096})
+	h := s.Handler()
+
+	first, second := adjacentPair(t, fb.g)
+	valid := fmt.Sprintf(`{"edges":[%d,%d],"times":[10,12]}`, first, second)
+	invalid := `{"edges":[0],"times":[-3]}`
+
+	// GET is the wrong method for the write path.
+	rec, _ := get(t, h, "/ingest")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ingest status %d, want 405", rec.Code)
+	}
+
+	rec, body := postJSON(t, h, "/ingest", `{"trajectories":[`+valid+`,`+invalid+`]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if body["accepted"].(float64) != 1 || body["rejected"].(float64) != 1 {
+		t.Errorf("accepted/rejected = %v", body)
+	}
+	if body["model_epoch"].(float64) != 1 {
+		t.Errorf("model_epoch = %v, want 1", body["model_epoch"])
+	}
+
+	// Unknown fields are rejected, not silently dropped.
+	rec, body = postJSON(t, h, "/ingest", `{"trajectoriez":[`+valid+`]}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400 (%v)", rec.Code, body)
+	}
+	// Empty batches are rejected.
+	rec, _ = postJSON(t, h, "/ingest", `{"trajectories":[]}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", rec.Code)
+	}
+	// Oversized bodies fail fast with 413.
+	big := `{"trajectories":[` + valid
+	for len(big) < 5000 {
+		big += `,` + valid
+	}
+	big += `]}`
+	rec, _ = postJSON(t, h, "/ingest", big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", rec.Code)
+	}
+
+	// /stats surfaces the write path's counters.
+	_, body = get(t, h, "/stats")
+	ing := body["ingest"].(map[string]any)
+	if ing["accepted"].(float64) != 1 || ing["rejected"].(float64) != 1 {
+		t.Errorf("stats ingest block = %v", ing)
+	}
+
+	// Without an ingestor the endpoint does not exist.
+	s2 := New(newFakeBackend(t), Config{})
+	req := httptest.NewRequest(http.MethodPost, "/ingest", strings.NewReader(`{"trajectories":[`+valid+`]}`))
+	rec = httptest.NewRecorder()
+	s2.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("no ingestor: status %d, want 404", rec.Code)
+	}
+}
+
+// TestCacheInvalidationAcrossHotSwap is the hot-swap correctness gate
+// (run under -race): concurrent routers keep querying while the model
+// epoch is bumped mid-flight, and no response claiming the post-swap
+// epoch may ever carry a pre-swap answer — in particular not from the
+// route cache, whose pre-swap entries must all be invalidated.
+func TestCacheInvalidationAcrossHotSwap(t *testing.T) {
+	fb := newFakeBackend(t)
+	s := New(fb, Config{BudgetBucketSeconds: 15})
+	h := s.Handler()
+
+	type q struct {
+		src, dst graph.VertexID
+		budget   float64
+	}
+	queries := []q{{1, 2, 100}, {2, 3, 120}, {3, 4, 150}, {1, 5, 90}}
+	urlFor := func(k q) string {
+		return fmt.Sprintf("/route?source=%d&dest=%d&budget=%g", k.src, k.dst, k.budget)
+	}
+	// Warm every key at epoch 1 so pre-swap entries exist to go stale.
+	for _, k := range queries {
+		rec, _ := get(t, h, urlFor(k))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("warmup failed: %d", rec.Code)
+		}
+	}
+
+	const workers = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := queries[(w+i)%len(queries)]
+				req := httptest.NewRequest(http.MethodGet, urlFor(k), nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+				var body struct {
+					Prob       float64 `json:"prob"`
+					ModelEpoch uint64  `json:"model_epoch"`
+					Cached     bool    `json:"cached"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+					errs <- err
+					return
+				}
+				if body.ModelEpoch != 1 && body.ModelEpoch != 2 {
+					errs <- fmt.Errorf("unexpected epoch %d", body.ModelEpoch)
+					return
+				}
+				// The invariant: an answer stamped with epoch E must be
+				// epoch E's answer, cached or not.
+				want := fb.distFor(k.src, k.dst, body.ModelEpoch).CDF(k.budget)
+				if body.Prob != want {
+					errs <- fmt.Errorf("epoch %d (cached=%v) prob %v, want %v",
+						body.ModelEpoch, body.Cached, body.Prob, want)
+					return
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(10 * time.Millisecond)
+	fb.epoch.Store(2) // the hot swap
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the swap, the same URLs must never resurrect epoch-1 cache
+	// entries: every answer now carries epoch 2's distribution.
+	for _, k := range queries {
+		rec, _ := get(t, h, urlFor(k))
+		var body struct {
+			Prob       float64 `json:"prob"`
+			ModelEpoch uint64  `json:"model_epoch"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		if body.ModelEpoch != 2 {
+			t.Errorf("%s: post-swap epoch %d, want 2", urlFor(k), body.ModelEpoch)
+		}
+		if want := fb.distFor(k.src, k.dst, 2).CDF(k.budget); body.Prob != want {
+			t.Errorf("%s: post-swap prob %v, want %v", urlFor(k), body.Prob, want)
+		}
+	}
+	if inv := s.routes.Stats().Invalidations; inv == 0 {
+		t.Error("swap should have invalidated pre-swap cache entries")
+	}
+	if epoch := s.routes.Epoch(); epoch != 2 {
+		t.Errorf("route cache epoch = %d, want 2", epoch)
 	}
 }

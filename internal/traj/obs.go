@@ -62,6 +62,53 @@ func (s *ObservationStore) Collect(trs []Trajectory) {
 	}
 }
 
+// Merge folds other's observations into s as an append-only update:
+// per-edge samples and per-pair joint samples are appended, never
+// rewritten, so a long-lived aggregate can absorb a stream of small
+// deltas without rebuilding from scratch. Both stores must be over the
+// same graph and grid width. Merging the deltas of any partition of a
+// trajectory set yields exactly the store Collect builds from the whole
+// set (sample order within an edge may differ, which no consumer
+// depends on).
+func (s *ObservationStore) Merge(other *ObservationStore) {
+	if other == nil {
+		return
+	}
+	for e, samples := range other.Edge {
+		s.Edge[e] = append(s.Edge[e], samples...)
+	}
+	for k, obs := range other.Pairs {
+		s.Pairs[k] = append(s.Pairs[k], obs...)
+	}
+}
+
+// Snapshot returns a point-in-time copy of the store that stays stable
+// while the original keeps absorbing Collect/Merge updates — the view a
+// background model rebuild trains on while ingestion continues. The
+// maps are copied; the sample slices are shared with their capacity
+// clamped, so appends on either side can never write into the other's
+// visible range. Snapshot and concurrent mutation of the same store
+// must still be externally synchronised (the ingest subsystem holds its
+// mutex across both).
+func (s *ObservationStore) Snapshot() *ObservationStore {
+	cp := &ObservationStore{
+		g:     s.g,
+		Edge:  make(map[graph.EdgeID][]float64, len(s.Edge)),
+		Pairs: make(map[PairKey][]PairObs, len(s.Pairs)),
+		Width: s.Width,
+	}
+	for e, samples := range s.Edge {
+		cp.Edge[e] = samples[:len(samples):len(samples)]
+	}
+	for k, obs := range s.Pairs {
+		cp.Pairs[k] = obs[:len(obs):len(obs)]
+	}
+	return cp
+}
+
+// Graph returns the road network the observations are over.
+func (s *ObservationStore) Graph() *graph.Graph { return s.g }
+
 // NumEdgeObservations returns the total count of edge traversals seen.
 func (s *ObservationStore) NumEdgeObservations() int {
 	n := 0

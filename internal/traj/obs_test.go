@@ -234,3 +234,90 @@ func TestTrajectoryCodecErrors(t *testing.T) {
 		t.Error("out-of-range edge should error on validated read")
 	}
 }
+
+// TestMergeEquivalentToCollect: merging the per-batch deltas of any
+// partition of a trajectory set must yield exactly the aggregate that
+// one Collect over the whole set builds — the invariant the streaming
+// ingest subsystem relies on.
+func TestMergeEquivalentToCollect(t *testing.T) {
+	w := testWorld(t, nil)
+	trs, err := GenerateTrajectories(w, WalkConfig{NumTrajectories: 60, MinEdges: 4, MaxEdges: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := w.Config().BucketWidth
+	whole := NewObservationStore(w.Graph(), width)
+	whole.Collect(trs)
+
+	merged := NewObservationStore(w.Graph(), width)
+	for lo := 0; lo < len(trs); lo += 7 {
+		hi := lo + 7
+		if hi > len(trs) {
+			hi = len(trs)
+		}
+		delta := NewObservationStore(w.Graph(), width)
+		delta.Collect(trs[lo:hi])
+		merged.Merge(delta)
+	}
+
+	if got, want := merged.NumEdgeObservations(), whole.NumEdgeObservations(); got != want {
+		t.Fatalf("merged edge observations = %d, want %d", got, want)
+	}
+	if len(merged.Edge) != len(whole.Edge) || len(merged.Pairs) != len(whole.Pairs) {
+		t.Fatalf("merged store shape (%d edges, %d pairs) != whole (%d, %d)",
+			len(merged.Edge), len(merged.Pairs), len(whole.Edge), len(whole.Pairs))
+	}
+	// Batches arrive in order here, so even sample order must match.
+	for e, want := range whole.Edge {
+		got := merged.Edge[e]
+		if len(got) != len(want) {
+			t.Fatalf("edge %d: %d samples, want %d", e, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("edge %d sample %d: %v != %v", e, i, got[i], want[i])
+			}
+		}
+	}
+	for k, want := range whole.Pairs {
+		got := merged.Pairs[k]
+		if len(got) != len(want) {
+			t.Fatalf("pair %v: %d obs, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pair %v obs %d: %v != %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotStableUnderLaterMerges: a snapshot must keep serving the
+// counts it was taken at while the original absorbs further deltas.
+func TestSnapshotStableUnderLaterMerges(t *testing.T) {
+	w := testWorld(t, nil)
+	trs, err := GenerateTrajectories(w, WalkConfig{NumTrajectories: 40, MinEdges: 4, MaxEdges: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := w.Config().BucketWidth
+	store := NewObservationStore(w.Graph(), width)
+	store.Collect(trs[:20])
+	snap := store.Snapshot()
+	wantObs := snap.NumEdgeObservations()
+
+	delta := NewObservationStore(w.Graph(), width)
+	delta.Collect(trs[20:])
+	store.Merge(delta)
+	store.Collect(trs[:5]) // in-place appends into possibly shared arrays
+
+	if got := snap.NumEdgeObservations(); got != wantObs {
+		t.Errorf("snapshot grew from %d to %d observations after later merges", wantObs, got)
+	}
+	if store.NumEdgeObservations() <= wantObs {
+		t.Errorf("original store did not grow past %d", wantObs)
+	}
+	if snap.Graph() != store.Graph() || snap.Width != store.Width {
+		t.Error("snapshot lost graph/width identity")
+	}
+}
