@@ -227,6 +227,26 @@ func BenchmarkE8AnytimeCurve(b *testing.B) {
 	}
 }
 
+// BenchmarkRoutingPBR measures one full hybrid-model PBR query with
+// allocation reporting — the kernel-efficiency benchmark of the
+// distribution pipeline. Run with -benchmem to watch allocs/op; the
+// allocation-free cost kernel (hist.Arena + hybrid.ScratchCoster) is
+// what keeps this number flat as budgets grow.
+func BenchmarkRoutingPBR(b *testing.B) {
+	s := getBenchSetup(b)
+	cats := exp.Categories(s.Scale)
+	q, budget := benchQuery(b, s, cats[len(cats)/2])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.PBR(s.Graph, s.Model, q.Source, q.Dest, routing.Options{
+			Budget: budget,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkParetoRoutes measures stochastic-skyline enumeration.
 func BenchmarkParetoRoutes(b *testing.B) {
 	s := getBenchSetup(b)

@@ -11,9 +11,15 @@
 //
 //	loadgen -addr http://localhost:8080 -n 2000 -c 16 \
 //	        -queries 64 -lo-km 0.5 -hi-km 2 -budget-factor 1.35
+//
+// With -batch k > 0 each request POSTs k randomly drawn queries to
+// /route/batch instead of issuing single GET /route calls; n then
+// counts batch requests, throughput is reported in both requests/s and
+// queries/s, and the hit rate is per item.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,11 +44,14 @@ type sampleResponse struct {
 	Queries []sampleQuery `json:"queries"`
 }
 
-// outcome is one request's measurement.
+// outcome is one request's measurement. In batch mode a request
+// carries several queries; items/itemHits count them.
 type outcome struct {
-	latency time.Duration
-	hit     bool
-	err     error
+	latency  time.Duration
+	hit      bool
+	items    int
+	itemHits int
+	err      error
 }
 
 func firstError(results []outcome) error {
@@ -66,10 +75,14 @@ func main() {
 	hiKm := flag.Float64("hi-km", 2.0, "maximum query distance, km")
 	factor := flag.Float64("budget-factor", 1.35, "budget = factor x optimistic travel time")
 	anytimeMS := flag.Int("anytime-ms", 0, "use /route/anytime with this wall-clock limit (0 = full /route)")
+	batch := flag.Int("batch", 0, "POST this many queries per request to /route/batch (0 = single GET /route calls)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 	if *n <= 0 || *c <= 0 || *numQueries <= 0 {
 		log.Fatal("-n, -c and -queries must be positive")
+	}
+	if *batch > 0 && *anytimeMS > 0 {
+		log.Fatal("-batch and -anytime-ms are mutually exclusive")
 	}
 
 	client := &http.Client{Timeout: 60 * time.Second}
@@ -80,7 +93,12 @@ func main() {
 	if len(queries) == 0 {
 		log.Fatal("server returned no usable queries")
 	}
-	log.Printf("replaying %d requests over %d distinct queries with %d workers", *n, len(queries), *c)
+	if *batch > 0 {
+		log.Printf("replaying %d batch requests x %d queries over %d distinct queries with %d workers",
+			*n, *batch, len(queries), *c)
+	} else {
+		log.Printf("replaying %d requests over %d distinct queries with %d workers", *n, len(queries), *c)
+	}
 
 	results := make([]outcome, *n)
 	var next atomic.Int64
@@ -96,6 +114,12 @@ func main() {
 				if i >= *n {
 					return
 				}
+				if *batch > 0 {
+					t0 := time.Now()
+					items, itemHits, err := fireBatch(client, *addr, queries, rng, *batch, *factor)
+					results[i] = outcome{latency: time.Since(t0), items: items, itemHits: itemHits, err: err}
+					continue
+				}
 				q := queries[rng.Intn(len(queries))]
 				budget := q.OptimisticS * *factor
 				url := fmt.Sprintf("%s/route?source=%d&dest=%d&budget=%.3f", *addr, q.Source, q.Dest, budget)
@@ -105,7 +129,7 @@ func main() {
 				}
 				t0 := time.Now()
 				hit, err := fire(client, url)
-				results[i] = outcome{latency: time.Since(t0), hit: hit, err: err}
+				results[i] = outcome{latency: time.Since(t0), hit: hit, items: 1, err: err}
 			}
 		}(w)
 	}
@@ -113,13 +137,15 @@ func main() {
 	elapsed := time.Since(start)
 
 	var latencies []time.Duration
-	hits, errs := 0, 0
+	hits, itemHits, items, errs := 0, 0, 0, 0
 	for _, r := range results {
 		if r.err != nil {
 			errs++
 			continue
 		}
 		latencies = append(latencies, r.latency)
+		items += r.items
+		itemHits += r.itemHits
 		if r.hit {
 			hits++
 		}
@@ -131,8 +157,15 @@ func main() {
 
 	ok := len(latencies)
 	fmt.Printf("requests     %d ok, %d failed in %v\n", ok, errs, elapsed.Round(time.Millisecond))
-	fmt.Printf("throughput   %.1f req/s\n", float64(ok)/elapsed.Seconds())
-	fmt.Printf("cache hits   %d (%.1f%%)\n", hits, 100*float64(hits)/float64(ok))
+	if *batch > 0 {
+		fmt.Printf("throughput   %.1f req/s, %.1f queries/s\n",
+			float64(ok)/elapsed.Seconds(), float64(items)/elapsed.Seconds())
+		fmt.Printf("cache hits   %d of %d queries (%.1f%%)\n",
+			itemHits, items, 100*float64(itemHits)/float64(items))
+	} else {
+		fmt.Printf("throughput   %.1f req/s\n", float64(ok)/elapsed.Seconds())
+		fmt.Printf("cache hits   %d (%.1f%%)\n", hits, 100*float64(hits)/float64(ok))
+	}
 	fmt.Printf("latency      p50=%v p90=%v p99=%v max=%v\n",
 		percentile(latencies, 0.50).Round(time.Microsecond),
 		percentile(latencies, 0.90).Round(time.Microsecond),
@@ -141,6 +174,50 @@ func main() {
 	if errs > 0 {
 		log.Printf("first error: %v", firstError(results))
 	}
+}
+
+// batchQuery is one item of a /route/batch request body, mirroring the
+// server's schema.
+type batchQuery struct {
+	Source int     `json:"source"`
+	Dest   int     `json:"dest"`
+	Budget float64 `json:"budget_s"`
+}
+
+// fireBatch POSTs k randomly drawn queries to /route/batch and reports
+// the item count and per-item cache hits.
+func fireBatch(client *http.Client, addr string, queries []sampleQuery, rng *rand.Rand, k int, factor float64) (items, itemHits int, err error) {
+	req := struct {
+		Queries []batchQuery `json:"queries"`
+	}{Queries: make([]batchQuery, k)}
+	for i := range req.Queries {
+		q := queries[rng.Intn(len(queries))]
+		req.Queries[i] = batchQuery{Source: q.Source, Dest: q.Dest, Budget: q.OptimisticS * factor}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := client.Post(addr+"/route/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("/route/batch: %s: %s", resp.Status, payload)
+	}
+	var br struct {
+		Results   []json.RawMessage `json:"results"`
+		CacheHits int               `json:"cache_hits"`
+	}
+	if err := json.Unmarshal(payload, &br); err != nil {
+		return 0, 0, fmt.Errorf("/route/batch: %w", err)
+	}
+	return len(br.Results), br.CacheHits, nil
 }
 
 func fetchQueries(client *http.Client, addr string, n int, loKm, hiKm float64, seed int64) ([]sampleQuery, error) {

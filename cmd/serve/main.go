@@ -19,6 +19,12 @@
 // -rebuild-every trajectories). /stats reports the model epoch and the
 // write path's counters.
 //
+// With -pprof 127.0.0.1:6060 the process additionally serves
+// net/http/pprof on that separate loopback listener, so CPU and
+// allocation profiles of the serving kernel can be captured in
+// production without exposing profiling through the public API
+// address.
+//
 // SIGINT/SIGTERM shut the server down gracefully, draining in-flight
 // requests.
 package main
@@ -27,6 +33,9 @@ import (
 	"context"
 	"flag"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -80,7 +89,14 @@ func main() {
 	rebuildPrefixRows := flag.Int("rebuild-prefix-rows", -1, "virtual-edge phase-2 rows per rebuild (-1 = default, 0 disables the phase)")
 	maxTrajectories := flag.Int("max-trajectories", 50000, "aggregate bound: past this the oldest half ages out (negative = unbounded)")
 	maxIngestBytes := flag.Int64("max-ingest-bytes", 8<<20, "largest accepted /ingest body")
+	maxBatch := flag.Int("max-batch", 256, "largest accepted /route/batch query count (negative disables the endpoint)")
+	batchWorkers := flag.Int("batch-workers", 0, "worker pool per /route/batch request (0 = GOMAXPROCS)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate loopback address (e.g. 127.0.0.1:6060); empty disables")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		startPprof(*pprofAddr)
+	}
 
 	var (
 		eng       *stochroute.Engine
@@ -149,6 +165,8 @@ func main() {
 		PairCache:           *pairCache,
 		CacheShards:         *shards,
 		BudgetBucketSeconds: *bucket,
+		MaxBatch:            *maxBatch,
+		BatchWorkers:        *batchWorkers,
 		Ingestor:            ing,
 		MaxIngestBytes:      *maxIngestBytes,
 	})
@@ -160,6 +178,39 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Print("shut down cleanly")
+}
+
+// startPprof exposes net/http/pprof on its own listener, kept apart
+// from the public API mux so profiling is never reachable through the
+// serving address. The operator points it at loopback
+// (127.0.0.1:6060); binding a non-loopback address draws a warning,
+// since profiles can leak heap contents. Profiling is how the
+// allocation-free kernel's wins stay measurable in production:
+//
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/allocs
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=30
+func startPprof(addr string) {
+	if host, _, err := net.SplitHostPort(addr); err != nil {
+		log.Fatalf("pprof: invalid address %q: %v", addr, err)
+	} else if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		log.Printf("WARNING: pprof listening on non-loopback %s; profiles expose process internals", addr)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("pprof: %v", err)
+	}
+	log.Printf("pprof listening on http://%s/debug/pprof/", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
 }
 
 // loadEngine assembles an engine from saved artifacts: the network, the

@@ -16,7 +16,11 @@
 // The package is a facade over the internal implementation:
 //
 //   - internal/hist — histogram travel-time distributions (convolution,
-//     shifting, dominance, divergences)
+//     shifting, dominance, divergences) plus the allocation-free kernel
+//     primitives: scratch-buffer forms of the hot operations
+//     (ConvolveInto, CDFShifted, the In-Place mutators) and the
+//     per-search Arena that owns the flat float64 storage behind every
+//     routing label
 //   - internal/graph, internal/netgen, internal/osm — the road-network
 //     substrate: CSR graphs, a synthetic city generator, an OSM parser
 //   - internal/traj — the traffic world model and trajectory simulation
@@ -26,14 +30,46 @@
 //   - internal/routing — Dijkstra baselines and Probabilistic Budget
 //     Routing with the paper's four prunings and the anytime extension
 //   - internal/server — the concurrent routing service: an HTTP/JSON
-//     API over a shared engine with an epoch-validated sharded LRU
-//     result cache (run it with cmd/serve, measure it with cmd/loadgen)
+//     API over a shared engine — single queries and POST /route/batch —
+//     with an epoch-validated sharded LRU result cache (run it with
+//     cmd/serve, measure it with cmd/loadgen)
 //   - internal/ingest — the write path: streaming trajectory ingestion
 //     with drift detection and background retraining, published
 //     through the engine's epoch-tagged model hot swap (exercise it
 //     end to end with cmd/replay against POST /ingest)
 //   - internal/exp — the harness that regenerates every table of the
 //     paper's evaluation
+//
+// # The allocation-free cost kernel
+//
+// A budget-routing query spends nearly all of its time extending label
+// distributions: convolve (or estimate) an incoming histogram with the
+// next edge, truncate it at the budget horizon, read a few CDFs,
+// discard most candidates. Doing that with immutable heap values makes
+// the allocator the bottleneck, so the distribution pipeline is built
+// as a reusable kernel threaded through every layer:
+//
+//   - internal/hist provides the scratch-buffer primitives —
+//     ConvolveInto(dst, a, b), CDFShifted (pivot pruning's cost
+//     shifting without cloning), TruncateAboveInPlace /
+//     CapBucketsInPlace / TrimInPlace — and a per-search hist.Arena
+//     owning flat []float64 blocks with size-class recycling.
+//   - internal/hybrid extends the Coster contract with the OPTIONAL
+//     hybrid.ScratchCoster capability: ExtendInto/InitialHistInto write
+//     into a per-search hybrid.Scratch (arena + feature vector + MLP
+//     activation buffers + predicted-conditional storage). The trained
+//     Model, the ConvolutionCoster baseline and the WithStats counting
+//     view all implement it; plain Costers keep working untouched.
+//   - internal/routing capability-detects the ScratchCoster in PBR:
+//     label distributions then live in a pooled arena, labels killed by
+//     pruning recycle their buffers immediately, and only the winning
+//     pivot distribution is cloned out to the heap. The kernel path is
+//     bit-identical to the plain path — same routes, probabilities and
+//     telemetry — enforced by equivalence tests at every layer.
+//
+// The result is an order-of-magnitude drop in allocations per query
+// (see BenchmarkRoutingPBR with -benchmem), which is what lets one
+// engine serve batch traffic at scale.
 //
 // # Concurrency
 //
@@ -44,6 +80,12 @@
 // RouteResult.NumConvolved/NumEstimated) plus atomic lifetime totals.
 // Earlier versions required serialising Route calls or cloning models
 // per goroutine; that caveat is gone.
+//
+// Engine.RouteBatch answers many queries as one unit: all of them run
+// against a single epoch snapshot (a concurrent hot swap never splits
+// a batch across model generations) on a bounded worker pool, each
+// worker reusing the pooled kernel scratch. The serving layer exposes
+// it as POST /route/batch with per-item cache reuse.
 //
 // The serving model itself lives behind an epoch-tagged atomic
 // pointer: Engine.SwapModel (used by internal/ingest after a

@@ -1,10 +1,12 @@
 package stochroute
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -267,7 +269,14 @@ func (e *Engine) RouteAnytime(source, dest VertexID, budget float64, limit time.
 // NumEstimated) collected race-free even when many queries run at once,
 // plus the ModelEpoch of the generation that answered it.
 func (e *Engine) RouteWithOptions(source, dest VertexID, opts RouteOptions) (*RouteResult, error) {
-	cur := e.current.Load()
+	return e.routeOnSnapshot(e.current.Load(), source, dest, opts)
+}
+
+// routeOnSnapshot answers one budget-routing query against an explicit
+// model snapshot: the single place where per-request decision telemetry
+// and the epoch stamp are wired onto a result, shared by the single and
+// batched query paths.
+func (e *Engine) routeOnSnapshot(cur *modelSnapshot, source, dest VertexID, opts RouteOptions) (*RouteResult, error) {
 	var qs hybrid.QueryStats
 	res, err := routing.PBR(e.graph, cur.model.WithStats(&qs), source, dest, opts)
 	if err != nil {
@@ -277,6 +286,60 @@ func (e *Engine) RouteWithOptions(source, dest VertexID, opts RouteOptions) (*Ro
 	res.NumEstimated = qs.Estimated
 	res.ModelEpoch = cur.epoch
 	return res, nil
+}
+
+// RouteBatch answers many budget-routing queries as one unit: every
+// query runs against the same model snapshot (one epoch, loaded once —
+// a hot swap mid-batch never splits the batch across generations) on a
+// bounded worker pool. workers <= 0 uses GOMAXPROCS. Item i of the
+// answer corresponds to queries[i]; per-query failures (invalid
+// budget, unreachable destination) land in that item's Err without
+// affecting the rest of the batch, and every item carries the
+// snapshot's epoch.
+//
+// Cancelling ctx stops the batch between queries: items not yet
+// started fail with the context error, while searches already running
+// finish (bound them with BatchQuery.Opts.Deadline — the serving layer
+// gives a whole batch one shared deadline so an abandoned batch can
+// never pin the pool past its request timeout).
+//
+// Each worker's searches reuse the pooled allocation-free cost kernel,
+// so a batch of n queries costs far less than n cold Route calls.
+func (e *Engine) RouteBatch(ctx context.Context, queries []routing.BatchQuery, workers int) []routing.BatchItem {
+	out := make([]routing.BatchItem, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	cur := e.current.Load()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					out[i] = routing.BatchItem{Err: err, Epoch: cur.epoch}
+					continue
+				}
+				q := queries[i]
+				res, err := e.routeOnSnapshot(cur, q.Source, q.Dest, q.Opts)
+				out[i] = routing.BatchItem{Result: res, Err: err, Epoch: cur.epoch}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // DecisionCounts returns the engine's lifetime convolve/estimate totals

@@ -35,6 +35,32 @@ func BenchmarkConvolve512x16(b *testing.B) {
 	}
 }
 
+func BenchmarkConvolveInto128x8(b *testing.B) {
+	x, y := benchPair(128, 8)
+	var arena Arena
+	dst := arena.NewHist(0, 0, len(x.P)+len(y.P)-1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ConvolveInto(dst, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvolveInto512x16(b *testing.B) {
+	x, y := benchPair(512, 16)
+	var arena Arena
+	dst := arena.NewHist(0, 0, len(x.P)+len(y.P)-1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ConvolveInto(dst, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCompareCDF(b *testing.B) {
 	x, _ := benchPair(256, 8)
 	y := x.Shift(4)

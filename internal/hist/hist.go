@@ -264,15 +264,40 @@ func (h *Hist) Skewness() float64 {
 
 // CDF returns P(X <= x).
 func (h *Hist) CDF(x float64) float64 {
-	if x < h.Min {
+	return h.cdfFrom(h.Min, x)
+}
+
+// CDFShifted returns P(X + delta <= x): the CDF of the histogram
+// translated by delta seconds, evaluated without materialising the
+// shifted copy. It is bit-identical to h.Shift(delta).CDF(x) — the
+// allocation-free form of the paper's cost shifting (pruning (c)),
+// which previously cloned the full mass vector per candidate label.
+func (h *Hist) CDFShifted(x, delta float64) float64 {
+	return h.cdfFrom(h.Min+delta, x)
+}
+
+// cdfFrom evaluates the CDF at x for a support starting at min (the
+// histogram's own Min, or Min+delta for a virtual shift). The shared
+// arithmetic keeps CDF and CDFShifted exactly consistent.
+func (h *Hist) cdfFrom(min, x float64) float64 {
+	if x < min {
 		return 0
 	}
-	i := int(math.Floor((x - h.Min) / h.Width))
+	i := int(math.Floor((x - min) / h.Width))
 	if i >= len(h.P)-1 {
-		if x >= h.MaxValue() {
+		if x >= min+float64(len(h.P)-1)*h.Width {
 			return 1
 		}
 	}
+	return h.CDFAt(i)
+}
+
+// CDFAt returns the cumulative mass through support index i — the
+// prefix-sum primitive under CDF and CDFShifted. The scan exits at
+// min(i, Len()-1), so left-tail queries (the common case under budget
+// routing, where budgets sit well inside the support) touch only the
+// prefix they need. Negative i returns 0; i past the support returns 1.
+func (h *Hist) CDFAt(i int) float64 {
 	acc := 0.0
 	for j := 0; j <= i && j < len(h.P); j++ {
 		acc += h.P[j]
@@ -334,23 +359,46 @@ func (h *Hist) Scale(factor float64) *Hist {
 // Min = a.Min + b.Min and len(a)+len(b)-1 support points, matching the
 // paper's worked example (H1 ⊗ H2 = {30: .25, 35: .5, 40: .25}).
 func Convolve(a, b *Hist) (*Hist, error) {
+	out := &Hist{}
+	if err := ConvolveInto(out, a, b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ConvolveInto computes Convolve(a, b) into dst, reusing dst.P's backing
+// array when its capacity suffices — the scratch-buffer form of the hot
+// kernel. dst must not alias a or b. The arithmetic (accumulation order
+// included) is identical to Convolve, so results are bit-equal.
+func ConvolveInto(dst, a, b *Hist) error {
 	if a == nil || b == nil {
-		return nil, errors.New("hist: Convolve with nil histogram")
+		return errors.New("hist: Convolve with nil histogram")
 	}
 	if math.Abs(a.Width-b.Width) > 1e-12 {
-		return nil, fmt.Errorf("hist: Convolve width mismatch %v vs %v", a.Width, b.Width)
+		return fmt.Errorf("hist: Convolve width mismatch %v vs %v", a.Width, b.Width)
 	}
 	n := len(a.P) + len(b.P) - 1
-	p := make([]float64, n)
+	if cap(dst.P) < n {
+		dst.P = make([]float64, n)
+	} else {
+		dst.P = dst.P[:n]
+		for i := range dst.P {
+			dst.P[i] = 0
+		}
+	}
+	p := dst.P
 	for i, pa := range a.P {
 		if pa == 0 {
 			continue
 		}
+		row := p[i : i+len(b.P)]
 		for j, pb := range b.P {
-			p[i+j] += pa * pb
+			row[j] += pa * pb
 		}
 	}
-	return &Hist{Min: a.Min + b.Min, Width: a.Width, P: p}, nil
+	dst.Min = a.Min + b.Min
+	dst.Width = a.Width
+	return nil
 }
 
 // MustConvolve is Convolve that panics on error; for internal use where
@@ -491,6 +539,66 @@ func (h *Hist) TruncateAbove(x float64) *Hist {
 	}
 	p[idx] = tail
 	return &Hist{Min: h.Min, Width: h.Width, P: p}
+}
+
+// TruncateAboveInPlace is TruncateAbove mutating h instead of
+// allocating: the tail mass is folded into the first support point
+// above x and the mass slice is shortened in place (capacity is
+// retained for reuse). The arithmetic matches TruncateAbove exactly.
+// It returns h. Only use on histograms the caller exclusively owns,
+// e.g. arena-backed search labels.
+func (h *Hist) TruncateAboveInPlace(x float64) *Hist {
+	if h.MaxValue() <= x || h.Min > x {
+		return h
+	}
+	idx := int(math.Floor((x-h.Min)/h.Width)) + 1
+	if idx >= len(h.P) {
+		return h
+	}
+	tail := 0.0
+	for _, m := range h.P[idx:] {
+		tail += m
+	}
+	h.P[idx] = tail
+	h.P = h.P[:idx+1]
+	return h
+}
+
+// CapBucketsInPlace is CapBuckets mutating h instead of allocating:
+// tail mass past maxBuckets aggregates into the last kept bucket and
+// the slice is shortened in place. The arithmetic matches CapBuckets
+// exactly. It returns h. Only use on exclusively owned histograms.
+func (h *Hist) CapBucketsInPlace(maxBuckets int) *Hist {
+	if maxBuckets <= 0 || len(h.P) <= maxBuckets {
+		return h
+	}
+	for _, m := range h.P[maxBuckets:] {
+		h.P[maxBuckets-1] += m
+	}
+	h.P = h.P[:maxBuckets]
+	return h
+}
+
+// TrimInPlace is Trim mutating h instead of allocating: near-zero
+// leading and trailing buckets are dropped by sliding the kept range to
+// the front of the existing backing array, then renormalising. The
+// arithmetic matches Trim exactly. It returns h. Only use on
+// exclusively owned histograms.
+func (h *Hist) TrimInPlace() *Hist {
+	lo := 0
+	for lo < len(h.P)-1 && h.P[lo] < massEpsilon {
+		lo++
+	}
+	hi := len(h.P)
+	for hi-1 > lo && h.P[hi-1] < massEpsilon {
+		hi--
+	}
+	if lo > 0 || hi < len(h.P) {
+		h.Min += float64(lo) * h.Width
+		copy(h.P, h.P[lo:hi])
+		h.P = h.P[:hi-lo]
+	}
+	return h.Normalize()
 }
 
 // String renders the histogram as a compact table, e.g.

@@ -71,21 +71,52 @@ type Estimator struct {
 // smear — harmless on a single pair — compounds into a systematic
 // rightward drift over the dozens of extensions of a long path.
 //
-// Predict is read-only (it uses the network's pure inference pass) and
-// safe for concurrent use.
+// Predict is read-only (it uses the network's allocation-free row
+// inference pass, which is bit-identical to the batched Infer) and safe
+// for concurrent use. The per-search serving path is predictInto, which
+// computes the same values into scratch buffers; Predict allocates
+// fresh ones.
 func (e *Estimator) Predict(features []float64) [][]float64 {
 	row := append([]float64(nil), features...)
 	e.Scaler.TransformRow(row)
-	x := &ml.Matrix{Rows: 1, Cols: len(row), Data: row}
-	logits := e.Net.Infer(x)
-	probs := ml.GroupedSoftmax(logits, e.Cfg.Bands)
+	var s ml.InferScratch
+	logits := e.Net.InferRow(&s, row)
+	ml.GroupedSoftmaxRow(logits, e.Cfg.Bands)
 	out := make([][]float64, e.Cfg.Bands)
 	for b := 0; b < e.Cfg.Bands; b++ {
-		cond := append([]float64(nil), probs.Row(0)[b*e.Cfg.CondBuckets:(b+1)*e.Cfg.CondBuckets]...)
+		cond := append([]float64(nil), logits[b*e.Cfg.CondBuckets:(b+1)*e.Cfg.CondBuckets]...)
 		clipConditional(cond)
 		out[b] = cond
 	}
 	return out
+}
+
+// predictInto is Predict writing into the scratch's buffers: row
+// scaling happens in place on the caller-owned feature vector, the MLP
+// runs through the scratch's activation buffers, and the clipped
+// conditionals live in s.condBuf. The returned views are valid until
+// the next predictInto with the same scratch.
+func (e *Estimator) predictInto(s *Scratch, row []float64) [][]float64 {
+	e.Scaler.TransformRow(row)
+	logits := e.Net.InferRow(&s.infer, row)
+	ml.GroupedSoftmaxRow(logits, e.Cfg.Bands)
+	cb := e.Cfg.CondBuckets
+	need := e.Cfg.Bands * cb
+	if cap(s.condBuf) < need {
+		s.condBuf = make([]float64, need)
+	}
+	s.condBuf = s.condBuf[:need]
+	copy(s.condBuf, logits)
+	if cap(s.conds) < e.Cfg.Bands {
+		s.conds = make([][]float64, e.Cfg.Bands)
+	}
+	s.conds = s.conds[:e.Cfg.Bands]
+	for b := range s.conds {
+		cond := s.condBuf[b*cb : (b+1)*cb]
+		clipConditional(cond)
+		s.conds[b] = cond
+	}
+	return s.conds
 }
 
 // Clipping thresholds for predicted conditionals (see Predict).
@@ -229,14 +260,33 @@ func (e *Estimator) EstimateExtend(kb *KnowledgeBase, virtual *hist.Hist, next g
 	feats := Features(kb, virtual, next, ps, hasPair)
 	conds := e.Predict(feats)
 	parts := BandWeights(virtual, e.Cfg.Bands)
-	base2 := kb.Edge(next).MinTime
-	width := kb.Width
+	h := hist.New(virtual.Min+kb.Edge(next).MinTime, kb.Width,
+		make([]float64, len(virtual.P)+e.Cfg.CondBuckets-1))
+	e.accumulateBands(h, conds, parts, virtual)
+	return h.Trim()
+}
 
-	// Common output grid: min = virtual.Min + base2; the largest index
-	// is (len(virtual)-1) + (CondBuckets-1).
-	outLen := len(virtual.P) + e.Cfg.CondBuckets - 1
-	out := make([]float64, outLen)
-	outMin := virtual.Min + base2
+// EstimateExtendInto is EstimateExtend through the scratch: features,
+// MLP activations, conditionals and band partitions reuse the
+// scratch's buffers and the result lives in its arena. The arithmetic
+// is shared with EstimateExtend, so both paths produce bit-identical
+// distributions.
+func (e *Estimator) EstimateExtendInto(s *Scratch, kb *KnowledgeBase, virtual *hist.Hist, next graph.EdgeID, ps PairStats, hasPair bool) *hist.Hist {
+	s.feats = AppendFeatures(s.feats[:0], kb, virtual, next, ps, hasPair)
+	conds := e.predictInto(s, s.feats)
+	s.parts = BandWeightsInto(s.parts[:0], virtual, e.Cfg.Bands)
+	h := s.Arena.NewHistZeroed(virtual.Min+kb.Edge(next).MinTime, kb.Width,
+		len(virtual.P)+e.Cfg.CondBuckets-1)
+	e.accumulateBands(h, conds, s.parts, virtual)
+	return h.TrimInPlace()
+}
+
+// accumulateBands adds Σ_bands (virtual|band) ⊗ conditional(band) into
+// h's (zeroed) mass vector on the common output grid, whose largest
+// index is (len(virtual)-1) + (CondBuckets-1).
+func (e *Estimator) accumulateBands(h *hist.Hist, conds [][]float64, parts []BandPart, virtual *hist.Hist) {
+	out := h.P
+	width := h.Width // == kb.Width: the grid every routing histogram lives on
 	for b, part := range parts {
 		if part.Mass <= 0 || part.P == nil {
 			continue
@@ -252,6 +302,4 @@ func (e *Estimator) EstimateExtend(kb *KnowledgeBase, virtual *hist.Hist, next g
 			}
 		}
 	}
-	h := hist.New(outMin, width, out)
-	return h.Trim()
 }

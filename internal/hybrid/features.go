@@ -96,7 +96,13 @@ func appendPairFeatures(dst []float64, ps PairStats, hasPair bool) []float64 {
 
 // Features assembles the estimator input vector.
 func Features(kb *KnowledgeBase, virtual *hist.Hist, next graph.EdgeID, ps PairStats, hasPair bool) []float64 {
-	dst := make([]float64, 0, NumFeatures)
+	return AppendFeatures(make([]float64, 0, NumFeatures), kb, virtual, next, ps, hasPair)
+}
+
+// AppendFeatures assembles the estimator input vector into dst (usually
+// dst[:0] of a per-search scratch buffer) and returns it — the
+// allocation-free form of Features for the hot query path.
+func AppendFeatures(dst []float64, kb *KnowledgeBase, virtual *hist.Hist, next graph.EdgeID, ps PairStats, hasPair bool) []float64 {
 	dst = appendVirtualFeatures(dst, virtual)
 	dst = appendEdgeFeatures(dst, kb, next)
 	dst = appendPairFeatures(dst, ps, hasPair)
@@ -121,8 +127,28 @@ const NumClassifierFeatures = 4
 // by the midpoint rule and returns, per band, the (possibly zero) mass
 // and the sub-distribution (unnormalised: sub-hist masses sum to the
 // band mass). Degenerate distributions put all mass in band 0.
+//
+// Each part's P aliases v's mass vector (the midpoint rule assigns
+// bands to contiguous index ranges, so a band is a sub-slice): treat
+// parts as read-only views that are valid while v is.
 func BandWeights(v *hist.Hist, bands int) []BandPart {
-	parts := make([]BandPart, bands)
+	return BandWeightsInto(make([]BandPart, 0, bands), v, bands)
+}
+
+// BandWeightsInto is BandWeights appending into dst (usually dst[:0] of
+// a per-search scratch) — the allocation-free form for the hot query
+// path. The band index of the midpoint rule is non-decreasing along the
+// support (each step advances the cumulative midpoint by half the
+// neighbouring masses), so every band covers a contiguous index range
+// and its P can alias v.P directly.
+func BandWeightsInto(dst []BandPart, v *hist.Hist, bands int) []BandPart {
+	for len(dst) < bands {
+		dst = append(dst, BandPart{})
+	}
+	parts := dst[:bands]
+	for b := range parts {
+		parts[b] = BandPart{}
+	}
 	cum := 0.0
 	for i, p := range v.P {
 		mid := cum + p/2
@@ -136,10 +162,7 @@ func BandWeights(v *hist.Hist, bands int) []BandPart {
 		if parts[b].P == nil {
 			parts[b].startIdx = i
 		}
-		for len(parts[b].P) < i-parts[b].startIdx {
-			parts[b].P = append(parts[b].P, 0)
-		}
-		parts[b].P = append(parts[b].P, p)
+		parts[b].P = v.P[parts[b].startIdx : i+1]
 		parts[b].Mass += p
 		cum += p
 	}

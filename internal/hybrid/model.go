@@ -62,6 +62,30 @@ func (c *ConvolutionCoster) Extend(virtual *hist.Hist, _, next graph.EdgeID) *hi
 	return out
 }
 
+// InitialHistInto implements ScratchCoster.
+func (c *ConvolutionCoster) InitialHistInto(s *Scratch, e graph.EdgeID) *hist.Hist {
+	return s.Arena.CloneHist(c.KB.Edge(e).Marginal)
+}
+
+// ExtendInto implements ScratchCoster: the convolution step into arena
+// storage, bit-identical to Extend.
+func (c *ConvolutionCoster) ExtendInto(s *Scratch, virtual *hist.Hist, _, next graph.EdgeID) *hist.Hist {
+	out := convolveIntoArena(s, virtual, c.KB.Edge(next).Marginal)
+	if c.MaxBuckets > 0 {
+		out.CapBucketsInPlace(c.MaxBuckets)
+	}
+	return out
+}
+
+// convolveIntoArena convolves a and b into a fresh arena histogram.
+func convolveIntoArena(s *Scratch, a, b *hist.Hist) *hist.Hist {
+	out := s.Arena.NewHist(0, 0, len(a.P)+len(b.P)-1)
+	if err := hist.ConvolveInto(out, a, b); err != nil {
+		panic(err) // widths are guaranteed equal on the routing grid
+	}
+	return out
+}
+
 // MinEdgeTime implements Coster.
 func (c *ConvolutionCoster) MinEdgeTime(e graph.EdgeID) float64 { return c.KB.MinEdgeTime(e) }
 
@@ -175,6 +199,41 @@ func (m *Model) extend(virtual *hist.Hist, lastEdge, next graph.EdgeID) (out *hi
 	return out, estimated
 }
 
+// InitialHistInto implements ScratchCoster.
+func (m *Model) InitialHistInto(s *Scratch, e graph.EdgeID) *hist.Hist {
+	return s.Arena.CloneHist(m.KB.Edge(e).Marginal)
+}
+
+// ExtendInto implements ScratchCoster: the hybrid step writing into
+// the search's scratch, bit-identical to Extend but allocation-free
+// once the scratch is warm. The decision is tallied into the model's
+// atomic lifetime counters, exactly like Extend.
+func (m *Model) ExtendInto(s *Scratch, virtual *hist.Hist, lastEdge, next graph.EdgeID) *hist.Hist {
+	out, estimated := m.extendInto(s, virtual, lastEdge, next)
+	if estimated {
+		m.numEstimated.Add(1)
+	} else {
+		m.numConvolved.Add(1)
+	}
+	return out
+}
+
+// extendInto is the counter-free scratch-aware hybrid step shared by
+// ExtendInto and the per-request counting coster.
+func (m *Model) extendInto(s *Scratch, virtual *hist.Hist, lastEdge, next graph.EdgeID) (out *hist.Hist, estimated bool) {
+	if m.ShouldEstimate(lastEdge, next) {
+		estimated = true
+		ps, has := m.KB.Pair(lastEdge, next)
+		out = m.Estimator.EstimateExtendInto(s, m.KB, virtual, next, ps, has)
+	} else {
+		out = convolveIntoArena(s, virtual, m.KB.Edge(next).Marginal)
+	}
+	if m.MaxBuckets > 0 {
+		out.CapBucketsInPlace(m.MaxBuckets)
+	}
+	return out, estimated
+}
+
 // WithStats returns a Coster view of the model that additionally tallies
 // every Extend decision into qs. The view is meant to live for one
 // request: hand each routing query its own QueryStats and the queries
@@ -199,6 +258,21 @@ func (c *countingCoster) Width() float64                        { return c.m.Wid
 
 func (c *countingCoster) Extend(virtual *hist.Hist, lastEdge, next graph.EdgeID) *hist.Hist {
 	out, estimated := c.m.extend(virtual, lastEdge, next)
+	c.tally(estimated)
+	return out
+}
+
+func (c *countingCoster) InitialHistInto(s *Scratch, e graph.EdgeID) *hist.Hist {
+	return c.m.InitialHistInto(s, e)
+}
+
+func (c *countingCoster) ExtendInto(s *Scratch, virtual *hist.Hist, lastEdge, next graph.EdgeID) *hist.Hist {
+	out, estimated := c.m.extendInto(s, virtual, lastEdge, next)
+	c.tally(estimated)
+	return out
+}
+
+func (c *countingCoster) tally(estimated bool) {
 	if estimated {
 		c.qs.Estimated++
 		c.m.numEstimated.Add(1)
@@ -206,7 +280,6 @@ func (c *countingCoster) Extend(virtual *hist.Hist, lastEdge, next graph.EdgeID)
 		c.qs.Convolved++
 		c.m.numConvolved.Add(1)
 	}
-	return out
 }
 
 // CloneForConcurrentUse returns a model sharing this model's learned
@@ -239,6 +312,9 @@ func (m *Model) PairSumEstimate(first, second graph.EdgeID) (*hist.Hist, error) 
 }
 
 var (
-	_ Coster = (*ConvolutionCoster)(nil)
-	_ Coster = (*Model)(nil)
+	_ Coster        = (*ConvolutionCoster)(nil)
+	_ Coster        = (*Model)(nil)
+	_ ScratchCoster = (*ConvolutionCoster)(nil)
+	_ ScratchCoster = (*Model)(nil)
+	_ ScratchCoster = (*countingCoster)(nil)
 )

@@ -1,0 +1,110 @@
+package hybrid
+
+import (
+	"testing"
+
+	"stochroute/internal/hist"
+)
+
+func distsBitEqual(t *testing.T, label string, a, b *hist.Hist) {
+	t.Helper()
+	if a.Min != b.Min || a.Width != b.Width || len(a.P) != len(b.P) {
+		t.Fatalf("%s: shape mismatch: (%v,%v,%d) vs (%v,%v,%d)",
+			label, a.Min, a.Width, len(a.P), b.Min, b.Width, len(b.P))
+	}
+	for i := range a.P {
+		if a.P[i] != b.P[i] {
+			t.Fatalf("%s: P[%d] = %v vs %v (not bit-equal)", label, i, a.P[i], b.P[i])
+		}
+	}
+}
+
+// TestExtendIntoMatchesExtend is the kernel contract of ScratchCoster:
+// the scratch-aware path must produce bit-identical distributions to
+// the plain path — across convolved AND estimated extensions, chained
+// along multi-edge paths, with a scratch reused (Reset) between paths
+// the way a pooled search reuses it.
+func TestExtendIntoMatchesExtend(t *testing.T) {
+	model, _ := getModel(t)
+	e := getEnv(t)
+	pairs := e.obs.PairsWithSupport(12)
+	if len(pairs) == 0 {
+		t.Skip("no pairs with support")
+	}
+	var s Scratch
+	sawEstimate, sawConvolve := false, false
+	for n, k := range pairs {
+		if n >= 200 {
+			break
+		}
+		if model.ShouldEstimate(k.First, k.Second) {
+			sawEstimate = true
+		} else {
+			sawConvolve = true
+		}
+		plain := model.Extend(model.InitialHist(k.First), k.First, k.Second)
+		scratch := model.ExtendInto(&s, model.InitialHistInto(&s, k.First), k.First, k.Second)
+		distsBitEqual(t, "pair extension", plain, scratch)
+
+		// Chain a second hop to exercise long-virtual inputs.
+		g := e.kb.Graph()
+		for _, next := range g.Out(g.Edge(k.Second).To) {
+			plain2 := model.Extend(plain, k.Second, next)
+			scratch2 := model.ExtendInto(&s, scratch, k.Second, next)
+			distsBitEqual(t, "chained extension", plain2, scratch2)
+			break
+		}
+		s.Reset()
+	}
+	if !sawConvolve {
+		t.Error("test never exercised the convolution branch")
+	}
+	if !sawEstimate {
+		t.Log("note: no estimated extension exercised (classifier chose convolve everywhere)")
+	}
+}
+
+// TestConvolutionCosterExtendInto pins the baseline coster's scratch
+// path the same way.
+func TestConvolutionCosterExtendInto(t *testing.T) {
+	e := getEnv(t)
+	c := &ConvolutionCoster{KB: e.kb, MaxBuckets: 64}
+	pairs := e.obs.PairsWithSupport(12)
+	if len(pairs) == 0 {
+		t.Skip("no pairs")
+	}
+	var s Scratch
+	for n, k := range pairs {
+		if n >= 50 {
+			break
+		}
+		plain := c.Extend(c.InitialHist(k.First), k.First, k.Second)
+		scratch := c.ExtendInto(&s, c.InitialHistInto(&s, k.First), k.First, k.Second)
+		distsBitEqual(t, "conv extension", plain, scratch)
+		s.Reset()
+	}
+}
+
+// TestWithStatsScratchCapability: the per-request counting view must
+// retain the scratch capability (routing type-asserts the Coster it is
+// handed) and count ExtendInto decisions exactly like Extend.
+func TestWithStatsScratchCapability(t *testing.T) {
+	model, _ := getModel(t)
+	e := getEnv(t)
+	pairs := e.obs.PairsWithSupport(12)
+	if len(pairs) == 0 {
+		t.Skip("no pairs")
+	}
+	var qs QueryStats
+	c := model.WithStats(&qs)
+	sc, ok := c.(ScratchCoster)
+	if !ok {
+		t.Fatal("WithStats view lost the ScratchCoster capability")
+	}
+	var s Scratch
+	k := pairs[0]
+	sc.ExtendInto(&s, sc.InitialHistInto(&s, k.First), k.First, k.Second)
+	if qs.Convolved+qs.Estimated != 1 {
+		t.Errorf("ExtendInto not tallied: %+v", qs)
+	}
+}

@@ -1,0 +1,105 @@
+package ml
+
+import "math"
+
+// InferScratch holds the ping-pong activation buffers of the
+// allocation-free single-row forward pass (Network.InferRow). One
+// scratch serves one goroutine; reuse it across calls to amortise the
+// buffers to zero allocations. The zero value is ready to use.
+type InferScratch struct {
+	a, b []float64
+}
+
+func growRow(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// InferRow runs one input row through the network and returns the
+// output activations, allocating nothing once the scratch is warm. It
+// computes exactly what Infer computes for a 1-row batch — the
+// accumulation order of every dot product matches MatMul — so the two
+// paths are bit-identical; the per-request serving path uses InferRow,
+// training and batch evaluation keep using Infer/Forward.
+//
+// The returned slice is owned by the scratch and valid only until the
+// next InferRow call with the same scratch.
+func (n *Network) InferRow(s *InferScratch, row []float64) []float64 {
+	s.a = growRow(s.a, len(row))
+	copy(s.a, row)
+	cur := s.a
+	for _, l := range n.Layers {
+		switch layer := l.(type) {
+		case *Dense:
+			outCols := layer.W.Cols
+			out := growRow(s.b, outCols)
+			for j := range out {
+				out[j] = 0
+			}
+			for k, av := range cur {
+				if av == 0 {
+					continue
+				}
+				wrow := layer.W.Data[k*outCols : (k+1)*outCols]
+				for j, wv := range wrow {
+					out[j] += av * wv
+				}
+			}
+			for j, bv := range layer.B.Data {
+				out[j] += bv
+			}
+			s.a, s.b = out, cur[:0]
+			cur = out
+		case *ReLU:
+			for i, v := range cur {
+				if v <= 0 {
+					cur[i] = 0
+				}
+			}
+		case *Tanh:
+			for i, v := range cur {
+				cur[i] = math.Tanh(v)
+			}
+		default:
+			// Unknown layer type: fall back to the matrix path for this
+			// stage (allocates, but stays correct).
+			x := &Matrix{Rows: 1, Cols: len(cur), Data: cur}
+			y := l.Infer(x)
+			s.a = growRow(s.a[:0], len(y.Data))
+			copy(s.a, y.Data)
+			cur = s.a
+		}
+	}
+	return cur
+}
+
+// GroupedSoftmaxRow is the in-place single-row form of GroupedSoftmax:
+// each of `groups` equal-width blocks of row is turned into an
+// independent softmax distribution. The per-block arithmetic matches
+// GroupedSoftmax exactly.
+func GroupedSoftmaxRow(row []float64, groups int) {
+	if groups <= 0 || len(row)%groups != 0 {
+		panic("ml: GroupedSoftmaxRow length not divisible by groups")
+	}
+	width := len(row) / groups
+	for g := 0; g < groups; g++ {
+		block := row[g*width : (g+1)*width]
+		max := block[0]
+		for _, v := range block {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for j, v := range block {
+			e := math.Exp(v - max)
+			block[j] = e
+			sum += e
+		}
+		for j := range block {
+			block[j] /= sum
+		}
+	}
+}

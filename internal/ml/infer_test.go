@@ -1,0 +1,79 @@
+package ml
+
+import (
+	"testing"
+
+	"stochroute/internal/rng"
+)
+
+// TestInferRowMatchesInfer pins the allocation-free row pass to the
+// matrix pass bit for bit: the serving kernel and the training-time
+// evaluation must agree exactly or search results drift between the
+// scratch-aware and plain cost-model paths.
+func TestInferRowMatchesInfer(t *testing.T) {
+	r := rng.New(7)
+	net, err := NewMLP([]int{11, 32, 17, 5}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s InferScratch
+	for trial := 0; trial < 50; trial++ {
+		row := make([]float64, 11)
+		for i := range row {
+			row[i] = r.Normal(0, 2)
+			if r.Intn(4) == 0 {
+				row[i] = 0 // exercise MatMul's zero-skip
+			}
+		}
+		x := &Matrix{Rows: 1, Cols: len(row), Data: append([]float64(nil), row...)}
+		want := net.Infer(x).Row(0)
+		got := net.InferRow(&s, row)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d != %d", trial, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d: out[%d] = %v, Infer = %v", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestInferRowAllocFree(t *testing.T) {
+	r := rng.New(8)
+	net, err := NewMLP([]int{6, 16, 4}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s InferScratch
+	row := make([]float64, 6)
+	for i := range row {
+		row[i] = r.Float64()
+	}
+	net.InferRow(&s, row) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = net.InferRow(&s, row)
+	})
+	if allocs != 0 {
+		t.Errorf("InferRow allocates %v per run with a warm scratch", allocs)
+	}
+}
+
+func TestGroupedSoftmaxRowMatchesGroupedSoftmax(t *testing.T) {
+	r := rng.New(9)
+	for trial := 0; trial < 50; trial++ {
+		row := make([]float64, 12)
+		for i := range row {
+			row[i] = r.Normal(0, 3)
+		}
+		m := &Matrix{Rows: 1, Cols: len(row), Data: append([]float64(nil), row...)}
+		want := GroupedSoftmax(m, 3).Row(0)
+		got := append([]float64(nil), row...)
+		GroupedSoftmaxRow(got, 3)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d: [%d] %v != %v", trial, j, got[j], want[j])
+			}
+		}
+	}
+}

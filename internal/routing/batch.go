@@ -1,0 +1,25 @@
+package routing
+
+import "stochroute/internal/graph"
+
+// BatchQuery is one query of a batched routing request: the endpoints
+// plus the full per-query search options (budget, anytime limits,
+// ablations). Batching exists so callers can amortise snapshot loading
+// and scheduling over many queries; each query is still an independent
+// PBR search.
+type BatchQuery struct {
+	Source, Dest graph.VertexID
+	Opts         Options
+}
+
+// BatchItem is one query's outcome in a batched routing answer:
+// exactly one of Result and Err is set, and item i of the answer
+// corresponds to query i of the request. Epoch is the model generation
+// the whole batch ran against; it is set on every item — error items
+// included — so a response never mixes epochs even when a hot swap
+// lands mid-batch.
+type BatchItem struct {
+	Result *Result
+	Err    error
+	Epoch  uint64
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"stochroute/internal/graph"
@@ -24,6 +25,14 @@ type Options struct {
 	// MaxDuration bounds wall-clock time.
 	MaxExpansions int
 	MaxDuration   time.Duration
+
+	// Deadline, when non-zero, bounds the search by an absolute
+	// wall-clock instant; the batched query path uses it to give every
+	// query of a batch ONE shared deadline regardless of when a worker
+	// picks it up. When both Deadline and MaxDuration are set, the
+	// earlier bound wins. Like MaxDuration, expiry returns the current
+	// pivot with Complete=false.
+	Deadline time.Time
 
 	// Ablation switches for the paper's prunings. All false = full
 	// algorithm.
@@ -101,6 +110,13 @@ type label struct {
 	dead     bool  // removed by dominance
 }
 
+// scratchPool recycles the per-search cost-kernel scratch (histogram
+// arena + estimator buffers) across queries: a warmed scratch makes
+// the whole label loop allocation-free. Each PBR call takes one
+// scratch for its duration and resets it on the way out, so pooled
+// scratches never serve two searches at once.
+var scratchPool = sync.Pool{New: func() any { return new(hybrid.Scratch) }}
+
 type frontierKey struct {
 	vertex   graph.VertexID
 	lastEdge graph.EdgeID
@@ -120,6 +136,14 @@ type frontierEntry struct {
 // paper are applied unless disabled in opts. With an anytime limit set,
 // the current pivot path is returned once the limit expires
 // (Result.Complete = false).
+//
+// When c implements hybrid.ScratchCoster (the hybrid model and the
+// convolution baseline do), the search runs on the allocation-free
+// cost kernel: label distributions live in a pooled per-search
+// hist.Arena, labels proven dead recycle their buffers, and pivot
+// pruning reads shifted CDFs without cloning. The kernel path computes
+// bit-identical results to the plain Coster path — same route, same
+// probability, same telemetry — it only changes where the floats live.
 func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Options) (*Result, error) {
 	start := time.Now()
 	if opts.Budget <= 0 || math.IsNaN(opts.Budget) {
@@ -158,11 +182,46 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 		return nil, ErrUnreachable
 	}
 
-	arena := make([]label, 0, 1024)
+	// The allocation-free kernel path: when the coster can extend into
+	// caller-owned storage, label distributions live in a pooled
+	// per-search arena and dead labels recycle their buffers. Plain
+	// Costers (baselines, test doubles) take the heap path below.
+	sc, useScratch := c.(hybrid.ScratchCoster)
+	var scratch *hybrid.Scratch
+	if useScratch {
+		scratch = scratchPool.Get().(*hybrid.Scratch)
+		defer func() {
+			scratch.Reset()
+			scratchPool.Put(scratch)
+		}()
+	}
+	initialHist := func(e graph.EdgeID) *hist.Hist {
+		if useScratch {
+			return sc.InitialHistInto(scratch, e)
+		}
+		return c.InitialHist(e)
+	}
+	extend := func(virtual *hist.Hist, lastEdge, next graph.EdgeID) *hist.Hist {
+		if useScratch {
+			return sc.ExtendInto(scratch, virtual, lastEdge, next).TruncateAboveInPlace(truncateAt)
+		}
+		return c.Extend(virtual, lastEdge, next).TruncateAbove(truncateAt)
+	}
+	// recycle returns a dead label's mass buffer to the arena. Callers
+	// must only recycle distributions nothing else references.
+	recycle := func(d *hist.Hist) {
+		if useScratch {
+			scratch.Arena.Recycle(d)
+		}
+	}
+
+	labels := make([]label, 0, 1024)
 	frontiers := make(map[frontierKey][]frontierEntry)
 	var pq pqueue.Heap[int32]
 
-	// Pivot: the most promising complete path found so far (b).
+	// Pivot: the most promising complete path found so far (b). Its
+	// distribution escapes the search (Result.Dist), so on the kernel
+	// path it is cloned out of the arena at every improvement.
 	havePivot := false
 	var pivotPath []graph.EdgeID
 	var pivotDist *hist.Hist
@@ -173,29 +232,36 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 		if err := ValidatePath(g, opts.SeedPath, source, dest); err != nil {
 			return nil, fmt.Errorf("routing: PBR seed path: %w", err)
 		}
-		sd := c.InitialHist(opts.SeedPath[0])
+		sd := initialHist(opts.SeedPath[0])
 		for i := 1; i < len(opts.SeedPath); i++ {
-			sd = c.Extend(sd, opts.SeedPath[i-1], opts.SeedPath[i]).TruncateAbove(truncateAt)
+			nd := extend(sd, opts.SeedPath[i-1], opts.SeedPath[i])
+			recycle(sd)
+			sd = nd
 		}
 		havePivot = true
 		pivotPath = append([]graph.EdgeID(nil), opts.SeedPath...)
 		pivotDist = sd
-		pivotProb = sd.CDF(opts.Budget)
+		if useScratch {
+			pivotDist = sd.Clone()
+			recycle(sd)
+		}
+		pivotProb = pivotDist.CDF(opts.Budget)
 	}
 	seedProb, seedDist := pivotProb, pivotDist
 
 	push := func(v graph.VertexID, last graph.EdgeID, d *hist.Hist, parent int32) {
-		arena = append(arena, label{vertex: v, lastEdge: last, dist: d, parent: parent})
-		idx := int32(len(arena) - 1)
+		labels = append(labels, label{vertex: v, lastEdge: last, dist: d, parent: parent})
+		idx := int32(len(labels) - 1)
 		pq.Push(d.Min+h[v], idx)
 		res.GeneratedLabels++
 	}
 
 	// Upper bound on the achievable arrival probability of a partial
 	// path at v: shift the distribution by the optimistic remaining
-	// cost h(v) and read the budget CDF — the paper's cost shifting (c).
+	// cost h(v) and read the budget CDF — the paper's cost shifting (c),
+	// evaluated by CDFShifted without materialising the shifted copy.
 	upperBound := func(d *hist.Hist, v graph.VertexID) float64 {
-		return d.CDF(opts.Budget - h[v])
+		return d.CDFShifted(opts.Budget, h[v])
 	}
 
 	// Seed with the out-edges of the source.
@@ -204,17 +270,20 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 		if math.IsInf(h[to], 1) {
 			continue
 		}
-		push(to, e, c.InitialHist(e), -1)
+		push(to, e, initialHist(e), -1)
 	}
 
 	deadline := time.Time{}
 	if opts.MaxDuration > 0 {
 		deadline = start.Add(opts.MaxDuration)
 	}
+	if !opts.Deadline.IsZero() && (deadline.IsZero() || opts.Deadline.Before(deadline)) {
+		deadline = opts.Deadline
+	}
 
 	for pq.Len() > 0 {
 		idx, prio, _ := pq.Pop()
-		lb := &arena[idx]
+		lb := &labels[idx]
 		if lb.dead {
 			continue
 		}
@@ -240,15 +309,21 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 			if p > pivotProb {
 				havePivot = true
 				pivotProb = p
+				// Clone out of the arena: the label may be killed (and
+				// its buffer recycled) later, and the pivot outlives
+				// the search as Result.Dist.
 				pivotDist = lb.dist
-				pivotPath = reconstructPath(arena, idx)
+				if useScratch {
+					pivotDist = lb.dist.Clone()
+				}
+				pivotPath = reconstructPath(labels, idx)
 			}
 			// Positive edge times mean re-leaving the destination can
 			// never improve the arrival distribution; do not expand.
 			continue
 		}
 
-		if len(arena) > maxLabels {
+		if len(labels) > maxLabels {
 			return nil, fmt.Errorf("routing: PBR exceeded %d labels; raise MaxLabels or tighten the budget", maxLabels)
 		}
 
@@ -261,13 +336,14 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 			if math.IsInf(h[ne.To], 1) {
 				continue
 			}
-			nd := c.Extend(lb.dist, lb.lastEdge, next).TruncateAbove(truncateAt)
+			nd := extend(lb.dist, lb.lastEdge, next)
 
 			// (a) optimistic-arrival pruning: a label whose best
 			// possible arrival misses the budget contributes zero
 			// probability; prune once some pivot exists.
 			if !opts.DisablePotentialPruning && havePivot && nd.Min+h[ne.To] > opts.Budget {
 				res.PrunedPotential++
+				recycle(nd)
 				continue
 			}
 
@@ -277,18 +353,24 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 			// optimistic remainder the label cannot beat the pivot.
 			if !opts.DisablePivotPruning && havePivot && ub <= pivotProb {
 				res.PrunedPivot++
+				recycle(nd)
 				continue
 			}
 
 			// (d) stochastic-dominance pruning on the per-(vertex,
-			// incoming-edge) Pareto frontier.
+			// incoming-edge) Pareto frontier. Labels killed here are
+			// dead for good — their buffers go back to the arena (the
+			// label being expanded, idx, keeps its distribution until
+			// its out-edge loop finishes; in practice it can never sit
+			// on this frontier, but the guard keeps the invariant
+			// explicit).
 			if !opts.DisableDominancePruning {
 				key := frontierKey{vertex: ne.To, lastEdge: next}
 				entries := frontiers[key]
 				dominated := false
 				keep := entries[:0]
 				for _, fe := range entries {
-					other := &arena[fe.labelIdx]
+					other := &labels[fe.labelIdx]
 					if other.dead {
 						continue
 					}
@@ -299,6 +381,10 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 					}
 					if nd.Dominates(other.dist) {
 						other.dead = true
+						if fe.labelIdx != idx {
+							recycle(other.dist)
+							other.dist = nil
+						}
 						res.PrunedDominance++
 						continue
 					}
@@ -307,6 +393,7 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 				if dominated {
 					frontiers[key] = keep
 					res.PrunedDominance++
+					recycle(nd)
 					continue
 				}
 				if len(keep) >= maxFrontier {
@@ -320,15 +407,21 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 					if worstUB >= ub {
 						frontiers[key] = keep
 						res.PrunedDominance++
+						recycle(nd)
 						continue
 					}
-					arena[keep[worst].labelIdx].dead = true
+					evict := &labels[keep[worst].labelIdx]
+					evict.dead = true
+					if keep[worst].labelIdx != idx {
+						recycle(evict.dist)
+						evict.dist = nil
+					}
 					keep[worst] = keep[len(keep)-1]
 					keep = keep[:len(keep)-1]
 					res.PrunedDominance++
 				}
 				push(ne.To, next, nd, idx)
-				frontiers[key] = append(keep, frontierEntry{labelIdx: int32(len(arena) - 1), ub: ub})
+				frontiers[key] = append(keep, frontierEntry{labelIdx: int32(len(labels) - 1), ub: ub})
 			} else {
 				push(ne.To, next, nd, idx)
 			}

@@ -16,6 +16,19 @@
 //     carry model_epoch, the model generation that answered.
 //   - /route/anytime?...&limit_ms= — the anytime variant: the best
 //     pivot path found within the wall-clock limit.
+//   - /route/batch (POST, up to Config.MaxBatch queries) — the batched
+//     query path: {"queries": [{"source": 3, "dest": 9, "budget_s":
+//     420}, ...]}. The whole batch is validated up front (a malformed
+//     query fails the request with a 400 naming its index), answered
+//     against ONE model snapshot on a bounded worker pool
+//     (Config.BatchWorkers), and returned as {"results": [...],
+//     "cache_hits": n, "runtime_ms": t} with results[i] answering
+//     queries[i] in the same shape as /route (plus a per-item "error"
+//     for queries that individually failed, e.g. an exhausted label
+//     budget). Each item first consults the shared route cache under
+//     the same epoch-validated key /route uses, so hot batches are
+//     answered without searching and batch-warmed entries serve later
+//     /route calls.
 //   - /alternatives?source=&dest=&horizon=&max=[&budget=] — the
 //     stochastic skyline of mutually non-dominated routes within the
 //     time horizon.
@@ -40,11 +53,12 @@
 //     last-swap timestamp.
 //
 // JSON request bodies are hardened: they are read through
-// http.MaxBytesReader (Config.MaxIngestBytes, 413 past the cap) and
-// unknown fields are rejected, so an oversized or malformed /ingest
-// payload can neither balloon memory nor be silently half-parsed.
+// http.MaxBytesReader (Config.MaxIngestBytes for /ingest,
+// Config.MaxBatchBytes for /route/batch; 413 past the cap) and
+// unknown fields are rejected, so an oversized or malformed payload
+// can neither balloon memory nor be silently half-parsed.
 //
-// # Concurrency
+// # Concurrency and the cost kernel
 //
 // The whole query path is read-only: the hybrid model's estimator runs
 // the network's pure inference pass, and decision telemetry is kept in
@@ -53,6 +67,16 @@
 // locking and identical answers to serial execution. (Earlier versions
 // required serialising Route calls or cloning models per goroutine;
 // that caveat is gone.)
+//
+// Under the handlers, every search runs on the allocation-free cost
+// kernel: the model implements hybrid.ScratchCoster (the capability
+// contract for extending distributions into caller-owned storage), so
+// PBR keeps its label histograms in a pooled per-search arena instead
+// of allocating per extension — the kernel is bit-identical to the
+// plain path, it only changes where the floats live. /route/batch
+// additionally amortises snapshot loading and scheduling across its
+// items via Engine.RouteBatch, whose single-snapshot guarantee is what
+// makes per-item cache tagging sound under concurrent hot swaps.
 //
 // # Caching and model hot swaps
 //

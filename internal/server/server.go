@@ -30,6 +30,12 @@ type Backend interface {
 	Graph() *graph.Graph
 	NearestVertex(lat, lon float64) graph.VertexID
 	RouteWithOptions(source, dest graph.VertexID, opts routing.Options) (*routing.Result, error)
+	// RouteBatch answers queries[i] in item i against ONE model
+	// snapshot: a hot swap mid-batch must never split a batch across
+	// model generations, and every item (error items included) carries
+	// that snapshot's epoch. Cancelling ctx stops the batch between
+	// queries. workers <= 0 picks a sensible default.
+	RouteBatch(ctx context.Context, queries []routing.BatchQuery, workers int) []routing.BatchItem
 	AlternativeRoutes(source, dest graph.VertexID, horizon float64, maxRoutes int) ([]routing.ParetoRoute, error)
 	PairSum(first, second graph.EdgeID) (*hist.Hist, error)
 	OptimisticTime(source, dest graph.VertexID) (float64, error)
@@ -64,6 +70,14 @@ type Config struct {
 	MaxAlternatives int
 	// MaxSample caps the query count of one /sample call (default 512).
 	MaxSample int
+	// MaxBatch caps the query count of one POST /route/batch request
+	// (default 256, negative disables the endpoint).
+	MaxBatch int
+	// BatchWorkers bounds the worker pool answering one batch
+	// (default 0: the backend picks, typically GOMAXPROCS).
+	BatchWorkers int
+	// MaxBatchBytes caps one /route/batch request body (default 1 MiB).
+	MaxBatchBytes int64
 	// Ingestor, when set, enables the POST /ingest endpoint: the write
 	// path that folds streamed trajectories into the model (see
 	// internal/ingest). Nil leaves the endpoint unregistered.
@@ -94,6 +108,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSample <= 0 {
 		c.MaxSample = 512
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 1 << 20
 	}
 	if c.MaxIngestBytes <= 0 {
 		c.MaxIngestBytes = 8 << 20
@@ -159,6 +179,9 @@ func New(backend Backend, cfg Config) *Server {
 	}
 	s.handle("/route", http.MethodGet, s.handleRoute)
 	s.handle("/route/anytime", http.MethodGet, s.handleRouteAnytime)
+	if cfg.MaxBatch > 0 {
+		s.handle("/route/batch", http.MethodPost, s.handleRouteBatch)
+	}
 	s.handle("/alternatives", http.MethodGet, s.handleAlternatives)
 	s.handle("/pairsum", http.MethodGet, s.handlePairSum)
 	s.handle("/sample", http.MethodGet, s.handleSample)
@@ -479,6 +502,142 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 	if res.Dist != nil {
 		out.MeanSeconds = res.Dist.Mean()
 	}
+	return writeJSON(w, out)
+}
+
+// --- batched routing -------------------------------------------------
+
+// batchQueryRequest is one query of a POST /route/batch body. Endpoints
+// are vertex IDs; clients resolving coordinates use /route's from/to
+// form or snap once via /sample.
+type batchQueryRequest struct {
+	Source int     `json:"source"`
+	Dest   int     `json:"dest"`
+	Budget float64 `json:"budget_s"`
+}
+
+type batchRequest struct {
+	Queries []batchQueryRequest `json:"queries"`
+}
+
+// batchItemResponse is one per-query answer: the same shape as /route
+// plus an error string for queries that individually failed (the batch
+// as a whole still succeeds).
+type batchItemResponse struct {
+	routeResponse
+	Error string `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results   []batchItemResponse `json:"results"`
+	CacheHits int                 `json:"cache_hits"`
+	RuntimeMS float64             `json:"runtime_ms"`
+}
+
+// handleRouteBatch answers many budget-routing queries in one request.
+// The body is hardened like every JSON endpoint (size cap, unknown
+// fields rejected) and fully validated up front — a malformed query
+// fails the whole batch with a 400 naming its index, exactly as the
+// same query would have failed /route.
+//
+// Cache protocol per item: the route cache is consulted under the same
+// epoch-validated (source, dest, budget bucket) key /route uses, hits
+// recompute the exact probability for the item's budget, and only the
+// misses are handed to the backend — which answers them against one
+// model snapshot on a bounded worker pool. Complete found results are
+// stored back, so mixed hot/cold batches warm the cache for /route and
+// vice versa.
+//
+// The whole batch shares ONE deadline (RequestTimeout from request
+// start) and the request context: however many queries a batch packs,
+// it can never pin the worker pool longer than a single slow /route
+// call, and a client that disconnects stops the batch at the next
+// query boundary.
+func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	var req batchRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBatchBytes, &req); err != nil {
+		return err
+	}
+	if len(req.Queries) == 0 {
+		return badRequest("queries: empty batch")
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		return badRequest("queries: batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch)
+	}
+	g := s.backend.Graph()
+	for i, q := range req.Queries {
+		if q.Source < 0 || q.Source >= g.NumVertices() || q.Dest < 0 || q.Dest >= g.NumVertices() {
+			return badRequest("queries[%d]: vertex out of range [0, %d)", i, g.NumVertices())
+		}
+		if q.Budget <= 0 || math.IsNaN(q.Budget) || math.IsInf(q.Budget, 0) {
+			return badRequest("queries[%d]: budget_s must be a positive number of seconds", i)
+		}
+	}
+
+	epoch := s.backend.ModelEpoch()
+	s.routes.AdvanceEpoch(epoch)
+
+	out := &batchResponse{Results: make([]batchItemResponse, len(req.Queries))}
+	var misses []routing.BatchQuery
+	var missIdx []int
+	for i, q := range req.Queries {
+		src, dst := graph.VertexID(q.Source), graph.VertexID(q.Dest)
+		resp := &out.Results[i].routeResponse
+		resp.Source, resp.Dest, resp.Budget = src, dst, q.Budget
+		key := routeKey{src: src, dst: dst, bucket: s.bucketOf(q.Budget)}
+		if entry, ok := s.routes.Get(key); ok {
+			resp.Found = true
+			resp.Complete = true
+			resp.Prob = entry.dist.CDF(q.Budget)
+			resp.MeanSeconds = entry.dist.Mean()
+			resp.Path = entry.path
+			resp.ModelEpoch = entry.epoch
+			resp.Cached = true
+			out.CacheHits++
+			continue
+		}
+		misses = append(misses, routing.BatchQuery{
+			Source: src,
+			Dest:   dst,
+			Opts:   routing.Options{Budget: q.Budget, Deadline: start.Add(s.cfg.RequestTimeout)},
+		})
+		missIdx = append(missIdx, i)
+	}
+
+	items := s.backend.RouteBatch(r.Context(), misses, s.cfg.BatchWorkers)
+	for k, item := range items {
+		i := missIdx[k]
+		q := misses[k]
+		resp := &out.Results[i].routeResponse
+		switch {
+		case errors.Is(item.Err, routing.ErrUnreachable):
+			resp.Complete = true
+			resp.ModelEpoch = item.Epoch
+		case item.Err != nil:
+			out.Results[i].Error = item.Err.Error()
+			resp.ModelEpoch = item.Epoch
+		default:
+			res := item.Result
+			if res.Found && res.Complete {
+				key := routeKey{src: q.Source, dst: q.Dest, bucket: s.bucketOf(q.Opts.Budget)}
+				s.routes.PutAt(key, routeEntry{path: res.Path, dist: res.Dist, epoch: res.ModelEpoch}, res.ModelEpoch)
+			}
+			resp.Found = res.Found
+			resp.Complete = res.Complete
+			resp.Prob = res.Prob
+			resp.Path = res.Path
+			resp.Expansions = res.Expansions
+			resp.GeneratedLabels = res.GeneratedLabels
+			resp.Convolved = res.NumConvolved
+			resp.Estimated = res.NumEstimated
+			resp.ModelEpoch = res.ModelEpoch
+			if res.Dist != nil {
+				resp.MeanSeconds = res.Dist.Mean()
+			}
+		}
+	}
+	out.RuntimeMS = msSince(start)
 	return writeJSON(w, out)
 }
 

@@ -84,6 +84,23 @@ func (f *fakeBackend) RouteWithOptions(src, dst graph.VertexID, opts routing.Opt
 	}, nil
 }
 
+// RouteBatch mirrors the engine's contract: item i answers queries[i],
+// all against the epoch observed once at batch start, stamped on every
+// item.
+func (f *fakeBackend) RouteBatch(ctx context.Context, queries []routing.BatchQuery, workers int) []routing.BatchItem {
+	epoch := f.epoch.Load()
+	out := make([]routing.BatchItem, len(queries))
+	for i, q := range queries {
+		if err := ctx.Err(); err != nil {
+			out[i] = routing.BatchItem{Err: err, Epoch: epoch}
+			continue
+		}
+		res, err := f.RouteWithOptions(q.Source, q.Dest, q.Opts)
+		out[i] = routing.BatchItem{Result: res, Err: err, Epoch: epoch}
+	}
+	return out
+}
+
 func (f *fakeBackend) AlternativeRoutes(src, dst graph.VertexID, horizon float64, maxRoutes int) ([]routing.ParetoRoute, error) {
 	return []routing.ParetoRoute{
 		{Path: []graph.EdgeID{0, 1}, Dist: f.distFor(src, dst, f.epoch.Load())},

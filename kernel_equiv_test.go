@@ -1,0 +1,93 @@
+package stochroute
+
+import (
+	"fmt"
+	"testing"
+
+	"stochroute/internal/graph"
+	"stochroute/internal/hist"
+	"stochroute/internal/hybrid"
+	"stochroute/internal/routing"
+)
+
+// plainCosterView hides the trained model's ScratchCoster capability so
+// PBR takes the heap path — the pre-kernel behaviour.
+type plainCosterView struct {
+	c hybrid.Coster
+}
+
+func (p plainCosterView) InitialHist(e graph.EdgeID) *hist.Hist { return p.c.InitialHist(e) }
+func (p plainCosterView) Extend(v *hist.Hist, lastEdge, next graph.EdgeID) *hist.Hist {
+	return p.c.Extend(v, lastEdge, next)
+}
+func (p plainCosterView) MinEdgeTime(e graph.EdgeID) float64 { return p.c.MinEdgeTime(e) }
+func (p plainCosterView) Width() float64                     { return p.c.Width() }
+
+// TestKernelEquivalenceWithTrainedModel runs full PBR queries with the
+// real trained hybrid model — classifier decisions, estimated
+// extensions, MLP inference and all — through the arena-backed kernel
+// and the plain heap path, demanding identical routes, bit-equal
+// probabilities and identical search telemetry. Together with the
+// convolution-coster equivalence test in internal/routing this proves
+// the allocation-free refactor changes where floats live, not what any
+// query answers.
+func TestKernelEquivalenceWithTrainedModel(t *testing.T) {
+	e := testEngine(t)
+	model := e.Model()
+	if _, ok := hybrid.Coster(model).(hybrid.ScratchCoster); !ok {
+		t.Fatal("trained model does not implement ScratchCoster")
+	}
+	qs, err := e.SampleQueries(0.3, 1.2, 6, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range qs {
+		optimistic, err := e.OptimisticTime(q.Source, q.Dest)
+		if err != nil {
+			continue
+		}
+		for _, factor := range []float64{1.15, 1.45} {
+			opts := routing.Options{Budget: factor * optimistic}
+			kernel, err := routing.PBR(e.Graph(), model, q.Source, q.Dest, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := routing.PBR(e.Graph(), plainCosterView{model}, q.Source, q.Dest, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("query %d (%d->%d) factor %v", qi, q.Source, q.Dest, factor)
+			if kernel.Found != plain.Found || kernel.Complete != plain.Complete {
+				t.Fatalf("%s: found/complete diverged", label)
+			}
+			if kernel.Prob != plain.Prob {
+				t.Fatalf("%s: prob %v vs %v (not bit-equal)", label, kernel.Prob, plain.Prob)
+			}
+			if len(kernel.Path) != len(plain.Path) {
+				t.Fatalf("%s: path lengths %d vs %d", label, len(kernel.Path), len(plain.Path))
+			}
+			for i := range kernel.Path {
+				if kernel.Path[i] != plain.Path[i] {
+					t.Fatalf("%s: paths diverge at %d", label, i)
+				}
+			}
+			if kernel.Dist != nil && plain.Dist != nil {
+				if kernel.Dist.Min != plain.Dist.Min || len(kernel.Dist.P) != len(plain.Dist.P) {
+					t.Fatalf("%s: result distribution shape diverged", label)
+				}
+				for i := range kernel.Dist.P {
+					if kernel.Dist.P[i] != plain.Dist.P[i] {
+						t.Fatalf("%s: result distribution P[%d] diverged", label, i)
+					}
+				}
+			}
+			if kernel.Expansions != plain.Expansions ||
+				kernel.GeneratedLabels != plain.GeneratedLabels ||
+				kernel.PrunedPotential != plain.PrunedPotential ||
+				kernel.PrunedPivot != plain.PrunedPivot ||
+				kernel.PrunedDominance != plain.PrunedDominance {
+				t.Fatalf("%s: telemetry diverged: %+v vs %+v", label, kernel, plain)
+			}
+		}
+	}
+}

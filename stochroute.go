@@ -33,6 +33,10 @@ type (
 	RouteResult = routing.Result
 	// RouteOptions configures a budget-routing query.
 	RouteOptions = routing.Options
+	// BatchQuery is one query of an Engine.RouteBatch request.
+	BatchQuery = routing.BatchQuery
+	// BatchItem is one per-query outcome of an Engine.RouteBatch answer.
+	BatchItem = routing.BatchItem
 	// Trajectory is a simulated vehicle trip.
 	Trajectory = traj.Trajectory
 	// ObservationStore is the trajectory-derived training data.
