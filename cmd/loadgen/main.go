@@ -16,6 +16,14 @@
 // /route/batch instead of issuing single GET /route calls; n then
 // counts batch requests, throughput is reported in both requests/s and
 // queries/s, and the hit rate is per item.
+//
+// With -departs "t0,t1,..." (seconds since midnight) loadgen runs a
+// departure sweep: requests cycle round-robin over the listed
+// departures, every request carries its depart parameter, and the
+// report breaks latency (p50/p99) and cache hit rate down per
+// departure — the per-time-of-day-slice view of a temporally sliced
+// server. Works in both single and batch mode (a batch shares one
+// departure).
 package main
 
 import (
@@ -28,6 +36,8 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,13 +55,32 @@ type sampleResponse struct {
 }
 
 // outcome is one request's measurement. In batch mode a request
-// carries several queries; items/itemHits count them.
+// carries several queries; items/itemHits count them. departIdx
+// indexes the -departs sweep entry the request used (-1 = no sweep).
 type outcome struct {
-	latency  time.Duration
-	hit      bool
-	items    int
-	itemHits int
-	err      error
+	latency   time.Duration
+	hit       bool
+	items     int
+	itemHits  int
+	departIdx int
+	err       error
+}
+
+// parseDeparts parses the -departs sweep list.
+func parseDeparts(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("departure %q: want a non-negative number of seconds", p)
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 func firstError(results []outcome) error {
@@ -76,6 +105,7 @@ func main() {
 	factor := flag.Float64("budget-factor", 1.35, "budget = factor x optimistic travel time")
 	anytimeMS := flag.Int("anytime-ms", 0, "use /route/anytime with this wall-clock limit (0 = full /route)")
 	batch := flag.Int("batch", 0, "POST this many queries per request to /route/batch (0 = single GET /route calls)")
+	departsFlag := flag.String("departs", "", "comma-separated departure sweep (seconds since midnight); reports per-departure p50/p99 and hit rate")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 	if *n <= 0 || *c <= 0 || *numQueries <= 0 {
@@ -83,6 +113,10 @@ func main() {
 	}
 	if *batch > 0 && *anytimeMS > 0 {
 		log.Fatal("-batch and -anytime-ms are mutually exclusive")
+	}
+	departs, err := parseDeparts(*departsFlag)
+	if err != nil {
+		log.Fatalf("-departs: %v", err)
 	}
 
 	client := &http.Client{Timeout: 60 * time.Second}
@@ -114,10 +148,18 @@ func main() {
 				if i >= *n {
 					return
 				}
+				// Departure sweep: requests cycle round-robin over the
+				// listed departures so every slice sees equal load.
+				departIdx := -1
+				depart := 0.0
+				if len(departs) > 0 {
+					departIdx = i % len(departs)
+					depart = departs[departIdx]
+				}
 				if *batch > 0 {
 					t0 := time.Now()
-					items, itemHits, err := fireBatch(client, *addr, queries, rng, *batch, *factor)
-					results[i] = outcome{latency: time.Since(t0), items: items, itemHits: itemHits, err: err}
+					items, itemHits, err := fireBatch(client, *addr, queries, rng, *batch, *factor, depart)
+					results[i] = outcome{latency: time.Since(t0), items: items, itemHits: itemHits, departIdx: departIdx, err: err}
 					continue
 				}
 				q := queries[rng.Intn(len(queries))]
@@ -127,9 +169,12 @@ func main() {
 					url = fmt.Sprintf("%s/route/anytime?source=%d&dest=%d&budget=%.3f&limit_ms=%d",
 						*addr, q.Source, q.Dest, budget, *anytimeMS)
 				}
+				if departIdx >= 0 {
+					url += fmt.Sprintf("&depart=%.0f", depart)
+				}
 				t0 := time.Now()
 				hit, err := fire(client, url)
-				results[i] = outcome{latency: time.Since(t0), hit: hit, items: 1, err: err}
+				results[i] = outcome{latency: time.Since(t0), hit: hit, items: 1, departIdx: departIdx, err: err}
 			}
 		}(w)
 	}
@@ -171,8 +216,43 @@ func main() {
 		percentile(latencies, 0.90).Round(time.Microsecond),
 		percentile(latencies, 0.99).Round(time.Microsecond),
 		latencies[ok-1].Round(time.Microsecond))
+	if len(departs) > 0 {
+		reportDepartSweep(departs, results)
+	}
 	if errs > 0 {
 		log.Printf("first error: %v", firstError(results))
+	}
+}
+
+// reportDepartSweep prints the per-departure breakdown: p50/p99
+// latency and cache hit rate per swept departure — one line per
+// time-of-day slice the server partitions the day into.
+func reportDepartSweep(departs []float64, results []outcome) {
+	fmt.Printf("departure sweep:\n")
+	for d, depart := range departs {
+		var lat []time.Duration
+		items, hits := 0, 0
+		for _, r := range results {
+			if r.err != nil || r.departIdx != d {
+				continue
+			}
+			lat = append(lat, r.latency)
+			items += r.items
+			hits += r.itemHits
+			if r.hit {
+				hits++
+			}
+		}
+		if len(lat) == 0 {
+			fmt.Printf("  depart %6.0fs: no successful requests\n", depart)
+			continue
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		fmt.Printf("  depart %6.0fs: %5d req  p50=%v p99=%v  hits %d/%d (%.1f%%)\n",
+			depart, len(lat),
+			percentile(lat, 0.50).Round(time.Microsecond),
+			percentile(lat, 0.99).Round(time.Microsecond),
+			hits, items, 100*float64(hits)/float64(items))
 	}
 }
 
@@ -182,17 +262,19 @@ type batchQuery struct {
 	Source int     `json:"source"`
 	Dest   int     `json:"dest"`
 	Budget float64 `json:"budget_s"`
+	Depart float64 `json:"depart_s,omitempty"`
 }
 
-// fireBatch POSTs k randomly drawn queries to /route/batch and reports
-// the item count and per-item cache hits.
-func fireBatch(client *http.Client, addr string, queries []sampleQuery, rng *rand.Rand, k int, factor float64) (items, itemHits int, err error) {
+// fireBatch POSTs k randomly drawn queries to /route/batch (all
+// departing at depart) and reports the item count and per-item cache
+// hits.
+func fireBatch(client *http.Client, addr string, queries []sampleQuery, rng *rand.Rand, k int, factor, depart float64) (items, itemHits int, err error) {
 	req := struct {
 		Queries []batchQuery `json:"queries"`
 	}{Queries: make([]batchQuery, k)}
 	for i := range req.Queries {
 		q := queries[rng.Intn(len(queries))]
-		req.Queries[i] = batchQuery{Source: q.Source, Dest: q.Dest, Budget: q.OptimisticS * factor}
+		req.Queries[i] = batchQuery{Source: q.Source, Dest: q.Dest, Budget: q.OptimisticS * factor, Depart: depart}
 	}
 	body, err := json.Marshal(req)
 	if err != nil {

@@ -55,6 +55,7 @@ func main() {
 	from := flag.String("from", "", "source as lat,lon")
 	to := flag.String("to", "", "destination as lat,lon")
 	budget := flag.Float64("budget", 600, "time budget in seconds")
+	depart := flag.Float64("depart", 0, "departure time in seconds since midnight (selects the time-of-day slice of a sliced model)")
 	limit := flag.Duration("limit", 0, "anytime wall-clock limit (0 = run to optimality)")
 	width := flag.Float64("width", 2, "histogram grid width in seconds")
 	minObs := flag.Int("min-obs", 20, "minimum pair observations")
@@ -90,23 +91,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	obs := traj.NewObservationStore(g, *width)
-	obs.Collect(trs)
-	kb, err := hybrid.BuildKnowledgeBase(g, obs, *width, *minObs)
-	if err != nil {
-		log.Fatal(err)
-	}
 	mf, err := os.Open(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := hybrid.ReadModel(mf)
+	set, err := hybrid.ReadModelSet(mf)
 	mf.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The departure picks the serving slice; only that slice's
+	// knowledge base is rebuilt (from the trips departing in it).
+	slice := set.SliceOf(*depart)
+	obs := traj.NewSlicedObservations(g, *width, set.K())
+	obs.Collect(trs)
+	kb, err := hybrid.BuildKnowledgeBase(g, obs.Slice(slice), *width, *minObs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := set.At(slice)
 	if err := model.AttachKB(kb); err != nil {
 		log.Fatal(err)
+	}
+	if set.K() > 1 {
+		fmt.Printf("departure %.0fs -> time slice %d of %d\n", *depart, slice, set.K())
 	}
 
 	idx := graph.NewGridIndex(g, 500)
@@ -117,6 +125,7 @@ func main() {
 
 	res, err := routing.PBR(g, model, s, d, routing.Options{
 		Budget:      *budget,
+		Departure:   *depart,
 		MaxDuration: *limit,
 	})
 	if err != nil {

@@ -71,6 +71,9 @@ func main() {
 	rows := flag.Int("rows", 20, "synthetic grid rows")
 	cols := flag.Int("cols", 20, "synthetic grid columns")
 	trajs := flag.Int("trajs", 3000, "synthetic training trajectories")
+	slices := flag.Int("slices", 1, "synthetic mode: time-of-day slices to partition the cost model into (artifact mode takes the slice count from the model file)")
+	peak := flag.Int("peak", -1, "synthetic mode: slice to synthesise as a rush hour (-1 = none)")
+	peakShift := flag.Float64("peak-shift", 0.35, "synthetic mode: mode-prior mass shifted onto the congested mode in the -peak slice")
 
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request search timeout")
 	routeCache := flag.Int("route-cache", 4096, "route cache entries (negative disables)")
@@ -108,8 +111,18 @@ func main() {
 		cfg := stochroute.DefaultConfig()
 		cfg.Network.Rows, cfg.Network.Cols = *rows, *cols
 		cfg.Walk.NumTrajectories = *trajs
+		cfg.Walk.Slices = *slices
+		cfg.Hybrid.Slices = *slices
+		if *slices > 1 && *peak >= 0 {
+			priors, perr := traj.PeakedSlicePriors(cfg.World.ModePrior, *slices, *peak, *peakShift)
+			if perr != nil {
+				log.Fatal(perr)
+			}
+			cfg.World.SlicePriors = priors
+		}
 		hybridCfg = cfg.Hybrid
-		log.Printf("building synthetic %dx%d engine (this trains a model; use artifact flags in production)", *rows, *cols)
+		log.Printf("building synthetic %dx%d engine with %d time slice(s) (this trains %d model(s); use artifact flags in production)",
+			*rows, *cols, traj.NumSlices(*slices), traj.NumSlices(*slices))
 		eng, err = stochroute.BuildEngine(cfg, os.Stderr)
 	} else {
 		hybridCfg = hybrid.DefaultConfig()
@@ -121,7 +134,8 @@ func main() {
 		log.Fatal(err)
 	}
 	g := eng.Graph()
-	log.Printf("engine ready: %d vertices, %d edges (model epoch %d)", g.NumVertices(), g.NumEdges(), eng.ModelEpoch())
+	log.Printf("engine ready: %d vertices, %d edges (model epoch %d, %d time slice(s))",
+		g.NumVertices(), g.NumEdges(), eng.ModelEpoch(), eng.NumSlices())
 
 	var ing *ingest.Ingestor
 	if *ingestOn {
@@ -214,9 +228,10 @@ func startPprof(addr string) {
 }
 
 // loadEngine assembles an engine from saved artifacts: the network, the
-// trajectories (to rebuild the knowledge base the model binds to, and
-// to seed the ingestion aggregate) and the trained model. Nothing is
-// retrained.
+// trajectories (to rebuild the per-slice knowledge bases the models
+// bind to, and to seed the ingestion aggregate) and the trained model
+// — a classic single-model SRHM file or a multi-slice SRH2 set, whose
+// slice count the engine adopts. Nothing is retrained.
 func loadEngine(netPath, trajPath, modelPath string, width float64, minObs int) (*stochroute.Engine, []traj.Trajectory, error) {
 	f, err := os.Open(netPath)
 	if err != nil {
@@ -240,11 +255,11 @@ func loadEngine(netPath, trajPath, modelPath string, width float64, minObs int) 
 	if err != nil {
 		return nil, nil, err
 	}
-	model, err := hybrid.ReadModel(mf)
+	set, err := hybrid.ReadModelSet(mf)
 	mf.Close()
 	if err != nil {
 		return nil, nil, err
 	}
-	eng, err := stochroute.NewEngineWithModel(g, trs, width, minObs, model)
+	eng, err := stochroute.NewEngineWithModelSet(g, trs, width, minObs, set)
 	return eng, trs, err
 }

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	train -net net.srg -traj trips.srt -out model.srhm
+//
+// With -slices k one model is trained per time-of-day slice on that
+// slice's trajectories (bucketed by departure timestamp) and the
+// output is a multi-slice SRH2 model set; cmd/serve and cmd/route load
+// either format.
 package main
 
 import (
@@ -31,6 +36,7 @@ func main() {
 	minObs := flag.Int("min-obs", 20, "minimum joint observations for a pair to count as having data")
 	width := flag.Float64("width", 2, "histogram grid width in seconds")
 	epochs := flag.Int("epochs", 120, "estimator training epochs")
+	slices := flag.Int("slices", 1, "time-of-day slices: train one model per slice (1 = single time-homogeneous model)")
 	verbose := flag.Bool("v", false, "log training progress")
 	flag.Parse()
 
@@ -52,9 +58,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	obs := traj.NewObservationStore(g, *width)
-	obs.Collect(trs)
-
 	cfg := hybrid.DefaultConfig()
 	cfg.Width = *width
 	cfg.TrainPairs = *trainPairs
@@ -62,37 +65,45 @@ func main() {
 	cfg.MinPairObs = *minObs
 	cfg.Estimator.Train.Epochs = *epochs
 	cfg.Estimator.Train.Verbose = *verbose
+	cfg.Slices = *slices
 	if *verbose {
 		cfg.Estimator.Train.Logf = log.Printf
 	}
 
-	kb, err := hybrid.BuildKnowledgeBase(g, obs, cfg.Width, cfg.MinPairObs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("knowledge base: %d pairs with >= %d observations\n", kb.NumPairs(), cfg.MinPairObs)
+	k := traj.NumSlices(*slices)
+	obs := traj.NewSlicedObservations(g, *width, k)
+	obs.Collect(trs)
+	bySlice := traj.SplitBySlice(trs, k)
 
-	model, report, err := hybrid.Train(kb, obs, trs, nil, cfg)
+	set, reports, err := hybrid.TrainSlices(g, obs, bySlice, nil, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("evaluation on %d held-out pairs (ground truth: empirical joint distributions):\n", report.TestPairs)
-	fmt.Printf("  KL(hybrid)        = %.4f\n", report.MeanKLHybrid)
-	fmt.Printf("  KL(convolution)   = %.4f\n", report.MeanKLConv)
-	fmt.Printf("  KL(estimate-only) = %.4f\n", report.MeanKLEstimate)
-	fmt.Printf("  classifier accuracy %.3f, F1 %.3f, AUC %.3f\n",
-		report.ClassifierConfusion.Accuracy(), report.ClassifierConfusion.F1(), report.ClassifierAUC)
+	for s, report := range reports {
+		if k > 1 {
+			fmt.Printf("slice %d: %d trajectories, %d pairs with >= %d observations\n",
+				s, len(bySlice[s]), set.At(s).KB.NumPairs(), cfg.MinPairObs)
+		} else {
+			fmt.Printf("knowledge base: %d pairs with >= %d observations\n", set.At(s).KB.NumPairs(), cfg.MinPairObs)
+		}
+		fmt.Printf("evaluation on %d held-out pairs (ground truth: empirical joint distributions):\n", report.TestPairs)
+		fmt.Printf("  KL(hybrid)        = %.4f\n", report.MeanKLHybrid)
+		fmt.Printf("  KL(convolution)   = %.4f\n", report.MeanKLConv)
+		fmt.Printf("  KL(estimate-only) = %.4f\n", report.MeanKLEstimate)
+		fmt.Printf("  classifier accuracy %.3f, F1 %.3f, AUC %.3f\n",
+			report.ClassifierConfusion.Accuracy(), report.ClassifierConfusion.F1(), report.ClassifierAUC)
+	}
 
 	of, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := hybrid.WriteModel(of, model); err != nil {
+	if err := hybrid.WriteModelSet(of, set); err != nil {
 		of.Close()
 		log.Fatal(err)
 	}
 	if err := of.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s (%d slice(s))\n", *out, set.K())
 }

@@ -24,7 +24,9 @@
 //   - internal/graph, internal/netgen, internal/osm — the road-network
 //     substrate: CSR graphs, a synthetic city generator, an OSM parser
 //   - internal/traj — the traffic world model and trajectory simulation
-//     standing in for GPS fleet data
+//     standing in for GPS fleet data, including the time-of-day
+//     machinery: departure timestamps (SRT2 codec), per-slice world
+//     mode priors and the sliced observation aggregate
 //   - internal/ml — from-scratch neural networks and logistic regression
 //   - internal/hybrid — the paper's contribution: the hybrid cost model
 //   - internal/routing — Dijkstra baselines and Probabilistic Budget
@@ -94,6 +96,40 @@
 // snapshot they started with, new queries see the new generation, and
 // every RouteResult carries the ModelEpoch that answered it so callers
 // and caches can tell generations apart.
+//
+// # Time-of-day slices
+//
+// Travel-time distributions depend on when you drive: rush hour and
+// free flow are different worlds. The engine therefore serves a
+// time-sliced cost model — hybrid.ModelSet — that partitions the day
+// into K equal slices (configurable via hybrid.Config.Slices; K = 1 is
+// the classic time-homogeneous setup and is bit-identical to the
+// pre-temporal engine, enforced by an equivalence test). Every layer
+// participates:
+//
+//   - Trajectories carry a departure timestamp (traj.Trajectory.
+//     Departure, persisted by the SRT2 codec; legacy SRT1 files load
+//     with departure 0), the synthetic world can give each slice its
+//     own congestion mode prior (traj.WorldConfig.SlicePriors,
+//     traj.PeakedSlicePriors), and observations aggregate per slice
+//     over a shared edge grid (traj.SlicedObservations).
+//   - One hybrid model is trained per slice on that slice's data
+//     (hybrid.TrainSlices) and the set persists as a multi-slice SRHM
+//     v2 file — a v1 file loads as a 1-slice set, and a 1-slice set
+//     writes byte-identical v1.
+//   - A query's RouteOptions.Departure selects the slice exactly once,
+//     before the (unchanged, allocation-free) PBR kernel runs; results
+//     are stamped with the slice and the slice's epoch.
+//   - Epochs are two-level: ModelEpoch is the global generation
+//     counter, SliceEpoch(s) the generation of one slice's model.
+//     Engine.SwapSliceModel — the unit internal/ingest publishes
+//     through when one slice's drift monitor fires — advances only
+//     that slice's epoch, so an AM-peak rebuild leaves the night
+//     model, its epoch and its caches untouched.
+//   - The serving layer takes depart= on /route, /route/batch, /sample
+//     and /pairsum, keeps one epoch-validated result cache per slice,
+//     and reports per-slice epochs and drift counters on /healthz and
+//     /stats.
 //
 // # Quick start
 //

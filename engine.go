@@ -20,18 +20,27 @@ import (
 	"stochroute/internal/traj"
 )
 
-// modelSnapshot is one immutable serving generation: the model, the
-// knowledge base it is attached to, and the observations both were
-// derived from, tagged with a monotonically increasing epoch. Queries
-// load the snapshot once and use it consistently throughout, so a
-// concurrent swap can never hand half a query the old model and half
-// the new one.
+// modelSnapshot is one immutable serving generation: the time-sliced
+// model set (each slice's model with its attached knowledge base), the
+// sliced observation aggregate they were derived from, and the epoch
+// bookkeeping. Queries load the snapshot once and use it consistently
+// throughout, so a concurrent swap can never hand half a query the old
+// model and half the new one.
+//
+// Epochs are two-level: epoch is the global generation counter — it
+// bumps on *every* swap, of any slice, and is what result caches key
+// their validity on conservatively. sliceEpochs[s] is the global epoch
+// value at which slice s last swapped: a per-slice rebuild advances
+// only its own slice's entry, so /stats can show that the AM-peak model
+// is three generations newer than the night model. For a 1-slice
+// engine sliceEpochs[0] == epoch always, which is exactly the
+// pre-temporal behaviour.
 type modelSnapshot struct {
-	model     *hybrid.Model
-	kb        *hybrid.KnowledgeBase
-	obs       *traj.ObservationStore
-	epoch     uint64
-	swappedAt time.Time
+	set         *hybrid.ModelSet
+	obs         *traj.SlicedObservations
+	epoch       uint64
+	sliceEpochs []uint64
+	swappedAt   time.Time
 
 	// baseConvolved/baseEstimated carry the decision totals of every
 	// retired generation, folded in at swap time, so DecisionCounts is
@@ -39,6 +48,19 @@ type modelSnapshot struct {
 	// pointer store, never transiently double-counted.
 	baseConvolved uint64
 	baseEstimated uint64
+}
+
+// model0 and kb0 are the slice-0 view: the whole model for 1-slice
+// engines, and the canonical "default time" model otherwise (used by
+// the public accessors that predate time slicing).
+func (s *modelSnapshot) model0() *hybrid.Model      { return s.set.At(0) }
+func (s *modelSnapshot) kb0() *hybrid.KnowledgeBase { return s.set.At(0).KB }
+func newSliceEpochs(k int, epoch uint64) []uint64 {
+	out := make([]uint64, k)
+	for i := range out {
+		out[i] = epoch
+	}
+	return out
 }
 
 // Engine is the assembled system: a road network, the trained Hybrid
@@ -63,8 +85,12 @@ type Engine struct {
 	current atomic.Pointer[modelSnapshot]
 	swapMu  sync.Mutex // serialises swaps; queries never take it
 
-	// Report is the KL-divergence evaluation captured during training.
+	// Report is the KL-divergence evaluation captured during training
+	// (slice 0's report for a time-sliced engine).
 	Report *EvalReport
+	// Reports holds one evaluation per time-of-day slice (length
+	// NumSlices; nil for engines assembled from pre-trained models).
+	Reports []*EvalReport
 }
 
 // BuildEngine generates a synthetic network, simulates trajectories,
@@ -112,25 +138,36 @@ func NewEngineFromObservations(g *Graph, trajs []Trajectory, cfg hybrid.Config, 
 	if g == nil || g.NumVertices() == 0 {
 		return nil, errors.New("stochroute: nil or empty graph")
 	}
-	obs := traj.NewObservationStore(g, cfg.Width)
+	k := traj.NumSlices(cfg.Slices)
+	obs := traj.NewSlicedObservations(g, cfg.Width, k)
 	obs.Collect(trajs)
-	kb, err := hybrid.BuildKnowledgeBase(g, obs, cfg.Width, cfg.MinPairObs)
-	if err != nil {
-		return nil, fmt.Errorf("stochroute: knowledge base: %w", err)
+	bySlice := traj.SplitBySlice(trajs, k)
+	if k > 1 {
+		fmt.Fprintf(logW, "stochroute: training %d time-of-day slice models\n", k)
 	}
-	fmt.Fprintf(logW, "stochroute: training hybrid model on %d pairs with data\n", kb.NumPairs())
-	model, report, err := hybrid.Train(kb, obs, trajs, nil, cfg)
+	set, reports, err := hybrid.TrainSlices(g, obs, bySlice, nil, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("stochroute: training: %w", err)
 	}
-	fmt.Fprintf(logW, "stochroute: KL(hybrid)=%.4f KL(conv)=%.4f on %d held-out pairs\n",
-		report.MeanKLHybrid, report.MeanKLConv, report.TestPairs)
-	eng := &Engine{
-		graph:  g,
-		index:  graph.NewGridIndex(g, 500),
-		Report: report,
+	for s, report := range reports {
+		if k > 1 {
+			fmt.Fprintf(logW, "stochroute: slice %d: %d trajectories, %d pairs, KL(hybrid)=%.4f KL(conv)=%.4f on %d held-out pairs\n",
+				s, len(bySlice[s]), set.At(s).KB.NumPairs(), report.MeanKLHybrid, report.MeanKLConv, report.TestPairs)
+		} else {
+			fmt.Fprintf(logW, "stochroute: KL(hybrid)=%.4f KL(conv)=%.4f on %d held-out pairs\n",
+				report.MeanKLHybrid, report.MeanKLConv, report.TestPairs)
+		}
 	}
-	eng.current.Store(&modelSnapshot{model: model, kb: kb, obs: obs, epoch: 1, swappedAt: time.Now()})
+	eng := &Engine{
+		graph:   g,
+		index:   graph.NewGridIndex(g, 500),
+		Report:  reports[0],
+		Reports: reports,
+	}
+	eng.current.Store(&modelSnapshot{
+		set: set, obs: obs, epoch: 1,
+		sliceEpochs: newSliceEpochs(k, 1), swappedAt: time.Now(),
+	})
 	return eng, nil
 }
 
@@ -140,70 +177,149 @@ func NewEngineFromObservations(g *Graph, trajs []Trajectory, cfg hybrid.Config, 
 // attached to it, with no training and no evaluation (Report is nil).
 // The model's grid width must match width.
 func NewEngineWithModel(g *Graph, trajs []Trajectory, width float64, minPairObs int, model *Model) (*Engine, error) {
-	if g == nil || g.NumVertices() == 0 {
-		return nil, errors.New("stochroute: nil or empty graph")
-	}
 	if model == nil {
 		return nil, errors.New("stochroute: nil model")
 	}
-	obs := traj.NewObservationStore(g, width)
-	obs.Collect(trajs)
-	kb, err := hybrid.BuildKnowledgeBase(g, obs, width, minPairObs)
-	if err != nil {
-		return nil, fmt.Errorf("stochroute: knowledge base: %w", err)
+	return NewEngineWithModelSet(g, trajs, width, minPairObs, hybrid.SingleModelSet(model))
+}
+
+// NewEngineWithModelSet is NewEngineWithModel for a time-sliced model
+// set (for example one read back with hybrid.ReadModelSet): the
+// trajectories are bucketed by departure slice, one knowledge base is
+// rebuilt per slice, and each slice's model is attached to its own —
+// with no training and no evaluation.
+func NewEngineWithModelSet(g *Graph, trajs []Trajectory, width float64, minPairObs int, set *hybrid.ModelSet) (*Engine, error) {
+	if g == nil || g.NumVertices() == 0 {
+		return nil, errors.New("stochroute: nil or empty graph")
 	}
-	if err := model.AttachKB(kb); err != nil {
-		return nil, err
+	if set == nil || set.K() == 0 {
+		return nil, errors.New("stochroute: nil or empty model set")
+	}
+	k := set.K()
+	obs := traj.NewSlicedObservations(g, width, k)
+	obs.Collect(trajs)
+	for s := 0; s < k; s++ {
+		kb, err := hybrid.BuildKnowledgeBase(g, obs.Slice(s), width, minPairObs)
+		if err != nil {
+			return nil, fmt.Errorf("stochroute: slice %d knowledge base: %w", s, err)
+		}
+		if err := set.At(s).AttachKB(kb); err != nil {
+			return nil, fmt.Errorf("stochroute: slice %d: %w", s, err)
+		}
 	}
 	eng := &Engine{
 		graph: g,
 		index: graph.NewGridIndex(g, 500),
 	}
-	eng.current.Store(&modelSnapshot{model: model, kb: kb, obs: obs, epoch: 1, swappedAt: time.Now()})
+	eng.current.Store(&modelSnapshot{
+		set: set, obs: obs, epoch: 1,
+		sliceEpochs: newSliceEpochs(k, 1), swappedAt: time.Now(),
+	})
 	return eng, nil
 }
 
 // Graph returns the engine's road network.
 func (e *Engine) Graph() *Graph { return e.graph }
 
-// Model returns the currently serving hybrid model.
-func (e *Engine) Model() *Model { return e.current.Load().model }
+// Model returns the currently serving hybrid model (slice 0's model
+// for a time-sliced engine — the whole model when NumSlices is 1).
+func (e *Engine) Model() *Model { return e.current.Load().model0() }
+
+// ModelSet returns the currently serving time-sliced model set.
+func (e *Engine) ModelSet() *hybrid.ModelSet { return e.current.Load().set }
+
+// SliceModel returns the currently serving model of one time-of-day
+// slice.
+func (e *Engine) SliceModel(slice int) *Model { return e.current.Load().set.At(slice) }
 
 // KnowledgeBase returns the per-edge/per-pair statistics of the
-// currently serving model generation.
-func (e *Engine) KnowledgeBase() *KnowledgeBase { return e.current.Load().kb }
+// currently serving model generation (slice 0's for a time-sliced
+// engine).
+func (e *Engine) KnowledgeBase() *KnowledgeBase { return e.current.Load().kb0() }
+
+// SliceKnowledgeBase returns the currently serving knowledge base of
+// one time-of-day slice.
+func (e *Engine) SliceKnowledgeBase(slice int) *KnowledgeBase {
+	return e.current.Load().set.At(slice).KB
+}
 
 // Observations returns the observation aggregate the currently serving
-// model generation was derived from.
-func (e *Engine) Observations() *ObservationStore { return e.current.Load().obs }
+// model generation was derived from (slice 0's store for a time-sliced
+// engine; see SlicedObservations for the whole aggregate).
+func (e *Engine) Observations() *ObservationStore { return e.current.Load().obs.Slice(0) }
 
-// ModelEpoch returns the monotonically increasing generation number of
-// the currently serving model. The initial model is epoch 1; every
-// SwapModel/LoadModel bumps it.
+// SlicedObservations returns the whole per-slice observation aggregate
+// of the currently serving generation.
+func (e *Engine) SlicedObservations() *traj.SlicedObservations { return e.current.Load().obs }
+
+// NumSlices returns the number of time-of-day slices the engine's cost
+// model is partitioned into (1 = time-homogeneous).
+func (e *Engine) NumSlices() int { return e.current.Load().set.K() }
+
+// SliceOf maps a departure timestamp (seconds since local midnight,
+// wrapped) to the time-of-day slice that would serve it.
+func (e *Engine) SliceOf(depart float64) int { return e.current.Load().set.SliceOf(depart) }
+
+// ModelEpoch returns the monotonically increasing global generation
+// number of the serving model set. The initial set is epoch 1; every
+// swap — whole-set or single-slice — bumps it.
 func (e *Engine) ModelEpoch() uint64 { return e.current.Load().epoch }
 
-// LastSwap returns the serving epoch and the time it was published.
+// SliceEpoch returns the generation of one slice's serving model: the
+// global epoch value at which that slice last swapped. For a 1-slice
+// engine SliceEpoch(0) == ModelEpoch().
+func (e *Engine) SliceEpoch(slice int) uint64 {
+	cur := e.current.Load()
+	if slice < 0 || slice >= len(cur.sliceEpochs) {
+		return cur.epoch
+	}
+	return cur.sliceEpochs[slice]
+}
+
+// SliceEpochs returns a copy of every slice's serving generation,
+// indexed by slice.
+func (e *Engine) SliceEpochs() []uint64 {
+	cur := e.current.Load()
+	return append([]uint64(nil), cur.sliceEpochs...)
+}
+
+// LastSwap returns the serving global epoch and the time it was
+// published.
 func (e *Engine) LastSwap() (epoch uint64, at time.Time) {
 	cur := e.current.Load()
 	return cur.epoch, cur.swappedAt
 }
 
 // SwapModel atomically publishes model (with its attached knowledge
-// base) as the next serving generation and returns the new epoch.
-// obs optionally records the observation aggregate the model was
-// rebuilt from (nil keeps the previous aggregate). In-flight queries
-// finish on the snapshot they started with; queries that start after
-// SwapModel returns see the new model and carry the new epoch in
-// their RouteResult. Safe to call while any number of queries run.
+// base) as the next serving generation of *slice 0* and returns the
+// new global epoch — for a 1-slice engine this replaces the whole
+// serving model, exactly the pre-temporal contract. obs optionally
+// records the observation aggregate the model was rebuilt from (nil
+// keeps the previous aggregate). In-flight queries finish on the
+// snapshot they started with; queries that start after SwapModel
+// returns see the new model and carry the new epoch in their
+// RouteResult. Safe to call while any number of queries run.
 func (e *Engine) SwapModel(model *Model, obs *ObservationStore) (uint64, error) {
-	e.swapMu.Lock()
-	defer e.swapMu.Unlock()
-	return e.swapLocked(model, obs)
+	return e.SwapSliceModel(0, model, obs)
 }
 
-// swapLocked publishes model as the next generation. Callers hold
-// e.swapMu.
-func (e *Engine) swapLocked(model *Model, obs *ObservationStore) (uint64, error) {
+// SwapSliceModel atomically publishes model (with its attached
+// knowledge base) as the next serving generation of one time-of-day
+// slice, leaving every other slice's model — and epoch — untouched.
+// This is the hot-swap unit of per-slice online rebuilds: an AM-peak
+// drift rebuild replaces only the AM-peak model while the night slice
+// keeps serving its generation. Returns the new global epoch (which is
+// also the swapped slice's new SliceEpoch). obs optionally records the
+// slice's rebuilt observation store (nil keeps the previous one).
+func (e *Engine) SwapSliceModel(slice int, model *Model, obs *ObservationStore) (uint64, error) {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	return e.swapSliceLocked(slice, model, obs)
+}
+
+// swapSliceLocked publishes model as slice's next generation. Callers
+// hold e.swapMu.
+func (e *Engine) swapSliceLocked(slice int, model *Model, obs *ObservationStore) (uint64, error) {
 	if model == nil {
 		return 0, errors.New("stochroute: SwapModel with nil model")
 	}
@@ -215,27 +331,99 @@ func (e *Engine) swapLocked(model *Model, obs *ObservationStore) (uint64, error)
 		return 0, errors.New("stochroute: SwapModel knowledge base built over a different graph")
 	}
 	prev := e.current.Load()
-	if obs == nil {
-		obs = prev.obs
+	if slice < 0 || slice >= prev.set.K() {
+		return 0, fmt.Errorf("stochroute: SwapSliceModel slice %d outside [0, %d)", slice, prev.set.K())
+	}
+	set, err := prev.set.WithSlice(slice, model)
+	if err != nil {
+		return 0, err
+	}
+	nextObs := prev.obs
+	if obs != nil {
+		// Copy-on-write at the wrapper level only: published
+		// generations are immutable, so the untouched slices' stores
+		// are shared with the previous snapshot and just the swapped
+		// slice's store is replaced — O(K), never O(samples).
+		cp := traj.NewSlicedObservations(e.graph, prev.obs.Width(), prev.obs.K())
+		for i := 0; i < prev.obs.K(); i++ {
+			cp.ReplaceSlice(i, prev.obs.Slice(i))
+		}
+		cp.ReplaceSlice(slice, obs)
+		nextObs = cp
 	}
 	next := &modelSnapshot{
-		model:         model,
-		kb:            kb,
-		obs:           obs,
+		set:           set,
+		obs:           nextObs,
 		epoch:         prev.epoch + 1,
+		sliceEpochs:   append([]uint64(nil), prev.sliceEpochs...),
 		swappedAt:     time.Now(),
 		baseConvolved: prev.baseConvolved,
 		baseEstimated: prev.baseEstimated,
 	}
+	next.sliceEpochs[slice] = next.epoch
 	// Fold the retiring model's lifetime decision counters into the
 	// new snapshot's base so DecisionCounts keeps counting across
 	// swaps. (Queries still in flight on the old model may add a few
 	// more decisions after this read; those are lost from the total.)
-	if prev.model != model {
-		conv, est := prev.model.DecisionCounts()
+	if retiring := prev.set.At(slice); retiring != model {
+		conv, est := retiring.DecisionCounts()
 		next.baseConvolved += conv
 		next.baseEstimated += est
 		model.ResetCounters()
+	}
+	e.current.Store(next)
+	return next.epoch, nil
+}
+
+// SwapModelSet atomically publishes a whole new model set (every
+// slice's model with its knowledge base attached), bumping the global
+// epoch and every slice's epoch to it. The set's slice count must
+// match the serving set's. obs optionally replaces the observation
+// aggregate (nil keeps the previous one).
+func (e *Engine) SwapModelSet(set *hybrid.ModelSet, obs *traj.SlicedObservations) (uint64, error) {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	return e.swapSetLocked(set, obs)
+}
+
+// swapSetLocked publishes a whole set as the next generation, shared
+// by SwapModelSet and LoadModel. Callers hold e.swapMu.
+func (e *Engine) swapSetLocked(set *hybrid.ModelSet, obs *traj.SlicedObservations) (uint64, error) {
+	prev := e.current.Load()
+	if set == nil || set.K() == 0 {
+		return 0, errors.New("stochroute: SwapModelSet with empty set")
+	}
+	if set.K() != prev.set.K() {
+		return 0, fmt.Errorf("stochroute: SwapModelSet with %d slices, serving %d", set.K(), prev.set.K())
+	}
+	for s := 0; s < set.K(); s++ {
+		kb := set.At(s).KB
+		if kb == nil {
+			return 0, fmt.Errorf("stochroute: SwapModelSet slice %d has no knowledge base attached", s)
+		}
+		if g := kb.Graph(); g == nil || g.NumVertices() != e.graph.NumVertices() || g.NumEdges() != e.graph.NumEdges() {
+			return 0, fmt.Errorf("stochroute: SwapModelSet slice %d knowledge base built over a different graph", s)
+		}
+	}
+	if obs == nil {
+		obs = prev.obs
+	}
+	next := &modelSnapshot{
+		set:           set,
+		obs:           obs,
+		epoch:         prev.epoch + 1,
+		sliceEpochs:   newSliceEpochs(set.K(), prev.epoch+1),
+		swappedAt:     time.Now(),
+		baseConvolved: prev.baseConvolved,
+		baseEstimated: prev.baseEstimated,
+	}
+	for s := 0; s < prev.set.K(); s++ {
+		if retiring := prev.set.At(s); retiring != set.At(s) {
+			conv, est := retiring.DecisionCounts()
+			next.baseConvolved += conv
+			next.baseEstimated += est
+			set.At(s).ResetCounters()
+		}
 	}
 	e.current.Store(next)
 	return next.epoch, nil
@@ -273,18 +461,21 @@ func (e *Engine) RouteWithOptions(source, dest VertexID, opts RouteOptions) (*Ro
 }
 
 // routeOnSnapshot answers one budget-routing query against an explicit
-// model snapshot: the single place where per-request decision telemetry
-// and the epoch stamp are wired onto a result, shared by the single and
-// batched query paths.
+// model snapshot: the single place where slice selection happens (once,
+// from Options.Departure, before the unchanged PBR kernel runs) and
+// where per-request decision telemetry and the slice/epoch stamps are
+// wired onto a result, shared by the single and batched query paths.
 func (e *Engine) routeOnSnapshot(cur *modelSnapshot, source, dest VertexID, opts RouteOptions) (*RouteResult, error) {
+	slice := cur.set.SliceOf(opts.Departure)
 	var qs hybrid.QueryStats
-	res, err := routing.PBR(e.graph, cur.model.WithStats(&qs), source, dest, opts)
+	res, err := routing.PBR(e.graph, cur.set.At(slice).WithStats(&qs), source, dest, opts)
 	if err != nil {
 		return nil, err
 	}
 	res.NumConvolved = qs.Convolved
 	res.NumEstimated = qs.Estimated
-	res.ModelEpoch = cur.epoch
+	res.ModelEpoch = cur.sliceEpochs[slice]
+	res.Slice = slice
 	return res, nil
 }
 
@@ -328,13 +519,14 @@ func (e *Engine) RouteBatch(ctx context.Context, queries []routing.BatchQuery, w
 				if i >= len(queries) {
 					return
 				}
+				q := queries[i]
+				epoch := cur.sliceEpochs[cur.set.SliceOf(q.Opts.Departure)]
 				if err := ctx.Err(); err != nil {
-					out[i] = routing.BatchItem{Err: err, Epoch: cur.epoch}
+					out[i] = routing.BatchItem{Err: err, Epoch: epoch}
 					continue
 				}
-				q := queries[i]
 				res, err := e.routeOnSnapshot(cur, q.Source, q.Dest, q.Opts)
-				out[i] = routing.BatchItem{Result: res, Err: err, Epoch: cur.epoch}
+				out[i] = routing.BatchItem{Result: res, Err: err, Epoch: epoch}
 			}
 		}()
 	}
@@ -347,41 +539,55 @@ func (e *Engine) RouteBatch(ctx context.Context, queries []routing.BatchQuery, w
 // since retired by SwapModel.
 func (e *Engine) DecisionCounts() (convolved, estimated uint64) {
 	cur := e.current.Load()
-	conv, est := cur.model.DecisionCounts()
+	conv, est := cur.set.DecisionCounts()
 	return cur.baseConvolved + conv, cur.baseEstimated + est
 }
 
 // PairSum returns the model's distribution for traversing the adjacent
 // edge pair (first, second) — the hot unit of the paper's evaluation,
-// served (and cached) by internal/server.
+// served (and cached) by internal/server. Slice 0's model answers; use
+// PairSumAt for an explicit time-of-day slice.
 func (e *Engine) PairSum(first, second EdgeID) (*Hist, error) {
-	return e.current.Load().model.PairSumEstimate(first, second)
+	return e.current.Load().model0().PairSumEstimate(first, second)
+}
+
+// PairSumAt is PairSum under one time-of-day slice's serving model.
+func (e *Engine) PairSumAt(slice int, first, second EdgeID) (*Hist, error) {
+	return e.current.Load().set.At(slice).PairSumEstimate(first, second)
 }
 
 // MeanRoute returns the classical mean-cost shortest path (the paper's
 // pitfall baseline) and its expected travel time in seconds.
 func (e *Engine) MeanRoute(source, dest VertexID) ([]EdgeID, float64, error) {
-	return routing.MeanCostPath(e.graph, e.current.Load().kb, source, dest)
+	return routing.MeanCostPath(e.graph, e.current.Load().kb0(), source, dest)
 }
 
 // OptimisticTime returns the fastest-possible travel time in seconds
 // between the endpoints under the model's admissible lower bounds.
 func (e *Engine) OptimisticTime(source, dest VertexID) (float64, error) {
-	_, t, err := routing.Dijkstra(e.graph, e.current.Load().kb.MinEdgeTime, source, dest)
+	_, t, err := routing.Dijkstra(e.graph, e.current.Load().kb0().MinEdgeTime, source, dest)
 	return t, err
 }
 
 // PathDistribution computes the hybrid travel-time distribution of an
-// explicit edge path via the iterative virtual-edge procedure.
+// explicit edge path via the iterative virtual-edge procedure (slice
+// 0's model).
 func (e *Engine) PathDistribution(edges []EdgeID) (*Hist, error) {
-	return hybrid.PathCost(e.current.Load().model, edges)
+	return hybrid.PathCost(e.current.Load().model0(), edges)
+}
+
+// PathDistributionAt is PathDistribution under the serving model of the
+// slice a departure timestamp falls in.
+func (e *Engine) PathDistributionAt(depart float64, edges []EdgeID) (*Hist, error) {
+	cur := e.current.Load()
+	return hybrid.PathCost(cur.set.At(cur.set.SliceOf(depart)), edges)
 }
 
 // ConvolutionDistribution computes the same path's distribution under
 // the independence assumption — the baseline the paper improves on.
 func (e *Engine) ConvolutionDistribution(edges []EdgeID) (*Hist, error) {
 	cur := e.current.Load()
-	return hybrid.PathCost(&hybrid.ConvolutionCoster{KB: cur.kb, MaxBuckets: cur.model.MaxBuckets}, edges)
+	return hybrid.PathCost(&hybrid.ConvolutionCoster{KB: cur.kb0(), MaxBuckets: cur.model0().MaxBuckets}, edges)
 }
 
 // TrueDistribution returns the oracle distribution of a path under the
@@ -423,49 +629,57 @@ func LoadGraph(path string) (*Graph, error) {
 	return graph.Read(f)
 }
 
-// SaveModel writes the currently serving hybrid model to path in the
-// SRHM binary format.
+// SaveModel writes the currently serving model set to path — the SRHM
+// v1 binary format for a 1-slice engine (unchanged from the classic
+// artifact), SRH2 for a time-sliced one.
 func (e *Engine) SaveModel(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := hybrid.WriteModel(f, e.current.Load().model); err != nil {
+	if err := hybrid.WriteModelSet(f, e.current.Load().set); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// LoadModel hot-swaps in a model written by SaveModel, attached to the
-// currently serving knowledge base, bumping the model epoch. A loaded
-// model with MaxBuckets == 0 (unlimited support) inherits the previous
-// model's cap. Safe to call while queries are in flight: this is
-// SwapModel with the model read from disk.
+// LoadModel hot-swaps in a model (set) written by SaveModel, attaching
+// each slice's model to that slice's currently serving knowledge base
+// and bumping the model epoch. The file's slice count must match the
+// engine's (a v1 file is a 1-slice set). A loaded model with
+// MaxBuckets == 0 (unlimited support) inherits the previous model's
+// cap. Safe to call while queries are in flight.
 func (e *Engine) LoadModel(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	m, err := hybrid.ReadModel(f)
+	set, err := hybrid.ReadModelSet(f)
 	if err != nil {
 		return err
 	}
-	// Attach under the swap lock so a concurrent SwapModel (e.g. an
-	// ingest rebuild finishing) cannot slip between reading the current
-	// knowledge base and publishing: the loaded model always binds to
-	// the knowledge base it will actually serve with.
+	// Attach under the swap lock so a concurrent swap (e.g. an ingest
+	// rebuild finishing) cannot slip between reading the current
+	// knowledge bases and publishing: the loaded models always bind to
+	// the knowledge bases they will actually serve with.
 	e.swapMu.Lock()
 	defer e.swapMu.Unlock()
 	cur := e.current.Load()
-	if err := m.AttachKB(cur.kb); err != nil {
-		return err
+	if set.K() != cur.set.K() {
+		return fmt.Errorf("stochroute: loaded model has %d slices, engine serves %d", set.K(), cur.set.K())
 	}
-	if m.MaxBuckets == 0 {
-		m.MaxBuckets = cur.model.MaxBuckets
+	for s := 0; s < set.K(); s++ {
+		m := set.At(s)
+		if err := m.AttachKB(cur.set.At(s).KB); err != nil {
+			return fmt.Errorf("stochroute: slice %d: %w", s, err)
+		}
+		if m.MaxBuckets == 0 {
+			m.MaxBuckets = cur.set.At(s).MaxBuckets
+		}
 	}
-	_, err = e.swapLocked(m, nil)
+	_, err = e.swapSetLocked(set, nil)
 	return err
 }
 
@@ -477,7 +691,7 @@ type AlternativeRoute = routing.ParetoRoute
 // unknown deadline would choose from. The budget-routing answer for any
 // budget within the horizon is (up to search caps) a member of this set.
 func (e *Engine) AlternativeRoutes(source, dest VertexID, horizon float64, maxRoutes int) ([]AlternativeRoute, error) {
-	return routing.ParetoRoutes(e.graph, e.current.Load().model, source, dest, routing.ParetoOptions{
+	return routing.ParetoRoutes(e.graph, e.current.Load().model0(), source, dest, routing.ParetoOptions{
 		Horizon:   horizon,
 		MaxRoutes: maxRoutes,
 	})
@@ -488,8 +702,8 @@ func (e *Engine) AlternativeRoutes(source, dest VertexID, horizon float64, maxRo
 // probability at the given budget — the k-shortest-paths baseline.
 func (e *Engine) RankedAlternatives(source, dest VertexID, budget float64, k int) ([]routing.ScoredPath, error) {
 	cur := e.current.Load()
-	return routing.KSPBudgetRouting(e.graph, cur.model, func(id EdgeID) float64 {
-		return cur.kb.Edge(id).Mean
+	return routing.KSPBudgetRouting(e.graph, cur.model0(), func(id EdgeID) float64 {
+		return cur.kb0().Edge(id).Mean
 	}, source, dest, budget, k)
 }
 
@@ -498,11 +712,11 @@ func (e *Engine) RankedAlternatives(source, dest VertexID, budget float64, k int
 // unit the paper's KL evaluation compares.
 func (e *Engine) PairExample(first, second EdgeID) (hybridDist, convDist, truth *Hist, err error) {
 	cur := e.current.Load()
-	hybridDist, err = cur.model.PairSumEstimate(first, second)
+	hybridDist, err = cur.model0().PairSumEstimate(first, second)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	convDist = hist.MustConvolve(cur.kb.Edge(first).Marginal, cur.kb.Edge(second).Marginal)
+	convDist = hist.MustConvolve(cur.kb0().Edge(first).Marginal, cur.kb0().Edge(second).Marginal)
 	if e.world != nil {
 		truth = e.world.PairJointSum(first, second, e.graph.Edge(second).From)
 	}

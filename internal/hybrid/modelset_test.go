@@ -1,0 +1,139 @@
+package hybrid
+
+import (
+	"bytes"
+	"testing"
+
+	"stochroute/internal/hist"
+)
+
+func TestSingleModelSetDelegates(t *testing.T) {
+	m, _ := getModel(t)
+	ms := SingleModelSet(m)
+	if ms.K() != 1 {
+		t.Fatalf("K = %d", ms.K())
+	}
+	if ms.At(0) != m || ms.At(5) != m || ms.At(-1) != m {
+		t.Error("At must clamp to the single model")
+	}
+	for _, depart := range []float64{0, 30000, 86399} {
+		if ms.SliceOf(depart) != 0 {
+			t.Errorf("SliceOf(%v) != 0 on a 1-slice set", depart)
+		}
+	}
+}
+
+func TestModelSetValidation(t *testing.T) {
+	m, _ := getModel(t)
+	if _, err := NewModelSet(nil); err == nil {
+		t.Error("empty set should error")
+	}
+	if _, err := NewModelSet([]*Model{m, nil}); err == nil {
+		t.Error("nil slice model should error")
+	}
+	if _, err := ms2(t).WithSlice(5, m); err == nil {
+		t.Error("out-of-range WithSlice should error")
+	}
+	set := ms2(t)
+	clone := m.CloneForConcurrentUse()
+	next, err := set.WithSlice(1, clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.At(1) != clone || next.At(0) != set.At(0) {
+		t.Error("WithSlice must replace exactly one slice")
+	}
+	if set.At(1) == clone {
+		t.Error("WithSlice must not mutate the original set")
+	}
+}
+
+// ms2 builds a 2-slice set from the shared trained model (both slices
+// share weights, which the set permits — slices are independent serving
+// units, not necessarily distinct networks).
+func ms2(t *testing.T) *ModelSet {
+	t.Helper()
+	m, _ := getModel(t)
+	set, err := NewModelSet([]*Model{m, m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestModelSetPersistV1Compat: a 1-slice set writes the classic SRHM
+// bytes (so old tooling keeps working) and a classic v1 stream loads
+// as a 1-slice set.
+func TestModelSetPersistV1Compat(t *testing.T) {
+	m, _ := getModel(t)
+	var v1, setBytes bytes.Buffer
+	if err := WriteModel(&v1, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteModelSet(&setBytes, SingleModelSet(m)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1.Bytes(), setBytes.Bytes()) {
+		t.Fatal("1-slice set must serialise byte-identically to the v1 format")
+	}
+	set, err := ReadModelSet(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.K() != 1 {
+		t.Fatalf("v1 stream loaded as %d slices", set.K())
+	}
+}
+
+// TestModelSetPersistV2RoundTrip: a multi-slice set survives the SRH2
+// write/read cycle with every slice reproducing its original
+// distributions.
+func TestModelSetPersistV2RoundTrip(t *testing.T) {
+	e := getEnv(t)
+	set := ms2(t)
+	var buf bytes.Buffer
+	if err := WriteModelSet(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("SRH2")) {
+		t.Fatal("multi-slice set must use the SRH2 format")
+	}
+	got, err := ReadModelSet(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != 2 {
+		t.Fatalf("round trip K = %d, want 2", got.K())
+	}
+	pairs := e.obs.PairsWithSupport(20)
+	if len(pairs) == 0 {
+		t.Fatal("no pairs with support")
+	}
+	for s := 0; s < got.K(); s++ {
+		loaded := got.At(s)
+		if err := loaded.AttachKB(e.kb); err != nil {
+			t.Fatal(err)
+		}
+		loaded.MaxBuckets = set.At(s).MaxBuckets
+		for _, k := range pairs[:min(len(pairs), 10)] {
+			a, err := set.At(s).PairSumEstimate(k.First, k.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := loaded.PairSumEstimate(k.First, k.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tv, err := hist.TotalVariation(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tv > 1e-12 {
+				t.Fatalf("slice %d pair %v differs by TV %v after round trip", s, k, tv)
+			}
+		}
+	}
+	if _, err := ReadModelSet(bytes.NewReader([]byte("nope-this-is-junk"))); err == nil {
+		t.Error("bad magic should error")
+	}
+}

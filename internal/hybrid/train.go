@@ -37,6 +37,11 @@ type Config struct {
 	PrefixPerTrajectory int
 	// Seed drives the train/test split.
 	Seed uint64
+	// Slices partitions the day into this many time-of-day slices and
+	// trains one model per slice on that slice's observations (see
+	// TrainSlices / ModelSet). 0 or 1 trains the classic single
+	// time-homogeneous model.
+	Slices int
 }
 
 // DefaultConfig mirrors the paper's protocol.

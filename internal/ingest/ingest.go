@@ -14,37 +14,48 @@ import (
 )
 
 // Target is the serving engine the ingestor feeds: it exposes the road
-// graph trajectories are validated against, the currently serving
-// knowledge base drift is scored against, and the epoch-tagged model
-// hot swap a finished rebuild publishes through. *stochroute.Engine
-// satisfies the interface. All methods must be safe for concurrent
-// use.
+// graph trajectories are validated against, the per-slice serving
+// knowledge bases drift is scored against, and the epoch-tagged
+// per-slice model hot swap a finished rebuild publishes through.
+// *stochroute.Engine satisfies the interface. All methods must be safe
+// for concurrent use.
 type Target interface {
 	Graph() *graph.Graph
-	KnowledgeBase() *hybrid.KnowledgeBase
+	// NumSlices is the number of time-of-day slices the serving cost
+	// model is partitioned into (1 = time-homogeneous).
+	NumSlices() int
+	// SliceKnowledgeBase returns the serving knowledge base of one
+	// slice (the whole knowledge base for a 1-slice target).
+	SliceKnowledgeBase(slice int) *hybrid.KnowledgeBase
 	ModelEpoch() uint64
-	SwapModel(model *hybrid.Model, obs *traj.ObservationStore) (uint64, error)
+	// SwapSliceModel publishes model as slice's next serving
+	// generation, leaving the other slices untouched.
+	SwapSliceModel(slice int, model *hybrid.Model, obs *traj.ObservationStore) (uint64, error)
 }
 
 // Config tunes the ingestion subsystem.
 type Config struct {
 	// Hybrid parameterises background retraining: grid width, minimum
 	// pair support, estimator and classifier settings. Width must
-	// match the serving model's grid width.
+	// match the serving model's grid width. (Hybrid.Slices is ignored —
+	// the slice count comes from the Target.)
 	Hybrid hybrid.Config
 	// Drift tunes drift detection and the trajectory-count rebuild
-	// trigger.
+	// trigger. Every time-of-day slice gets its own monitor with these
+	// settings, so an AM-peak regime change fires — and rebuilds —
+	// only the AM-peak slice.
 	Drift DriftConfig
-	// MinRebuildTrajectories is the minimum aggregate size before any
-	// rebuild may start (default 200): retraining on a handful of
-	// trajectories would replace a good model with noise.
+	// MinRebuildTrajectories is the minimum per-slice aggregate size
+	// before a rebuild of that slice may start (default 200):
+	// retraining on a handful of trajectories would replace a good
+	// model with noise.
 	MinRebuildTrajectories int
-	// MaxTrajectories bounds the cumulative aggregate (default 50000,
-	// negative = unbounded). Past the bound the oldest half ages out
-	// and the aggregate is recollected from the retained tail, keeping
-	// memory and rebuild cost flat on a long-running service and
-	// letting post-drift data displace the old regime instead of being
-	// forever diluted by it.
+	// MaxTrajectories bounds each slice's cumulative aggregate
+	// (default 50000, negative = unbounded). Past the bound the oldest
+	// half of that slice ages out and its aggregate is recollected
+	// from the retained tail, keeping memory and rebuild cost flat on
+	// a long-running service and letting post-drift data displace the
+	// old regime instead of being forever diluted by it.
 	MaxTrajectories int
 }
 
@@ -59,8 +70,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// SliceStatus is the per-time-of-day-slice view of the subsystem,
+// surfaced by the server's /stats endpoint next to the slice's serving
+// epoch.
+type SliceStatus struct {
+	// Trajectories sizes the slice's cumulative aggregate.
+	Trajectories int `json:"trajectories"`
+	// SinceRebuild counts accepted trajectories in this slice since
+	// its last rebuild trigger.
+	SinceRebuild int    `json:"since_rebuild"`
+	Rebuilding   bool   `json:"rebuilding"`
+	Rebuilds     uint64 `json:"rebuilds"`
+	DriftEvents  uint64 `json:"drift_events"`
+	// LastDriftScore is the drifted-edge fraction of this slice's most
+	// recently evaluated window.
+	LastDriftScore float64 `json:"last_drift_score"`
+	// LastSwapUnixMS is the wall-clock time of this slice's last
+	// successful model swap (0 = never).
+	LastSwapUnixMS int64 `json:"last_swap_unix_ms"`
+}
+
 // Status is a point-in-time snapshot of the subsystem, surfaced by the
-// server's /stats endpoint.
+// server's /stats endpoint. The scalar counters aggregate across all
+// time-of-day slices; Slices breaks them down per slice.
 type Status struct {
 	// Accepted and Rejected count live ingestion only; Seeded counts
 	// baseline trajectories preloaded with Seed.
@@ -68,42 +100,48 @@ type Status struct {
 	Rejected uint64 `json:"rejected"`
 	Seeded   uint64 `json:"seeded"`
 	// Trajectories and EdgeObservations size the cumulative aggregate
-	// (seeded + live, after any age-out); AggregatePrunes counts
-	// MaxTrajectories age-outs.
+	// (seeded + live, after any age-out, summed across slices);
+	// AggregatePrunes counts MaxTrajectories age-outs.
 	Trajectories     int    `json:"trajectories"`
 	EdgeObservations int    `json:"edge_observations"`
 	AggregatePrunes  uint64 `json:"aggregate_prunes"`
 	// SinceRebuild counts accepted trajectories since the last rebuild
-	// trigger.
+	// trigger (max across slices — "how stale could any slice be").
 	SinceRebuild  int    `json:"since_rebuild"`
 	Rebuilding    bool   `json:"rebuilding"`
 	Rebuilds      uint64 `json:"rebuilds"`
 	RebuildErrors uint64 `json:"rebuild_errors"`
 	DriftEvents   uint64 `json:"drift_events"`
 	// LastDriftScore is the drifted-edge fraction of the most recently
-	// evaluated window.
+	// evaluated window (any slice).
 	LastDriftScore float64 `json:"last_drift_score"`
 	// LastSwapUnixMS is the wall-clock time of the last successful
 	// model swap (0 = never).
 	LastSwapUnixMS int64 `json:"last_swap_unix_ms"`
+	// Slices is the per-time-of-day-slice breakdown, indexed by slice.
+	Slices []SliceStatus `json:"slices"`
 }
 
 // Ingestor is the streaming write path: it validates incoming
-// trajectories, folds them into an incremental observation aggregate,
-// monitors drift against the serving model, and rebuilds + hot-swaps
-// the model in the background when a trigger fires. All methods are
-// safe for concurrent use.
+// trajectories, folds them into per-time-of-day-slice incremental
+// observation aggregates, monitors each slice for drift against that
+// slice's serving model, and rebuilds + hot-swaps individual slices in
+// the background when their triggers fire — AM-peak drift retrains
+// only the AM-peak model while the other slices keep serving their
+// generation. All methods are safe for concurrent use.
 type Ingestor struct {
 	target Target
 	cfg    Config
 	logf   func(format string, args ...any)
+	k      int
 
 	mu           sync.Mutex
-	obs          *traj.ObservationStore // cumulative append-only aggregate
-	trajs        []traj.Trajectory      // cumulative accepted trajectories
-	drift        *DriftMonitor
-	sinceRebuild int
-	rebuilding   bool
+	obs          *traj.SlicedObservations // cumulative append-only aggregate
+	trajs        [][]traj.Trajectory      // cumulative accepted trajectories per slice
+	drift        []*DriftMonitor          // one window per slice
+	sinceRebuild []int
+	rebuilding   []bool
+	slices       []SliceStatus // per-slice counters (mu-guarded)
 	rebuildWG    sync.WaitGroup
 
 	accepted       atomic.Uint64
@@ -125,32 +163,58 @@ func New(target Target, cfg Config, logW io.Writer) *Ingestor {
 	if logW != nil {
 		logf = func(format string, args ...any) { fmt.Fprintf(logW, format+"\n", args...) }
 	}
-	return &Ingestor{
-		target: target,
-		cfg:    cfg,
-		logf:   logf,
-		obs:    traj.NewObservationStore(target.Graph(), cfg.Hybrid.Width),
-		drift:  NewDriftMonitor(cfg.Drift, cfg.Hybrid.Width),
+	k := target.NumSlices()
+	if k < 1 {
+		k = 1
 	}
+	in := &Ingestor{
+		target:       target,
+		cfg:          cfg,
+		logf:         logf,
+		k:            k,
+		obs:          traj.NewSlicedObservations(target.Graph(), cfg.Hybrid.Width, k),
+		trajs:        make([][]traj.Trajectory, k),
+		drift:        make([]*DriftMonitor, k),
+		sinceRebuild: make([]int, k),
+		rebuilding:   make([]bool, k),
+		slices:       make([]SliceStatus, k),
+	}
+	for s := range in.drift {
+		in.drift[s] = NewDriftMonitor(cfg.Drift, cfg.Hybrid.Width)
+	}
+	return in
 }
+
+// NumSlices returns the number of time-of-day slices the ingestor
+// partitions its aggregate into (the target's slice count).
+func (in *Ingestor) NumSlices() int { return in.k }
 
 // Seed preloads the aggregate with baseline trajectories (for example
 // the offline training set the serving model came from) without
-// feeding the drift monitor or triggering rebuilds. Returns how many
+// feeding the drift monitors or triggering rebuilds. Returns how many
 // were accepted and rejected.
 func (in *Ingestor) Seed(trs []traj.Trajectory) (accepted, rejected int) {
 	return in.fold(trs, false)
 }
 
-// Ingest validates and folds a batch of trajectories into the
-// aggregate, feeds the drift monitor, and — when a drift or
-// trajectory-count trigger fires and no rebuild is in flight — kicks
-// off a background rebuild of the model. Invalid trajectories
-// (discontinuous, unknown edges, non-finite or negative times) are
-// counted and skipped, never fatal. Returns how many were accepted
-// and rejected.
+// Ingest validates and folds a batch of trajectories into their
+// departure slices' aggregates, feeds the per-slice drift monitors,
+// and — when a slice's drift or trajectory-count trigger fires and no
+// rebuild of that slice is in flight — kicks off a background rebuild
+// of that slice's model. Invalid trajectories (discontinuous, unknown
+// edges, non-finite or negative times or departures) are counted and
+// skipped, never fatal. Returns how many were accepted and rejected.
 func (in *Ingestor) Ingest(trs []traj.Trajectory) (accepted, rejected int) {
 	return in.fold(trs, true)
+}
+
+// sliceRebuild is one pending background rebuild decided under the
+// mutex and launched after it is released.
+type sliceRebuild struct {
+	slice  int
+	reason string
+	obs    *traj.ObservationStore
+	trajs  []traj.Trajectory
 }
 
 func (in *Ingestor) fold(trs []traj.Trajectory, live bool) (accepted, rejected int) {
@@ -173,124 +237,152 @@ func (in *Ingestor) fold(trs []traj.Trajectory, live bool) (accepted, rejected i
 	if accepted == 0 {
 		return
 	}
-	// Build the delta outside the lock; merging it in is cheap.
-	delta := traj.NewObservationStore(g, in.cfg.Hybrid.Width)
-	delta.Collect(valid)
-
-	var (
-		trigger   bool
-		reason    string
-		snapObs   *traj.ObservationStore
-		snapTrajs []traj.Trajectory
-	)
-	in.mu.Lock()
-	in.obs.Merge(delta)
-	in.trajs = append(in.trajs, valid...)
-	if in.cfg.MaxTrajectories > 0 && len(in.trajs) > in.cfg.MaxTrajectories {
-		in.pruneLocked()
-	}
-	if live {
-		in.sinceRebuild += accepted
-		for i := range valid {
-			in.drift.Observe(&valid[i])
+	// Bucket by departure slice and build the per-slice deltas outside
+	// the lock; merging them in is cheap.
+	buckets := traj.SplitBySlice(valid, in.k)
+	deltas := make([]*traj.ObservationStore, in.k)
+	for s, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
 		}
-		trigger, reason = in.checkTriggersLocked()
-		if trigger && !in.rebuilding && len(in.trajs) >= in.cfg.MinRebuildTrajectories {
-			in.rebuilding = true
-			in.sinceRebuild = 0
-			snapObs = in.obs.Snapshot()
-			// O(1) snapshot: in.trajs is append-only between prunes
-			// (appends past the clamped cap never enter this view) and
-			// pruneLocked replaces the slice wholesale, leaving an
-			// outstanding snapshot on the old backing array.
-			snapTrajs = in.trajs[:len(in.trajs):len(in.trajs)]
-		} else {
-			trigger = false
+		deltas[s] = traj.NewObservationStore(g, in.cfg.Hybrid.Width)
+		deltas[s].Collect(bucket)
+	}
+
+	var pending []sliceRebuild
+	in.mu.Lock()
+	for s, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		in.obs.Slice(s).Merge(deltas[s])
+		in.trajs[s] = append(in.trajs[s], bucket...)
+		in.slices[s].Trajectories = len(in.trajs[s])
+		if in.cfg.MaxTrajectories > 0 && len(in.trajs[s]) > in.cfg.MaxTrajectories {
+			in.pruneLocked(s)
+		}
+		if !live {
+			continue
+		}
+		in.sinceRebuild[s] += len(bucket)
+		in.slices[s].SinceRebuild = in.sinceRebuild[s]
+		for i := range bucket {
+			in.drift[s].Observe(&bucket[i])
+		}
+		trigger, reason := in.checkTriggersLocked(s)
+		if trigger && !in.rebuilding[s] && len(in.trajs[s]) >= in.cfg.MinRebuildTrajectories {
+			in.rebuilding[s] = true
+			in.slices[s].Rebuilding = true
+			in.sinceRebuild[s] = 0
+			in.slices[s].SinceRebuild = 0
+			pending = append(pending, sliceRebuild{
+				slice:  s,
+				reason: reason,
+				obs:    in.obs.Slice(s).Snapshot(),
+				// O(1) snapshot: in.trajs[s] is append-only between
+				// prunes (appends past the clamped cap never enter this
+				// view) and pruneLocked replaces the slice wholesale,
+				// leaving an outstanding snapshot on the old backing
+				// array.
+				trajs: in.trajs[s][:len(in.trajs[s]):len(in.trajs[s])],
+			})
 		}
 	}
 	in.mu.Unlock()
 
-	if trigger {
+	for _, p := range pending {
 		in.rebuildWG.Add(1)
-		go in.rebuild(snapObs, snapTrajs, reason)
+		go in.rebuild(p)
 	}
 	return
 }
 
-// pruneLocked ages out the oldest half of the aggregate once it
+// pruneLocked ages out the oldest half of slice s's aggregate once it
 // exceeds Config.MaxTrajectories: the newest half is retained and the
-// observation store is recollected from it. A rebuild snapshot taken
-// earlier keeps its own maps and slice, so an in-flight rebuild is
-// unaffected. The recollect runs under in.mu and stalls concurrent
+// slice's observation store is recollected from it. A rebuild snapshot
+// taken earlier keeps its own maps and slice, so an in-flight rebuild
+// is unaffected. The recollect runs under in.mu and stalls concurrent
 // Ingest calls briefly, but only once per MaxTrajectories/2 accepted
-// trajectories — amortised it is a small fraction of the per-batch
-// merge cost. Callers hold in.mu.
-func (in *Ingestor) pruneLocked() {
+// trajectories in that slice — amortised it is a small fraction of the
+// per-batch merge cost. Callers hold in.mu.
+func (in *Ingestor) pruneLocked(s int) {
 	keep := in.cfg.MaxTrajectories / 2
 	if keep < 1 {
 		keep = 1
 	}
-	dropped := len(in.trajs) - keep
-	in.trajs = append([]traj.Trajectory(nil), in.trajs[len(in.trajs)-keep:]...)
+	dropped := len(in.trajs[s]) - keep
+	in.trajs[s] = append([]traj.Trajectory(nil), in.trajs[s][len(in.trajs[s])-keep:]...)
 	obs := traj.NewObservationStore(in.target.Graph(), in.cfg.Hybrid.Width)
-	obs.Collect(in.trajs)
-	in.obs = obs
+	obs.Collect(in.trajs[s])
+	in.obs.ReplaceSlice(s, obs)
+	in.slices[s].Trajectories = keep
 	in.prunes.Add(1)
-	in.logf("ingest: aggregate pruned: dropped %d oldest trajectories, retained %d", dropped, keep)
+	in.logf("ingest: slice %d aggregate pruned: dropped %d oldest trajectories, retained %d", s, dropped, keep)
 }
 
-// checkTriggersLocked evaluates a full drift window and the
-// trajectory-count trigger. Callers hold in.mu.
-func (in *Ingestor) checkTriggersLocked() (bool, string) {
-	if in.drift.Ready() {
-		rep := in.drift.Evaluate(in.target.KnowledgeBase())
+// checkTriggersLocked evaluates slice s's drift window (when full) and
+// its trajectory-count trigger. Callers hold in.mu.
+func (in *Ingestor) checkTriggersLocked(s int) (bool, string) {
+	if in.drift[s].Ready() {
+		rep := in.drift[s].Evaluate(in.target.SliceKnowledgeBase(s))
 		in.lastDriftScore.Store(math.Float64bits(rep.Score))
+		in.slices[s].LastDriftScore = rep.Score
 		if rep.Fired {
 			in.driftEvents.Add(1)
-			in.logf("ingest: drift fired: %d/%d edges past threshold (max JS %.3f, mean %.3f)",
-				rep.Drifted, rep.Checked, rep.MaxDivergence, rep.MeanDivergence)
+			in.slices[s].DriftEvents++
+			in.logf("ingest: slice %d drift fired: %d/%d edges past threshold (max JS %.3f, mean %.3f)",
+				s, rep.Drifted, rep.Checked, rep.MaxDivergence, rep.MeanDivergence)
 			return true, "drift"
 		}
 	}
-	if in.cfg.Drift.RebuildEvery > 0 && in.sinceRebuild >= in.cfg.Drift.RebuildEvery {
+	if in.cfg.Drift.RebuildEvery > 0 && in.sinceRebuild[s] >= in.cfg.Drift.RebuildEvery {
 		return true, "trajectory count"
 	}
 	return false, ""
 }
 
-// rebuild re-derives the knowledge base and retrains the hybrid model
-// on a snapshot of the aggregate, then hot-swaps it into the target.
-// Runs in its own goroutine; at most one rebuild is in flight.
-func (in *Ingestor) rebuild(obs *traj.ObservationStore, trajs []traj.Trajectory, reason string) {
+// rebuild re-derives one slice's knowledge base and retrains that
+// slice's hybrid model on a snapshot of its aggregate, then hot-swaps
+// it into the target — only that slice's epoch advances. Runs in its
+// own goroutine; at most one rebuild per slice is in flight (different
+// slices may rebuild concurrently).
+func (in *Ingestor) rebuild(p sliceRebuild) {
 	defer func() {
 		in.mu.Lock()
-		in.rebuilding = false
+		in.rebuilding[p.slice] = false
+		in.slices[p.slice].Rebuilding = false
 		in.mu.Unlock()
 		in.rebuildWG.Done()
 	}()
 	start := time.Now()
 	err := func() error {
-		kb, err := hybrid.BuildKnowledgeBase(in.target.Graph(), obs, in.cfg.Hybrid.Width, in.cfg.Hybrid.MinPairObs)
+		kb, err := hybrid.BuildKnowledgeBase(in.target.Graph(), p.obs, in.cfg.Hybrid.Width, in.cfg.Hybrid.MinPairObs)
 		if err != nil {
 			return err
 		}
-		model, report, err := hybrid.Train(kb, obs, trajs, nil, in.cfg.Hybrid)
+		model, report, err := hybrid.Train(kb, p.obs, p.trajs, nil, in.cfg.Hybrid)
 		if err != nil {
 			return err
 		}
-		epoch, err := in.target.SwapModel(model, obs)
+		epoch, err := in.target.SwapSliceModel(p.slice, model, p.obs)
 		if err != nil {
 			return err
 		}
-		in.lastSwapUnixMS.Store(time.Now().UnixMilli())
-		in.logf("ingest: rebuild (%s): trained on %d trajectories in %s (KL hybrid %.4f vs conv %.4f); serving model epoch %d",
-			reason, len(trajs), time.Since(start).Round(time.Millisecond),
+		now := time.Now().UnixMilli()
+		in.lastSwapUnixMS.Store(now)
+		in.mu.Lock()
+		in.slices[p.slice].LastSwapUnixMS = now
+		in.slices[p.slice].Rebuilds++
+		in.mu.Unlock()
+		in.logf("ingest: slice %d rebuild (%s): trained on %d trajectories in %s (KL hybrid %.4f vs conv %.4f); slice serving epoch %d",
+			p.slice, p.reason, len(p.trajs), time.Since(start).Round(time.Millisecond),
 			report.MeanKLHybrid, report.MeanKLConv, epoch)
 		return nil
 	}()
 	if err != nil {
 		in.rebuildErrors.Add(1)
-		in.logf("ingest: rebuild (%s) failed after %s: %v", reason, time.Since(start).Round(time.Millisecond), err)
+		in.logf("ingest: slice %d rebuild (%s) failed after %s: %v",
+			p.slice, p.reason, time.Since(start).Round(time.Millisecond), err)
 		return
 	}
 	in.rebuilds.Add(1)
@@ -304,10 +396,18 @@ func (in *Ingestor) WaitRebuilds() { in.rebuildWG.Wait() }
 // Status snapshots the subsystem's counters.
 func (in *Ingestor) Status() Status {
 	in.mu.Lock()
-	trajs := len(in.trajs)
+	trajs := 0
+	since := 0
+	rebuilding := false
+	for s := range in.trajs {
+		trajs += len(in.trajs[s])
+		if in.sinceRebuild[s] > since {
+			since = in.sinceRebuild[s]
+		}
+		rebuilding = rebuilding || in.rebuilding[s]
+	}
 	edgeObs := in.obs.NumEdgeObservations()
-	since := in.sinceRebuild
-	rebuilding := in.rebuilding
+	slices := append([]SliceStatus(nil), in.slices...)
 	in.mu.Unlock()
 	return Status{
 		Accepted:         in.accepted.Load(),
@@ -323,18 +423,23 @@ func (in *Ingestor) Status() Status {
 		DriftEvents:      in.driftEvents.Load(),
 		LastDriftScore:   math.Float64frombits(in.lastDriftScore.Load()),
 		LastSwapUnixMS:   in.lastSwapUnixMS.Load(),
+		Slices:           slices,
 	}
 }
 
 // validateTrajectory rejects anything that could corrupt the aggregate:
 // empty or length-mismatched trips, edges outside the graph,
-// discontinuous hops, and non-finite or negative travel times.
+// discontinuous hops, non-finite or negative travel times, and
+// non-finite or negative departure timestamps.
 func validateTrajectory(g *graph.Graph, tr *traj.Trajectory) error {
 	if len(tr.Edges) == 0 {
 		return fmt.Errorf("ingest: empty trajectory")
 	}
 	if len(tr.Edges) != len(tr.Times) {
 		return fmt.Errorf("ingest: %d edges but %d times", len(tr.Edges), len(tr.Times))
+	}
+	if math.IsNaN(tr.Departure) || math.IsInf(tr.Departure, 0) || tr.Departure < 0 {
+		return fmt.Errorf("ingest: invalid departure %v", tr.Departure)
 	}
 	for i, e := range tr.Edges {
 		if int(e) < 0 || int(e) >= g.NumEdges() {

@@ -11,23 +11,36 @@ import (
 	"stochroute/internal/traj"
 )
 
-// fakeTarget is a minimal serving engine: a graph, a swappable
-// knowledge base, and an epoch counter.
+// fakeTarget is a minimal serving engine: a graph, per-slice swappable
+// knowledge bases, and an epoch counter. slices <= 1 models the
+// classic time-homogeneous target.
 type fakeTarget struct {
-	g *graph.Graph
+	g      *graph.Graph
+	slices int
 
-	mu      sync.Mutex
-	kb      *hybrid.KnowledgeBase
-	epoch   uint64
-	swapped *hybrid.Model
+	mu         sync.Mutex
+	kb         map[int]*hybrid.KnowledgeBase // by slice; nil entries fall back to kb[0]
+	epoch      uint64
+	swapped    *hybrid.Model
+	swapSlices []int // slice of every SwapSliceModel call, in order
 }
 
 func (t *fakeTarget) Graph() *graph.Graph { return t.g }
 
-func (t *fakeTarget) KnowledgeBase() *hybrid.KnowledgeBase {
+func (t *fakeTarget) NumSlices() int {
+	if t.slices < 2 {
+		return 1
+	}
+	return t.slices
+}
+
+func (t *fakeTarget) SliceKnowledgeBase(slice int) *hybrid.KnowledgeBase {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.kb
+	if kb, ok := t.kb[slice]; ok {
+		return kb
+	}
+	return t.kb[0]
 }
 
 func (t *fakeTarget) ModelEpoch() uint64 {
@@ -36,11 +49,15 @@ func (t *fakeTarget) ModelEpoch() uint64 {
 	return t.epoch
 }
 
-func (t *fakeTarget) SwapModel(m *hybrid.Model, obs *traj.ObservationStore) (uint64, error) {
+func (t *fakeTarget) SwapSliceModel(slice int, m *hybrid.Model, obs *traj.ObservationStore) (uint64, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.kb = m.KB
+	if t.kb == nil {
+		t.kb = make(map[int]*hybrid.KnowledgeBase)
+	}
+	t.kb[slice] = m.KB
 	t.swapped = m
+	t.swapSlices = append(t.swapSlices, slice)
 	t.epoch++
 	return t.epoch, nil
 }
@@ -112,7 +129,8 @@ func lightHybridConfig(width float64) hybrid.Config {
 }
 
 // shifted returns copies of trs with every travel time scaled by f —
-// the "traffic got worse everywhere" drift scenario.
+// the "traffic got worse everywhere" drift scenario. Departures are
+// preserved.
 func shifted(trs []traj.Trajectory, f float64) []traj.Trajectory {
 	out := make([]traj.Trajectory, len(trs))
 	for i, tr := range trs {
@@ -120,14 +138,24 @@ func shifted(trs []traj.Trajectory, f float64) []traj.Trajectory {
 		for j, x := range tr.Times {
 			times[j] = x * f
 		}
-		out[i] = traj.Trajectory{Edges: tr.Edges, Times: times}
+		out[i] = traj.Trajectory{Edges: tr.Edges, Times: times, Departure: tr.Departure}
+	}
+	return out
+}
+
+// departingIn stamps every trajectory with a departure in the middle
+// of slice s of a k-slice day.
+func departingIn(trs []traj.Trajectory, s, k int) []traj.Trajectory {
+	out := append([]traj.Trajectory(nil), trs...)
+	for i := range out {
+		out[i].Departure = traj.SliceMid(s, k)
 	}
 	return out
 }
 
 func TestIngestValidation(t *testing.T) {
 	fx := testFixture(t)
-	tgt := &fakeTarget{g: fx.g, kb: fx.kb, epoch: 1}
+	tgt := &fakeTarget{g: fx.g, kb: map[int]*hybrid.KnowledgeBase{0: fx.kb}, epoch: 1}
 	in := New(tgt, Config{
 		Hybrid: lightHybridConfig(fx.width),
 		Drift:  DriftConfig{Window: -1},
@@ -187,7 +215,7 @@ func discontinuous(g *graph.Graph, tr traj.Trajectory) traj.Trajectory {
 // must build exactly the aggregate one Collect would.
 func TestIngestAggregateMatchesCollect(t *testing.T) {
 	fx := testFixture(t)
-	tgt := &fakeTarget{g: fx.g, kb: fx.kb, epoch: 1}
+	tgt := &fakeTarget{g: fx.g, kb: map[int]*hybrid.KnowledgeBase{0: fx.kb}, epoch: 1}
 	in := New(tgt, Config{
 		Hybrid: lightHybridConfig(fx.width),
 		Drift:  DriftConfig{Window: -1},
@@ -254,7 +282,7 @@ func TestDriftMonitor(t *testing.T) {
 // with a bumped epoch.
 func TestRebuildAndHotSwap(t *testing.T) {
 	fx := testFixture(t)
-	tgt := &fakeTarget{g: fx.g, kb: fx.kb, epoch: 1}
+	tgt := &fakeTarget{g: fx.g, kb: map[int]*hybrid.KnowledgeBase{0: fx.kb}, epoch: 1}
 	in := New(tgt, Config{
 		Hybrid: lightHybridConfig(fx.width),
 		Drift: DriftConfig{
@@ -286,7 +314,7 @@ func TestRebuildAndHotSwap(t *testing.T) {
 
 	// The rebuilt knowledge base must reflect the doubled travel
 	// times: pick a well-observed edge and compare marginal means.
-	newKB := tgt.KnowledgeBase()
+	newKB := tgt.SliceKnowledgeBase(0)
 	var busiest graph.EdgeID = -1
 	most := 0
 	for e, samples := range fx.obs.Edge {
@@ -305,7 +333,7 @@ func TestRebuildAndHotSwap(t *testing.T) {
 // the aggregate is big enough to train on.
 func TestNoRebuildBelowMinimum(t *testing.T) {
 	fx := testFixture(t)
-	tgt := &fakeTarget{g: fx.g, kb: fx.kb, epoch: 1}
+	tgt := &fakeTarget{g: fx.g, kb: map[int]*hybrid.KnowledgeBase{0: fx.kb}, epoch: 1}
 	in := New(tgt, Config{
 		Hybrid:                 lightHybridConfig(fx.width),
 		Drift:                  DriftConfig{Window: -1, RebuildEvery: 10},
@@ -327,7 +355,7 @@ func TestNoRebuildBelowMinimum(t *testing.T) {
 // it exceeds MaxTrajectories.
 func TestSeedCountersAndAggregateBound(t *testing.T) {
 	fx := testFixture(t)
-	tgt := &fakeTarget{g: fx.g, kb: fx.kb, epoch: 1}
+	tgt := &fakeTarget{g: fx.g, kb: map[int]*hybrid.KnowledgeBase{0: fx.kb}, epoch: 1}
 	in := New(tgt, Config{
 		Hybrid:                 lightHybridConfig(fx.width),
 		Drift:                  DriftConfig{Window: -1},
@@ -360,5 +388,86 @@ func TestSeedCountersAndAggregateBound(t *testing.T) {
 	if st.EdgeObservations != want.NumEdgeObservations() {
 		t.Errorf("aggregate has %d observations, want %d (retained tail only)",
 			st.EdgeObservations, want.NumEdgeObservations())
+	}
+}
+
+// TestPerSliceDriftRebuild: on a 4-slice target, a congested stream
+// departing exclusively in one slice must fire drift, rebuild and
+// hot-swap THAT slice only — the other slices' monitors stay quiet and
+// their models are never touched.
+func TestPerSliceDriftRebuild(t *testing.T) {
+	fx := testFixture(t)
+	const K, peak = 4, 2
+	tgt := &fakeTarget{g: fx.g, slices: K, kb: map[int]*hybrid.KnowledgeBase{0: fx.kb}, epoch: 1}
+	in := New(tgt, Config{
+		Hybrid: lightHybridConfig(fx.width),
+		Drift: DriftConfig{
+			Window:     200,
+			MinEdgeObs: 6,
+		},
+		MinRebuildTrajectories: 150,
+	}, nil)
+	if in.NumSlices() != K {
+		t.Fatalf("ingestor has %d slices, want %d", in.NumSlices(), K)
+	}
+
+	// Background off-peak traffic in slice 0 drawn from the SERVING
+	// distribution: it must never trigger anything.
+	in.Ingest(departingIn(fx.trajs[:100], 0, K))
+
+	// The congested stream: doubled travel times, all departing in the
+	// peak slice.
+	stream := departingIn(shifted(fx.trajs, 2), peak, K)
+	for lo := 0; lo+50 <= 500; lo += 50 {
+		in.Ingest(stream[lo : lo+50])
+	}
+	in.WaitRebuilds()
+
+	st := in.Status()
+	if st.DriftEvents == 0 || st.Rebuilds == 0 {
+		t.Fatalf("peak slice never rebuilt: %+v", st)
+	}
+	if len(st.Slices) != K {
+		t.Fatalf("status has %d slices", len(st.Slices))
+	}
+	for s := 0; s < K; s++ {
+		if s == peak {
+			if st.Slices[s].DriftEvents == 0 || st.Slices[s].Rebuilds == 0 {
+				t.Errorf("peak slice %d: %+v, want drift + rebuild", s, st.Slices[s])
+			}
+			if st.Slices[s].LastSwapUnixMS == 0 {
+				t.Errorf("peak slice %d has no swap timestamp", s)
+			}
+		} else if st.Slices[s].DriftEvents != 0 || st.Slices[s].Rebuilds != 0 {
+			t.Errorf("quiet slice %d fired: %+v", s, st.Slices[s])
+		}
+	}
+	tgt.mu.Lock()
+	swaps := append([]int(nil), tgt.swapSlices...)
+	tgt.mu.Unlock()
+	if len(swaps) == 0 {
+		t.Fatal("no slice swap reached the target")
+	}
+	for _, s := range swaps {
+		if s != peak {
+			t.Errorf("swap hit slice %d, want only %d", s, peak)
+		}
+	}
+
+	// The peak slice's rebuilt knowledge base reflects the doubled
+	// times; slice 0 still serves the original.
+	var busiest graph.EdgeID = -1
+	most := 0
+	for e, samples := range fx.obs.Edge {
+		if len(samples) > most {
+			busiest, most = e, len(samples)
+		}
+	}
+	oldMean := fx.kb.Edge(busiest).Marginal.Mean()
+	if newMean := tgt.SliceKnowledgeBase(peak).Edge(busiest).Marginal.Mean(); newMean < oldMean*1.5 {
+		t.Errorf("peak slice marginal mean %v does not reflect the 2x shift from %v", newMean, oldMean)
+	}
+	if tgt.SliceKnowledgeBase(0) != fx.kb {
+		t.Error("slice 0's knowledge base must be untouched")
 	}
 }

@@ -50,8 +50,9 @@ type Report struct {
 
 // wireTrajectory mirrors the server's /ingest trajectory schema.
 type wireTrajectory struct {
-	Edges []graph.EdgeID `json:"edges"`
-	Times []float64      `json:"times"`
+	Edges  []graph.EdgeID `json:"edges"`
+	Times  []float64      `json:"times"`
+	Depart float64        `json:"depart,omitempty"`
 }
 
 type wireRequest struct {
@@ -100,7 +101,7 @@ func Stream(ctx context.Context, trs []traj.Trajectory, opts Options) (*Report, 
 		}
 		batch := make([]wireTrajectory, hi-lo)
 		for i, tr := range trs[lo:hi] {
-			batch[i] = wireTrajectory{Edges: tr.Edges, Times: tr.Times}
+			batch[i] = wireTrajectory{Edges: tr.Edges, Times: tr.Times, Depart: tr.Departure}
 		}
 		ack, err := postBatch(ctx, client, opts.BaseURL, wireRequest{Trajectories: batch})
 		if err != nil {

@@ -14,10 +14,12 @@ type BatchQuery struct {
 
 // BatchItem is one query's outcome in a batched routing answer:
 // exactly one of Result and Err is set, and item i of the answer
-// corresponds to query i of the request. Epoch is the model generation
-// the whole batch ran against; it is set on every item — error items
-// included — so a response never mixes epochs even when a hot swap
-// lands mid-batch.
+// corresponds to query i of the request. Epoch is the serving epoch of
+// the time-of-day slice that answered this item, read from the ONE
+// model snapshot the whole batch ran against; it is set on every item
+// — error items included — so a response never mixes generations even
+// when a hot swap lands mid-batch. (On a 1-slice engine it is simply
+// the snapshot's global epoch.)
 type BatchItem struct {
 	Result *Result
 	Err    error

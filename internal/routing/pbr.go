@@ -19,6 +19,14 @@ type Options struct {
 	// maximises P(travel time <= Budget).
 	Budget float64
 
+	// Departure is the trip's start time in seconds since local
+	// midnight (any finite value; wrapped modulo one day). Engines with
+	// a time-sliced cost model select the serving slice from it before
+	// the search starts; the search itself never sees time — it runs
+	// against whichever Coster the slice selection produced. Zero (the
+	// default) is slice 0, the time-homogeneous behaviour.
+	Departure float64
+
 	// Anytime limits (the paper's anytime extension). Zero means
 	// unlimited. MaxExpansions bounds priority-queue pops (the
 	// deterministic, machine-independent mode used by benchmarks);
@@ -96,9 +104,16 @@ type Result struct {
 
 	// ModelEpoch identifies the model generation that answered the
 	// query, for engines that hot-swap models while serving (see
-	// Engine.SwapModel). PBR itself does not know about epochs; the
-	// engine stamps it. 0 means "not tracked".
+	// Engine.SwapModel). For a time-sliced engine this is the *slice's*
+	// epoch — the generation of the per-slice model that actually
+	// answered. PBR itself does not know about epochs; the engine
+	// stamps it. 0 means "not tracked".
 	ModelEpoch uint64
+
+	// Slice is the time-of-day slice whose cost model answered the
+	// query (always 0 for time-homogeneous engines). Stamped by the
+	// engine, like ModelEpoch.
+	Slice int
 }
 
 // label is a partial path in the search.

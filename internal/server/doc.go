@@ -11,14 +11,25 @@
 // IDs (source=, dest=) or WGS84 coordinates (from=lat,lon, to=lat,lon)
 // snapped to the nearest vertex.
 //
-//   - /route?source=&dest=&budget= — full budget-routing search: the
-//     path maximising P(arrival within budget seconds). Responses
-//     carry model_epoch, the model generation that answered.
+// Temporal routing: the backend's cost model is partitioned into K
+// time-of-day slices (K = 1 for a classic time-homogeneous model).
+// /route, /route/anytime, /route/batch, /sample and /pairsum accept an
+// optional depart parameter — seconds since local midnight, default 0
+// — that selects the slice serving the request; responses echo
+// depart_s and slice, and model_epoch is the *slice's* serving
+// generation.
+//
+//   - /route?source=&dest=&budget=[&depart=] — full budget-routing
+//     search: the path maximising P(arrival within budget seconds)
+//     departing at depart. Responses carry model_epoch, the slice
+//     generation that answered.
 //   - /route/anytime?...&limit_ms= — the anytime variant: the best
 //     pivot path found within the wall-clock limit.
 //   - /route/batch (POST, up to Config.MaxBatch queries) — the batched
 //     query path: {"queries": [{"source": 3, "dest": 9, "budget_s":
-//     420}, ...]}. The whole batch is validated up front (a malformed
+//     420, "depart_s": 28800}, ...]} (depart_s optional per query, so
+//     one batch can mix peak and off-peak). The whole batch is
+//     validated up front (a malformed
 //     query fails the request with a 400 naming its index), answered
 //     against ONE model snapshot on a bounded worker pool
 //     (Config.BatchWorkers), and returned as {"results": [...],
@@ -38,19 +49,24 @@
 //     workload generator, annotated with optimistic travel times (the
 //     input cmd/loadgen replays).
 //   - /ingest (POST, enabled by Config.Ingestor) — the write path:
-//     {"trajectories": [{"edges": [...], "times": [...]}, ...]}.
-//     Trajectories are validated against the graph (invalid ones are
-//     counted and skipped, never fatal) and folded into the ingestion
-//     subsystem (internal/ingest); the acknowledgement reports the
-//     accepted/rejected split and the current model epoch. Stream a
-//     recorded SRT1 file through this endpoint with cmd/replay.
-//   - /healthz — liveness, graph size and the serving model epoch.
-//   - /stats — request counts, cache effectiveness (including epoch
-//     invalidations), in-flight gauge, the model epoch, the engine's
-//     lifetime convolve/estimate decision totals, and — when ingestion
-//     is enabled — the write path's counters: accepted/rejected,
-//     aggregate size, drift events, last drift score, rebuilds and the
-//     last-swap timestamp.
+//     {"trajectories": [{"edges": [...], "times": [...], "depart":
+//     28920}, ...]} (depart optional, default 0). Trajectories are
+//     validated against the graph (invalid ones are counted and
+//     skipped, never fatal) and folded into the ingestion subsystem's
+//     per-slice aggregates (internal/ingest); the acknowledgement
+//     reports the accepted/rejected split and the current model epoch.
+//     Stream a recorded SRT1/SRT2 file through this endpoint with
+//     cmd/replay.
+//   - /healthz — liveness, graph size, the global model epoch, the
+//     slice count and every slice's serving epoch.
+//   - /stats — request counts, cache effectiveness (aggregate plus
+//     per-slice breakdowns including epoch invalidations), in-flight
+//     gauge, global and per-slice model epochs, the engine's lifetime
+//     convolve/estimate decision totals, and — when ingestion is
+//     enabled — the write path's counters: accepted/rejected,
+//     aggregate size, drift events, last drift score, rebuilds and
+//     the last-swap timestamp, each also broken down per slice (so a
+//     peak-hour drift event is attributable to its slice).
 //
 // JSON request bodies are hardened: they are read through
 // http.MaxBytesReader (Config.MaxIngestBytes for /ingest,
@@ -80,26 +96,33 @@
 //
 // # Caching and model hot swaps
 //
-// Two sharded LRU caches (ShardedLRU) absorb hot traffic:
+// Two families of sharded LRU caches (ShardedLRU), one instance per
+// time-of-day slice, absorb hot traffic — keying the caches on slice
+// means peak and off-peak answers never collide, and each slice's
+// cache validates against its own serving generation:
 //
-//   - Route results are keyed on (source, dest, budget bucket), where
-//     the budget is quantised to Config.BudgetBucketSeconds. Only
-//     complete, found searches are stored — the entry holds the path
-//     and its full travel-time distribution, and every hit recomputes
-//     the exact on-time probability for the request's budget from that
-//     distribution, so bucketing only ever coarsens which search ran,
-//     never the reported probability.
-//   - Pair-sum estimates are keyed on the (first, second) edge pair.
+//   - Route results are keyed on (source, dest, budget bucket) within
+//     their slice's cache, where the budget is quantised to
+//     Config.BudgetBucketSeconds. Only complete, found searches are
+//     stored — the entry holds the path and its full travel-time
+//     distribution, and every hit recomputes the exact on-time
+//     probability for the request's budget from that distribution, so
+//     bucketing only ever coarsens which search ran, never the
+//     reported probability.
+//   - Pair-sum estimates are keyed on the (first, second) edge pair
+//     within their slice's cache.
 //
-// Both caches are epoch-validated: entries are tagged with the model
-// epoch that computed them, the cache's validity epoch advances to the
-// backend's epoch on every request, and Get serves an entry only when
-// its tag equals the current epoch. When the ingestion subsystem
-// hot-swaps a rebuilt model the epoch bump therefore invalidates every
-// pre-swap entry in O(1) — stale route results never survive a swap —
-// with stale entries reclaimed lazily on first touch or by ordinary
-// LRU eviction. Shards are independently locked and selected by key
-// hash, keeping cache contention negligible next to search cost.
-// X-Cache: hit|miss response headers expose per-request cache outcomes
-// to load tools.
+// Every cache is epoch-validated: entries are tagged with the slice
+// epoch that computed them, the slice cache's validity epoch advances
+// to that slice's serving epoch on every request, and Get serves an
+// entry only when its tag equals the current epoch. When the ingestion
+// subsystem hot-swaps one slice's rebuilt model, the epoch bump
+// invalidates every pre-swap entry of THAT slice in O(1) — stale route
+// results never survive a swap — while the other slices' caches stay
+// warm; stale entries are reclaimed lazily on first touch or by
+// ordinary LRU eviction. Shards are independently locked and selected
+// by key hash, keeping cache contention negligible next to search
+// cost. X-Cache: hit|miss response headers expose per-request cache
+// outcomes to load tools (cmd/loadgen's -departs sweep reports per-
+// slice hit rates and latency percentiles).
 package server

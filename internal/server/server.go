@@ -25,7 +25,10 @@ import (
 // methods must be safe for concurrent use; *stochroute.Engine satisfies
 // the interface. ModelEpoch identifies the serving model generation —
 // it moves forward when the ingestion subsystem hot-swaps a rebuilt
-// model, and the server uses it to invalidate its result caches.
+// model — and SliceEpoch identifies one time-of-day slice's
+// generation; the server uses the slice epochs to invalidate its
+// per-slice result caches, so a peak-hour rebuild never evicts the
+// night slice's warm cache.
 type Backend interface {
 	Graph() *graph.Graph
 	NearestVertex(lat, lon float64) graph.VertexID
@@ -33,15 +36,25 @@ type Backend interface {
 	// RouteBatch answers queries[i] in item i against ONE model
 	// snapshot: a hot swap mid-batch must never split a batch across
 	// model generations, and every item (error items included) carries
-	// that snapshot's epoch. Cancelling ctx stops the batch between
-	// queries. workers <= 0 picks a sensible default.
+	// the epoch of the slice that served it under that snapshot.
+	// Cancelling ctx stops the batch between queries. workers <= 0
+	// picks a sensible default.
 	RouteBatch(ctx context.Context, queries []routing.BatchQuery, workers int) []routing.BatchItem
 	AlternativeRoutes(source, dest graph.VertexID, horizon float64, maxRoutes int) ([]routing.ParetoRoute, error)
-	PairSum(first, second graph.EdgeID) (*hist.Hist, error)
+	// PairSumAt answers under the given time-of-day slice's serving
+	// model (slice 0 = the classic time-homogeneous answer).
+	PairSumAt(slice int, first, second graph.EdgeID) (*hist.Hist, error)
 	OptimisticTime(source, dest graph.VertexID) (float64, error)
 	SampleQueries(loKm, hiKm float64, n int, seed uint64) ([]netgen.Query, error)
 	DecisionCounts() (convolved, estimated uint64)
 	ModelEpoch() uint64
+	// NumSlices is the slice count of the serving cost model (1 =
+	// time-homogeneous); SliceOf maps a departure timestamp to its
+	// slice; SliceEpoch / SliceEpochs expose per-slice generations.
+	NumSlices() int
+	SliceOf(depart float64) int
+	SliceEpoch(slice int) uint64
+	SliceEpochs() []uint64
 }
 
 // Config tunes the serving layer. The zero value means "defaults";
@@ -148,34 +161,61 @@ type endpointStats struct {
 }
 
 // Server is the concurrent routing service: an http.Handler answering
-// Probabilistic Budget Routing queries over a shared Backend, with a
-// sharded LRU cache for complete route results and hot pair-sum
-// estimates.
+// Probabilistic Budget Routing queries over a shared Backend, with
+// per-time-of-day-slice sharded LRU caches for complete route results
+// and hot pair-sum estimates. Keying the caches on slice means two
+// things: queries for different departure slices never collide on one
+// entry, and each slice's cache is epoch-validated against *its own*
+// slice's serving generation — a rebuild of the AM-peak model
+// invalidates only the AM-peak cache.
 type Server struct {
 	backend Backend
 	cfg     Config
 	mux     *http.ServeMux
 
-	routes *ShardedLRU[routeKey, routeEntry]
-	pairs  *ShardedLRU[pairKey, *hist.Hist]
+	// routes[s] / pairs[s] cache slice s's results (length
+	// backend.NumSlices()).
+	routes []*ShardedLRU[routeKey, routeEntry]
+	pairs  []*ShardedLRU[pairKey, *hist.Hist]
 
 	started  time.Time
 	inflight atomic.Int64
 	stats    map[string]*endpointStats
 }
 
+// perSliceCapacity splits a total cache capacity over k slices (at
+// least 1 entry each; <= 0 stays "disabled").
+func perSliceCapacity(total, k int) int {
+	if total <= 0 || k <= 1 {
+		return total
+	}
+	per := total / k
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
 // New assembles a Server over backend. The backend's query path must be
 // safe for concurrent use (see Backend).
 func New(backend Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	k := backend.NumSlices()
+	if k < 1 {
+		k = 1
+	}
 	s := &Server{
 		backend: backend,
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
-		routes:  NewShardedLRU[routeKey, routeEntry](cfg.CacheShards, cfg.RouteCache),
-		pairs:   NewShardedLRU[pairKey, *hist.Hist](cfg.CacheShards, cfg.PairCache),
+		routes:  make([]*ShardedLRU[routeKey, routeEntry], k),
+		pairs:   make([]*ShardedLRU[pairKey, *hist.Hist], k),
 		started: time.Now(),
 		stats:   make(map[string]*endpointStats),
+	}
+	for i := 0; i < k; i++ {
+		s.routes[i] = NewShardedLRU[routeKey, routeEntry](cfg.CacheShards, perSliceCapacity(cfg.RouteCache, k))
+		s.pairs[i] = NewShardedLRU[pairKey, *hist.Hist](cfg.CacheShards, perSliceCapacity(cfg.PairCache, k))
 	}
 	s.handle("/route", http.MethodGet, s.handleRoute)
 	s.handle("/route/anytime", http.MethodGet, s.handleRouteAnytime)
@@ -371,6 +411,21 @@ func (s *Server) budgetParam(r *http.Request) (float64, error) {
 	return budget, nil
 }
 
+// departParam parses the optional `depart` parameter: the trip's start
+// time in seconds since local midnight (default 0 — slice 0, the
+// time-homogeneous behaviour). Values beyond one day wrap; negatives
+// are rejected.
+func (s *Server) departParam(r *http.Request) (float64, error) {
+	depart, err := floatParam(r, "depart", 0)
+	if err != nil {
+		return 0, err
+	}
+	if depart < 0 {
+		return 0, badRequest("depart: must be a non-negative number of seconds since midnight")
+	}
+	return depart, nil
+}
+
 func (s *Server) bucketOf(budget float64) uint64 {
 	if s.cfg.BudgetBucketSeconds > 0 {
 		return uint64(budget / s.cfg.BudgetBucketSeconds)
@@ -382,9 +437,13 @@ func (s *Server) bucketOf(budget float64) uint64 {
 
 // routeResponse is the JSON answer of /route and /route/anytime.
 type routeResponse struct {
-	Source          graph.VertexID `json:"source"`
-	Dest            graph.VertexID `json:"dest"`
-	Budget          float64        `json:"budget_s"`
+	Source graph.VertexID `json:"source"`
+	Dest   graph.VertexID `json:"dest"`
+	Budget float64        `json:"budget_s"`
+	// Depart echoes the requested departure (seconds since midnight)
+	// and Slice the time-of-day slice whose cost model answered.
+	Depart          float64        `json:"depart_s,omitempty"`
+	Slice           int            `json:"slice,omitempty"`
 	Found           bool           `json:"found"`
 	Complete        bool           `json:"complete"`
 	Prob            float64        `json:"prob"`
@@ -421,20 +480,25 @@ func (s *Server) handleRouteAnytime(w http.ResponseWriter, r *http.Request) erro
 }
 
 // routeCommon answers a budget-routing query; limit > 0 marks an
-// anytime request. Cache protocol: complete found results are stored
-// under (source, dest, budget bucket) holding the path and its full
-// distribution; a hit — including for anytime requests, since a proven
-// optimum is at least as good as any cutoff search — recomputes the
-// exact probability for the request's budget from the cached
-// distribution. Incomplete (cut-off) results are never stored.
+// anytime request. The departure parameter selects the time-of-day
+// slice (and thus the per-slice cache and cost model) before anything
+// else happens. Cache protocol: complete found results are stored in
+// the slice's cache under (source, dest, budget bucket) holding the
+// path and its full distribution; a hit — including for anytime
+// requests, since a proven optimum is at least as good as any cutoff
+// search — recomputes the exact probability for the request's budget
+// from the cached distribution. Incomplete (cut-off) results are never
+// stored.
 //
-// Hot-swap protocol: the cache's validity epoch is advanced to the
-// backend's model epoch at every request, and entries are tagged with
-// the epoch of the model that computed them (RouteResult.ModelEpoch —
-// the search may already run on a newer model than the one observed at
-// request start). A hit therefore always carries the current model
-// generation's answer: once a swap bumps the epoch, every pre-swap
-// entry is invalid and the next request recomputes.
+// Hot-swap protocol: the slice cache's validity epoch is advanced to
+// that slice's serving epoch at every request, and entries are tagged
+// with the slice epoch of the model that computed them
+// (RouteResult.ModelEpoch — the search may already run on a newer
+// model than the one observed at request start). A hit therefore
+// always carries the current slice generation's answer: once a swap of
+// *this* slice bumps its epoch, every pre-swap entry is invalid and
+// the next request recomputes — while the other slices' caches stay
+// warm.
 func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.Duration) error {
 	start := time.Now()
 	src, dst, err := s.endpointsParam(r)
@@ -445,16 +509,24 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 	if err != nil {
 		return err
 	}
+	depart, err := s.departParam(r)
+	if err != nil {
+		return err
+	}
 
-	epoch := s.backend.ModelEpoch()
-	s.routes.AdvanceEpoch(epoch)
+	slice := s.backend.SliceOf(depart)
+	epoch := s.backend.SliceEpoch(slice)
+	cache := s.routes[slice]
+	cache.AdvanceEpoch(epoch)
 	key := routeKey{src: src, dst: dst, bucket: s.bucketOf(budget)}
-	if entry, ok := s.routes.Get(key); ok {
+	if entry, ok := cache.Get(key); ok {
 		w.Header().Set("X-Cache", "hit")
 		return writeJSON(w, &routeResponse{
 			Source:      src,
 			Dest:        dst,
 			Budget:      budget,
+			Depart:      depart,
+			Slice:       slice,
 			Found:       true,
 			Complete:    true,
 			Prob:        entry.dist.CDF(budget),
@@ -467,14 +539,14 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 	}
 	w.Header().Set("X-Cache", "miss")
 
-	opts := routing.Options{Budget: budget, MaxDuration: s.cfg.RequestTimeout}
+	opts := routing.Options{Budget: budget, Departure: depart, MaxDuration: s.cfg.RequestTimeout}
 	if limit > 0 {
 		opts.MaxDuration = limit
 	}
 	res, err := s.backend.RouteWithOptions(src, dst, opts)
 	if errors.Is(err, routing.ErrUnreachable) {
 		return writeJSON(w, &routeResponse{
-			Source: src, Dest: dst, Budget: budget,
+			Source: src, Dest: dst, Budget: budget, Depart: depart, Slice: slice,
 			Complete: true, ModelEpoch: epoch, RuntimeMS: msSince(start),
 		})
 	}
@@ -482,12 +554,14 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 		return err
 	}
 	if res.Found && res.Complete {
-		s.routes.PutAt(key, routeEntry{path: res.Path, dist: res.Dist, epoch: res.ModelEpoch}, res.ModelEpoch)
+		cache.PutAt(key, routeEntry{path: res.Path, dist: res.Dist, epoch: res.ModelEpoch}, res.ModelEpoch)
 	}
 	out := &routeResponse{
 		Source:          src,
 		Dest:            dst,
 		Budget:          budget,
+		Depart:          depart,
+		Slice:           res.Slice,
 		Found:           res.Found,
 		Complete:        res.Complete,
 		Prob:            res.Prob,
@@ -509,11 +583,14 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 
 // batchQueryRequest is one query of a POST /route/batch body. Endpoints
 // are vertex IDs; clients resolving coordinates use /route's from/to
-// form or snap once via /sample.
+// form or snap once via /sample. Depart (seconds since midnight,
+// optional, default 0) selects the per-query time-of-day slice, so one
+// batch can mix peak and off-peak queries.
 type batchQueryRequest struct {
 	Source int     `json:"source"`
 	Dest   int     `json:"dest"`
 	Budget float64 `json:"budget_s"`
+	Depart float64 `json:"depart_s"`
 }
 
 type batchRequest struct {
@@ -540,13 +617,14 @@ type batchResponse struct {
 // fails the whole batch with a 400 naming its index, exactly as the
 // same query would have failed /route.
 //
-// Cache protocol per item: the route cache is consulted under the same
-// epoch-validated (source, dest, budget bucket) key /route uses, hits
-// recompute the exact probability for the item's budget, and only the
-// misses are handed to the backend — which answers them against one
-// model snapshot on a bounded worker pool. Complete found results are
-// stored back, so mixed hot/cold batches warm the cache for /route and
-// vice versa.
+// Cache protocol per item: the item's departure selects its
+// time-of-day slice, and that slice's route cache is consulted under
+// the same epoch-validated (source, dest, budget bucket) key /route
+// uses; hits recompute the exact probability for the item's budget,
+// and only the misses are handed to the backend — which answers them
+// against one model snapshot on a bounded worker pool. Complete found
+// results are stored back, so mixed hot/cold batches warm the cache
+// for /route and vice versa.
 //
 // The whole batch shares ONE deadline (RequestTimeout from request
 // start) and the request context: however many queries a batch packs,
@@ -573,20 +651,32 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) error 
 		if q.Budget <= 0 || math.IsNaN(q.Budget) || math.IsInf(q.Budget, 0) {
 			return badRequest("queries[%d]: budget_s must be a positive number of seconds", i)
 		}
+		if q.Depart < 0 || math.IsNaN(q.Depart) || math.IsInf(q.Depart, 0) {
+			return badRequest("queries[%d]: depart_s must be a non-negative number of seconds since midnight", i)
+		}
 	}
 
-	epoch := s.backend.ModelEpoch()
-	s.routes.AdvanceEpoch(epoch)
+	// Advance every slice cache touched by the batch to its slice's
+	// serving epoch once, up front.
+	touched := make(map[int]bool)
+	for _, q := range req.Queries {
+		touched[s.backend.SliceOf(q.Depart)] = true
+	}
+	for slice := range touched {
+		s.routes[slice].AdvanceEpoch(s.backend.SliceEpoch(slice))
+	}
 
 	out := &batchResponse{Results: make([]batchItemResponse, len(req.Queries))}
 	var misses []routing.BatchQuery
 	var missIdx []int
 	for i, q := range req.Queries {
 		src, dst := graph.VertexID(q.Source), graph.VertexID(q.Dest)
+		slice := s.backend.SliceOf(q.Depart)
 		resp := &out.Results[i].routeResponse
 		resp.Source, resp.Dest, resp.Budget = src, dst, q.Budget
+		resp.Depart, resp.Slice = q.Depart, slice
 		key := routeKey{src: src, dst: dst, bucket: s.bucketOf(q.Budget)}
-		if entry, ok := s.routes.Get(key); ok {
+		if entry, ok := s.routes[slice].Get(key); ok {
 			resp.Found = true
 			resp.Complete = true
 			resp.Prob = entry.dist.CDF(q.Budget)
@@ -600,7 +690,7 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) error 
 		misses = append(misses, routing.BatchQuery{
 			Source: src,
 			Dest:   dst,
-			Opts:   routing.Options{Budget: q.Budget, Deadline: start.Add(s.cfg.RequestTimeout)},
+			Opts:   routing.Options{Budget: q.Budget, Departure: q.Depart, Deadline: start.Add(s.cfg.RequestTimeout)},
 		})
 		missIdx = append(missIdx, i)
 	}
@@ -621,8 +711,9 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) error 
 			res := item.Result
 			if res.Found && res.Complete {
 				key := routeKey{src: q.Source, dst: q.Dest, bucket: s.bucketOf(q.Opts.Budget)}
-				s.routes.PutAt(key, routeEntry{path: res.Path, dist: res.Dist, epoch: res.ModelEpoch}, res.ModelEpoch)
+				s.routes[res.Slice].PutAt(key, routeEntry{path: res.Path, dist: res.Dist, epoch: res.ModelEpoch}, res.ModelEpoch)
 			}
+			resp.Slice = res.Slice
 			resp.Found = res.Found
 			resp.Complete = res.Complete
 			resp.Prob = res.Prob
@@ -720,6 +811,8 @@ func (s *Server) handleAlternatives(w http.ResponseWriter, r *http.Request) erro
 type pairSumResponse struct {
 	First       graph.EdgeID `json:"first"`
 	Second      graph.EdgeID `json:"second"`
+	Depart      float64      `json:"depart_s,omitempty"`
+	Slice       int          `json:"slice,omitempty"`
 	Min         float64      `json:"min_s"`
 	Width       float64      `json:"width_s"`
 	P           []float64    `json:"p"`
@@ -740,19 +833,26 @@ func (s *Server) handlePairSum(w http.ResponseWriter, r *http.Request) error {
 	if first < 0 || first >= g.NumEdges() || second < 0 || second >= g.NumEdges() {
 		return badRequest("first/second: edge IDs must be in [0, %d)", g.NumEdges())
 	}
-	// Pair sums depend on the model too: tag entries with the epoch
-	// observed before computing. The model that actually answers is at
-	// least that new, so a tag admitted as current is never stale.
-	epoch := s.backend.ModelEpoch()
-	s.pairs.AdvanceEpoch(epoch)
+	depart, err := s.departParam(r)
+	if err != nil {
+		return err
+	}
+	// Pair sums depend on the slice's model too: tag entries with the
+	// slice epoch observed before computing. The model that actually
+	// answers is at least that new, so a tag admitted as current is
+	// never stale.
+	slice := s.backend.SliceOf(depart)
+	epoch := s.backend.SliceEpoch(slice)
+	cache := s.pairs[slice]
+	cache.AdvanceEpoch(epoch)
 	key := pairKey{first: graph.EdgeID(first), second: graph.EdgeID(second)}
-	h, cached := s.pairs.Get(key)
+	h, cached := cache.Get(key)
 	if !cached {
-		h, err = s.backend.PairSum(key.first, key.second)
+		h, err = s.backend.PairSumAt(slice, key.first, key.second)
 		if err != nil {
 			return badRequest("%v", err)
 		}
-		s.pairs.PutAt(key, h, epoch)
+		cache.PutAt(key, h, epoch)
 	}
 	if cached {
 		w.Header().Set("X-Cache", "hit")
@@ -762,6 +862,8 @@ func (s *Server) handlePairSum(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, &pairSumResponse{
 		First:       key.first,
 		Second:      key.second,
+		Depart:      depart,
+		Slice:       slice,
 		Min:         h.Min,
 		Width:       h.Width,
 		P:           h.P,
@@ -777,6 +879,11 @@ type sampleQuery struct {
 	Dest        graph.VertexID `json:"dest"`
 	DistKm      float64        `json:"dist_km"`
 	OptimisticS float64        `json:"optimistic_s"`
+	// Depart echoes the request's depart parameter (with its slice), so
+	// a load generator can sample one workload per time-of-day slice
+	// and replay the queries against the matching slice.
+	Depart float64 `json:"depart_s,omitempty"`
+	Slice  int     `json:"slice,omitempty"`
 }
 
 type sampleResponse struct {
@@ -788,6 +895,10 @@ type sampleResponse struct {
 // (cmd/loadgen) can derive realistic budgets without the graph.
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
 	n, err := intParam(r, "n", 32)
+	if err != nil {
+		return err
+	}
+	depart, err := s.departParam(r)
 	if err != nil {
 		return err
 	}
@@ -824,6 +935,8 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
 			Dest:        q.Dest,
 			DistKm:      q.DistKm,
 			OptimisticS: opt,
+			Depart:      depart,
+			Slice:       s.backend.SliceOf(depart),
 		})
 	}
 	return writeJSON(w, out)
@@ -832,10 +945,13 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) error {
 // --- ingestion -------------------------------------------------------
 
 // ingestTrajectory is one trip in a POST /ingest body: a contiguous
-// edge sequence with the observed per-edge travel times.
+// edge sequence with the observed per-edge travel times and an
+// optional departure timestamp (seconds since midnight, default 0)
+// that buckets the trip into its time-of-day slice.
 type ingestTrajectory struct {
-	Edges []graph.EdgeID `json:"edges"`
-	Times []float64      `json:"times"`
+	Edges  []graph.EdgeID `json:"edges"`
+	Times  []float64      `json:"times"`
+	Depart float64        `json:"depart"`
 }
 
 type ingestRequest struct {
@@ -863,7 +979,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 	}
 	trs := make([]traj.Trajectory, len(req.Trajectories))
 	for i, tr := range req.Trajectories {
-		trs[i] = traj.Trajectory{Edges: tr.Edges, Times: tr.Times}
+		trs[i] = traj.Trajectory{Edges: tr.Edges, Times: tr.Times, Departure: tr.Depart}
 	}
 	accepted, rejected := s.cfg.Ingestor.Ingest(trs)
 	st := s.cfg.Ingestor.Status()
@@ -878,21 +994,27 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 // --- health and stats ------------------------------------------------
 
 type healthResponse struct {
-	Status     string  `json:"status"`
-	Vertices   int     `json:"vertices"`
-	Edges      int     `json:"edges"`
-	ModelEpoch uint64  `json:"model_epoch"`
-	UptimeS    float64 `json:"uptime_s"`
+	Status     string `json:"status"`
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+	ModelEpoch uint64 `json:"model_epoch"`
+	// Slices is the time-of-day slice count of the serving cost model;
+	// SliceEpochs is each slice's serving generation, indexed by slice.
+	Slices      int      `json:"slices"`
+	SliceEpochs []uint64 `json:"slice_epochs"`
+	UptimeS     float64  `json:"uptime_s"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 	g := s.backend.Graph()
 	return writeJSON(w, &healthResponse{
-		Status:     "ok",
-		Vertices:   g.NumVertices(),
-		Edges:      g.NumEdges(),
-		ModelEpoch: s.backend.ModelEpoch(),
-		UptimeS:    time.Since(s.started).Seconds(),
+		Status:      "ok",
+		Vertices:    g.NumVertices(),
+		Edges:       g.NumEdges(),
+		ModelEpoch:  s.backend.ModelEpoch(),
+		Slices:      s.backend.NumSlices(),
+		SliceEpochs: s.backend.SliceEpochs(),
+		UptimeS:     time.Since(s.started).Seconds(),
 	})
 }
 
@@ -902,31 +1024,74 @@ type endpointStatsResponse struct {
 }
 
 type statsResponse struct {
-	UptimeS    float64                          `json:"uptime_s"`
-	Inflight   int64                            `json:"inflight"`
-	ModelEpoch uint64                           `json:"model_epoch"`
-	Endpoints  map[string]endpointStatsResponse `json:"endpoints"`
-	RouteCache CacheStats                       `json:"route_cache"`
-	PairCache  CacheStats                       `json:"pair_cache"`
-	Convolved  uint64                           `json:"convolved_total"`
-	Estimated  uint64                           `json:"estimated_total"`
+	UptimeS    float64 `json:"uptime_s"`
+	Inflight   int64   `json:"inflight"`
+	ModelEpoch uint64  `json:"model_epoch"`
+	// Slices is the time-of-day slice count; SliceEpochs each slice's
+	// serving generation (a per-slice hot swap advances exactly one
+	// entry).
+	Slices      int                              `json:"slices"`
+	SliceEpochs []uint64                         `json:"slice_epochs"`
+	Endpoints   map[string]endpointStatsResponse `json:"endpoints"`
+	// RouteCache / PairCache aggregate across slices; the per-slice
+	// breakdowns show which slice's cache a swap invalidated.
+	RouteCache       CacheStats   `json:"route_cache"`
+	PairCache        CacheStats   `json:"pair_cache"`
+	RouteCacheSlices []CacheStats `json:"route_cache_slices,omitempty"`
+	PairCacheSlices  []CacheStats `json:"pair_cache_slices,omitempty"`
+	Convolved        uint64       `json:"convolved_total"`
+	Estimated        uint64       `json:"estimated_total"`
 	// Ingest reports the write path's counters (absent when ingestion
-	// is disabled); LastSwapUnixMS within it is the time of the last
-	// model hot swap.
+	// is disabled), including its per-slice drift/rebuild breakdown;
+	// LastSwapUnixMS within it is the time of the last model hot swap.
 	Ingest *ingest.Status `json:"ingest,omitempty"`
+}
+
+// sumCacheStats aggregates per-slice cache stats; Epoch reports the
+// newest slice epoch.
+func sumCacheStats(caches []*ShardedLRU[routeKey, routeEntry], pairs []*ShardedLRU[pairKey, *hist.Hist]) (route, pair CacheStats, routeSlices, pairSlices []CacheStats) {
+	fold := func(total *CacheStats, s CacheStats) {
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.Evictions += s.Evictions
+		total.Invalidations += s.Invalidations
+		total.Entries += s.Entries
+		total.Capacity += s.Capacity
+		if s.Epoch > total.Epoch {
+			total.Epoch = s.Epoch
+		}
+	}
+	routeSlices = make([]CacheStats, len(caches))
+	for i, c := range caches {
+		routeSlices[i] = c.Stats()
+		fold(&route, routeSlices[i])
+	}
+	pairSlices = make([]CacheStats, len(pairs))
+	for i, c := range pairs {
+		pairSlices[i] = c.Stats()
+		fold(&pair, pairSlices[i])
+	}
+	return route, pair, routeSlices, pairSlices
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	conv, est := s.backend.DecisionCounts()
+	routeStats, pairStats, routeSlices, pairSlices := sumCacheStats(s.routes, s.pairs)
 	out := &statsResponse{
-		UptimeS:    time.Since(s.started).Seconds(),
-		Inflight:   s.inflight.Load(),
-		ModelEpoch: s.backend.ModelEpoch(),
-		Endpoints:  make(map[string]endpointStatsResponse, len(s.stats)),
-		RouteCache: s.routes.Stats(),
-		PairCache:  s.pairs.Stats(),
-		Convolved:  conv,
-		Estimated:  est,
+		UptimeS:     time.Since(s.started).Seconds(),
+		Inflight:    s.inflight.Load(),
+		ModelEpoch:  s.backend.ModelEpoch(),
+		Slices:      s.backend.NumSlices(),
+		SliceEpochs: s.backend.SliceEpochs(),
+		Endpoints:   make(map[string]endpointStatsResponse, len(s.stats)),
+		RouteCache:  routeStats,
+		PairCache:   pairStats,
+		Convolved:   conv,
+		Estimated:   est,
+	}
+	if s.backend.NumSlices() > 1 {
+		out.RouteCacheSlices = routeSlices
+		out.PairCacheSlices = pairSlices
 	}
 	if s.cfg.Ingestor != nil {
 		st := s.cfg.Ingestor.Status()

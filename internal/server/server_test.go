@@ -22,12 +22,18 @@ import (
 )
 
 // fakeBackend is a deterministic, trivially cheap Backend: routes are
-// synthesised from the query endpoints and the current model epoch, so
-// handler behaviour (parsing, caching, epoch invalidation, stats) can
-// be asserted exactly and the search count observed.
+// synthesised from the query endpoints, the serving slice and its
+// current epoch, so handler behaviour (parsing, caching, per-slice
+// epoch invalidation, stats) can be asserted exactly and the search
+// count observed. slices <= 1 models the classic time-homogeneous
+// backend; with more slices each slice gets an independent epoch
+// counter (bumpSlice) and answers shifted by 1000s per slice so
+// cross-slice mixups are unmistakable.
 type fakeBackend struct {
 	g          *graph.Graph
 	epoch      atomic.Uint64
+	slices     int
+	sliceTicks []atomic.Uint64 // extra epoch bumps per slice
 	routeCalls atomic.Int64
 	pairCalls  atomic.Int64
 	// completeOver marks searches as cut off (Complete=false) whenever
@@ -35,7 +41,9 @@ type fakeBackend struct {
 	completeOver time.Duration
 }
 
-func newFakeBackend(t testing.TB) *fakeBackend {
+func newFakeBackend(t testing.TB) *fakeBackend { return newFakeBackendSlices(t, 1) }
+
+func newFakeBackendSlices(t testing.TB, slices int) *fakeBackend {
 	t.Helper()
 	cfg := netgen.DefaultConfig()
 	cfg.Rows, cfg.Cols = 6, 6
@@ -45,22 +53,49 @@ func newFakeBackend(t testing.TB) *fakeBackend {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fb := &fakeBackend{g: g}
+	if slices < 1 {
+		slices = 1
+	}
+	fb := &fakeBackend{g: g, slices: slices, sliceTicks: make([]atomic.Uint64, slices)}
 	fb.epoch.Store(1)
 	return fb
 }
 
 // distFor is the deterministic travel-time distribution of a fake
 // route at the given model epoch: uniform mass on four buckets
-// starting at src+dst+10 seconds, shifted 100s per epoch so answers
-// from different model generations are unmistakable.
-func (f *fakeBackend) distFor(src, dst graph.VertexID, epoch uint64) *hist.Hist {
-	return hist.Uniform(float64(src+dst)+10+100*float64(epoch-1), 5, 4)
+// starting at src+dst+10 seconds, shifted 100s per epoch and 1000s
+// per slice so answers from different model generations and slices
+// are unmistakable.
+func (f *fakeBackend) distFor(src, dst graph.VertexID, epoch uint64, slice int) *hist.Hist {
+	return hist.Uniform(float64(src+dst)+10+100*float64(epoch-1)+1000*float64(slice), 5, 4)
 }
 
 func (f *fakeBackend) Graph() *graph.Graph { return f.g }
 
 func (f *fakeBackend) ModelEpoch() uint64 { return f.epoch.Load() }
+
+func (f *fakeBackend) NumSlices() int { return f.slices }
+
+func (f *fakeBackend) SliceOf(depart float64) int { return traj.SliceIndex(depart, f.slices) }
+
+func (f *fakeBackend) SliceEpoch(slice int) uint64 {
+	if slice < 0 || slice >= f.slices {
+		slice = 0
+	}
+	return f.epoch.Load() + f.sliceTicks[slice].Load()
+}
+
+func (f *fakeBackend) SliceEpochs() []uint64 {
+	out := make([]uint64, f.slices)
+	for i := range out {
+		out[i] = f.SliceEpoch(i)
+	}
+	return out
+}
+
+// bumpSlice advances one slice's epoch only — the fake analogue of a
+// per-slice hot swap.
+func (f *fakeBackend) bumpSlice(slice int) { f.sliceTicks[slice].Add(1) }
 
 func (f *fakeBackend) NearestVertex(lat, lon float64) graph.VertexID {
 	return 0
@@ -68,8 +103,9 @@ func (f *fakeBackend) NearestVertex(lat, lon float64) graph.VertexID {
 
 func (f *fakeBackend) RouteWithOptions(src, dst graph.VertexID, opts routing.Options) (*routing.Result, error) {
 	f.routeCalls.Add(1)
-	epoch := f.epoch.Load()
-	d := f.distFor(src, dst, epoch)
+	slice := f.SliceOf(opts.Departure)
+	epoch := f.SliceEpoch(slice)
+	d := f.distFor(src, dst, epoch, slice)
 	complete := f.completeOver == 0 || opts.MaxDuration >= f.completeOver
 	return &routing.Result{
 		Path:         []graph.EdgeID{graph.EdgeID(src), graph.EdgeID(dst)},
@@ -81,16 +117,17 @@ func (f *fakeBackend) RouteWithOptions(src, dst graph.VertexID, opts routing.Opt
 		NumConvolved: 2,
 		NumEstimated: 1,
 		ModelEpoch:   epoch,
+		Slice:        slice,
 	}, nil
 }
 
 // RouteBatch mirrors the engine's contract: item i answers queries[i],
-// all against the epoch observed once at batch start, stamped on every
-// item.
+// all against one snapshot, each stamped with its serving slice's
+// epoch.
 func (f *fakeBackend) RouteBatch(ctx context.Context, queries []routing.BatchQuery, workers int) []routing.BatchItem {
-	epoch := f.epoch.Load()
 	out := make([]routing.BatchItem, len(queries))
 	for i, q := range queries {
+		epoch := f.SliceEpoch(f.SliceOf(q.Opts.Departure))
 		if err := ctx.Err(); err != nil {
 			out[i] = routing.BatchItem{Err: err, Epoch: epoch}
 			continue
@@ -103,16 +140,16 @@ func (f *fakeBackend) RouteBatch(ctx context.Context, queries []routing.BatchQue
 
 func (f *fakeBackend) AlternativeRoutes(src, dst graph.VertexID, horizon float64, maxRoutes int) ([]routing.ParetoRoute, error) {
 	return []routing.ParetoRoute{
-		{Path: []graph.EdgeID{0, 1}, Dist: f.distFor(src, dst, f.epoch.Load())},
+		{Path: []graph.EdgeID{0, 1}, Dist: f.distFor(src, dst, f.epoch.Load(), 0)},
 	}, nil
 }
 
-func (f *fakeBackend) PairSum(first, second graph.EdgeID) (*hist.Hist, error) {
+func (f *fakeBackend) PairSumAt(slice int, first, second graph.EdgeID) (*hist.Hist, error) {
 	f.pairCalls.Add(1)
 	if f.g.Edge(first).To != f.g.Edge(second).From {
 		return nil, fmt.Errorf("edges %d and %d are not adjacent", first, second)
 	}
-	return hist.Uniform(float64(first+second)+4, 2, 3), nil
+	return hist.Uniform(float64(first+second)+4+1000*float64(slice), 2, 3), nil
 }
 
 func (f *fakeBackend) OptimisticTime(src, dst graph.VertexID) (float64, error) {
@@ -158,7 +195,7 @@ func TestRouteEndpointAndCache(t *testing.T) {
 	if body["found"] != true || body["complete"] != true || body["cached"] != false {
 		t.Errorf("unexpected body %v", body)
 	}
-	wantProb := fb.distFor(1, 2, 1).CDF(100)
+	wantProb := fb.distFor(1, 2, 1, 0).CDF(100)
 	if got := body["prob"].(float64); got != wantProb {
 		t.Errorf("prob = %v, want %v", got, wantProb)
 	}
@@ -172,7 +209,7 @@ func TestRouteEndpointAndCache(t *testing.T) {
 	if body["cached"] != true {
 		t.Errorf("cached flag missing: %v", body)
 	}
-	if got, want := body["prob"].(float64), fb.distFor(1, 2, 1).CDF(104); got != want {
+	if got, want := body["prob"].(float64), fb.distFor(1, 2, 1, 0).CDF(104); got != want {
 		t.Errorf("cached prob = %v, want exact recompute %v", got, want)
 	}
 	if calls := fb.routeCalls.Load(); calls != 1 {
@@ -401,7 +438,7 @@ func TestConcurrentHandlers(t *testing.T) {
 					errs <- err
 					return
 				}
-				want := fb.distFor(src, dst, 1).CDF(budget)
+				want := fb.distFor(src, dst, 1, 0).CDF(budget)
 				if !body.Found || body.Prob != want {
 					errs <- fmt.Errorf("route(%d,%d,%g) = %v, want prob %v", src, dst, budget, body, want)
 					return
@@ -444,10 +481,11 @@ type ingestTargetStub struct {
 	fb *fakeBackend
 }
 
-func (t *ingestTargetStub) Graph() *graph.Graph                  { return t.fb.g }
-func (t *ingestTargetStub) KnowledgeBase() *hybrid.KnowledgeBase { return nil }
-func (t *ingestTargetStub) ModelEpoch() uint64                   { return t.fb.epoch.Load() }
-func (t *ingestTargetStub) SwapModel(m *hybrid.Model, obs *traj.ObservationStore) (uint64, error) {
+func (t *ingestTargetStub) Graph() *graph.Graph                          { return t.fb.g }
+func (t *ingestTargetStub) NumSlices() int                               { return t.fb.NumSlices() }
+func (t *ingestTargetStub) SliceKnowledgeBase(int) *hybrid.KnowledgeBase { return nil }
+func (t *ingestTargetStub) ModelEpoch() uint64                           { return t.fb.epoch.Load() }
+func (t *ingestTargetStub) SwapSliceModel(slice int, m *hybrid.Model, obs *traj.ObservationStore) (uint64, error) {
 	return t.fb.epoch.Add(1), nil
 }
 
@@ -614,7 +652,7 @@ func TestCacheInvalidationAcrossHotSwap(t *testing.T) {
 				}
 				// The invariant: an answer stamped with epoch E must be
 				// epoch E's answer, cached or not.
-				want := fb.distFor(k.src, k.dst, body.ModelEpoch).CDF(k.budget)
+				want := fb.distFor(k.src, k.dst, body.ModelEpoch, 0).CDF(k.budget)
 				if body.Prob != want {
 					errs <- fmt.Errorf("epoch %d (cached=%v) prob %v, want %v",
 						body.ModelEpoch, body.Cached, body.Prob, want)
@@ -648,14 +686,208 @@ func TestCacheInvalidationAcrossHotSwap(t *testing.T) {
 		if body.ModelEpoch != 2 {
 			t.Errorf("%s: post-swap epoch %d, want 2", urlFor(k), body.ModelEpoch)
 		}
-		if want := fb.distFor(k.src, k.dst, 2).CDF(k.budget); body.Prob != want {
+		if want := fb.distFor(k.src, k.dst, 2, 0).CDF(k.budget); body.Prob != want {
 			t.Errorf("%s: post-swap prob %v, want %v", urlFor(k), body.Prob, want)
 		}
 	}
-	if inv := s.routes.Stats().Invalidations; inv == 0 {
+	if inv := s.routes[0].Stats().Invalidations; inv == 0 {
 		t.Error("swap should have invalidated pre-swap cache entries")
 	}
-	if epoch := s.routes.Epoch(); epoch != 2 {
+	if epoch := s.routes[0].Epoch(); epoch != 2 {
 		t.Errorf("route cache epoch = %d, want 2", epoch)
+	}
+}
+
+// TestRouteDepartSlices: the depart parameter must select the
+// time-of-day slice — separate cost models, separate caches, and
+// per-slice epoch invalidation that leaves the other slices' caches
+// warm.
+func TestRouteDepartSlices(t *testing.T) {
+	fb := newFakeBackendSlices(t, 4)
+	s := New(fb, Config{BudgetBucketSeconds: 15})
+	h := s.Handler()
+
+	// Slice 0 (depart 0) and slice 1 (depart 30000, inside
+	// [21600, 43200)) answer with distributions 1000s apart; a 100s
+	// budget separates them sharply.
+	_, body := get(t, h, "/route?source=1&dest=2&budget=100&depart=0")
+	if want := fb.distFor(1, 2, 1, 0).CDF(100); body["prob"].(float64) != want {
+		t.Errorf("slice 0 prob %v, want %v", body["prob"], want)
+	}
+	_, body = get(t, h, "/route?source=1&dest=2&budget=100&depart=30000")
+	if body["slice"] != float64(1) {
+		t.Errorf("depart 30000 served by slice %v, want 1", body["slice"])
+	}
+	if want := fb.distFor(1, 2, 1, 1).CDF(100); body["prob"].(float64) != want {
+		t.Errorf("slice 1 prob %v, want %v", body["prob"], want)
+	}
+	if calls := fb.routeCalls.Load(); calls != 2 {
+		t.Fatalf("backend searched %d times, want 2 (one per slice)", calls)
+	}
+
+	// Same queries again: each slice hits its own cache.
+	for _, depart := range []string{"0", "30000"} {
+		rec, _ := get(t, h, "/route?source=1&dest=2&budget=100&depart="+depart)
+		if rec.Header().Get("X-Cache") != "hit" {
+			t.Errorf("depart %s: repeat should hit its slice cache", depart)
+		}
+	}
+	if calls := fb.routeCalls.Load(); calls != 2 {
+		t.Fatalf("cached repeats searched the backend: %d calls", calls)
+	}
+
+	// A hot swap of slice 1 invalidates ONLY slice 1's cache.
+	fb.bumpSlice(1)
+	rec, body := get(t, h, "/route?source=1&dest=2&budget=100&depart=30000")
+	if rec.Header().Get("X-Cache") != "miss" {
+		t.Error("slice 1 request after its swap should miss")
+	}
+	if body["model_epoch"] != float64(2) {
+		t.Errorf("post-swap slice 1 epoch %v, want 2", body["model_epoch"])
+	}
+	rec, _ = get(t, h, "/route?source=1&dest=2&budget=100&depart=0")
+	if rec.Header().Get("X-Cache") != "hit" {
+		t.Error("slice 0 cache must survive a slice 1 swap")
+	}
+	if calls := fb.routeCalls.Load(); calls != 3 {
+		t.Fatalf("backend calls = %d, want 3", calls)
+	}
+
+	// Invalid departures are rejected.
+	for _, bad := range []string{"-5", "abc", "NaN"} {
+		rec, _ := get(t, h, "/route?source=1&dest=2&budget=100&depart="+bad)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("depart=%s: status %d, want 400", bad, rec.Code)
+		}
+	}
+
+	// /healthz reports the slice count and per-slice epochs.
+	_, health := get(t, h, "/healthz")
+	if health["slices"] != float64(4) {
+		t.Errorf("healthz slices = %v, want 4", health["slices"])
+	}
+	epochs := health["slice_epochs"].([]any)
+	if len(epochs) != 4 || epochs[1] != float64(2) || epochs[0] != float64(1) {
+		t.Errorf("healthz slice_epochs = %v, want [1 2 1 1]", epochs)
+	}
+
+	// /stats carries the same epochs plus per-slice cache stats.
+	_, stats := get(t, h, "/stats")
+	if stats["slices"] != float64(4) {
+		t.Errorf("stats slices = %v", stats["slices"])
+	}
+	if rcs, ok := stats["route_cache_slices"].([]any); !ok || len(rcs) != 4 {
+		t.Errorf("stats route_cache_slices = %v", stats["route_cache_slices"])
+	}
+}
+
+// TestBatchDepartSlices: one batch mixing departures routes each item
+// through its own slice (model + cache), interoperating with /route's
+// per-slice cache.
+func TestBatchDepartSlices(t *testing.T) {
+	fb := newFakeBackendSlices(t, 4)
+	s := New(fb, Config{BudgetBucketSeconds: 15})
+	h := s.Handler()
+
+	// Warm slice 1's cache through /route.
+	get(t, h, "/route?source=1&dest=2&budget=100&depart=30000")
+	warmCalls := fb.routeCalls.Load()
+
+	body := `{"queries":[
+		{"source":1,"dest":2,"budget_s":100},
+		{"source":1,"dest":2,"budget_s":100,"depart_s":30000},
+		{"source":3,"dest":4,"budget_s":100,"depart_s":50000}
+	]}`
+	req := httptest.NewRequest(http.MethodPost, "/route/batch", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Results []struct {
+			Slice  int     `json:"slice"`
+			Prob   float64 `json:"prob"`
+			Cached bool    `json:"cached"`
+		} `json:"results"`
+		CacheHits int `json:"cache_hits"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("%d results", len(resp.Results))
+	}
+	wantSlices := []int{0, 1, 2}
+	for i, r := range resp.Results {
+		if r.Slice != wantSlices[i] {
+			t.Errorf("item %d slice %d, want %d", i, r.Slice, wantSlices[i])
+		}
+	}
+	if !resp.Results[1].Cached || resp.CacheHits != 1 {
+		t.Errorf("item 1 should reuse /route's slice 1 entry (cached=%v hits=%d)",
+			resp.Results[1].Cached, resp.CacheHits)
+	}
+	if want := fb.distFor(1, 2, 1, 1).CDF(100); resp.Results[1].Prob != want {
+		t.Errorf("item 1 prob %v, want slice 1 answer %v", resp.Results[1].Prob, want)
+	}
+	if want := fb.distFor(3, 4, 1, 2).CDF(100); resp.Results[2].Prob != want {
+		t.Errorf("item 2 prob %v, want slice 2 answer %v", resp.Results[2].Prob, want)
+	}
+	// Two misses were searched (items 0 and 2).
+	if calls := fb.routeCalls.Load(); calls != warmCalls+2 {
+		t.Errorf("backend calls %d, want %d", calls, warmCalls+2)
+	}
+}
+
+// TestPairSumDepart: pair sums select and cache per slice too.
+func TestPairSumDepart(t *testing.T) {
+	fb := newFakeBackendSlices(t, 4)
+	s := New(fb, Config{})
+	h := s.Handler()
+	first, second := adjacentPair(t, fb.g)
+
+	url0 := fmt.Sprintf("/pairsum?first=%d&second=%d", first, second)
+	url1 := fmt.Sprintf("/pairsum?first=%d&second=%d&depart=30000", first, second)
+	_, b0 := get(t, h, url0)
+	_, b1 := get(t, h, url1)
+	if b1["mean_s"].(float64) != b0["mean_s"].(float64)+1000 {
+		t.Errorf("slice 1 pair mean %v, want %v+1000", b1["mean_s"], b0["mean_s"])
+	}
+	if b1["slice"] != float64(1) {
+		t.Errorf("pairsum slice = %v, want 1", b1["slice"])
+	}
+	rec, _ := get(t, h, url1)
+	if rec.Header().Get("X-Cache") != "hit" {
+		t.Error("repeat pairsum should hit the slice cache")
+	}
+	if calls := fb.pairCalls.Load(); calls != 2 {
+		t.Errorf("pair computed %d times, want 2", calls)
+	}
+}
+
+// TestSampleDepartEcho: /sample stamps the requested departure (and
+// its slice) on every returned query.
+func TestSampleDepartEcho(t *testing.T) {
+	fb := newFakeBackendSlices(t, 4)
+	s := New(fb, Config{})
+	h := s.Handler()
+	rec, _ := get(t, h, "/sample?n=3&depart=50000")
+	var resp struct {
+		Queries []struct {
+			Depart float64 `json:"depart_s"`
+			Slice  int     `json:"slice"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Queries) == 0 {
+		t.Fatal("no queries")
+	}
+	for i, q := range resp.Queries {
+		if q.Depart != 50000 || q.Slice != 2 {
+			t.Errorf("query %d: depart %v slice %d, want 50000 slice 2", i, q.Depart, q.Slice)
+		}
 	}
 }

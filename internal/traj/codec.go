@@ -11,18 +11,33 @@ import (
 	"stochroute/internal/graph"
 )
 
-// Binary trajectory file format ("SRT1") so cmd/gentraj output can feed
-// cmd/train and cmd/route:
+// Binary trajectory file formats, so cmd/gentraj output can feed
+// cmd/train, cmd/route and cmd/replay.
+//
+// SRT1 (legacy, time-homogeneous):
 //
 //	magic  [4]byte "SRT1"
 //	n      uint32  trajectory count
 //	per trajectory: m uint32; m × (edge uint32, time float64)
-var trajMagic = [4]byte{'S', 'R', 'T', '1'}
+//
+// SRT2 (temporal) prepends each trajectory with its departure
+// timestamp in seconds since local midnight:
+//
+//	magic  [4]byte "SRT2"
+//	n      uint32  trajectory count
+//	per trajectory: depart float64; m uint32; m × (edge uint32, time float64)
+//
+// WriteTrajectories always emits SRT2; ReadTrajectories accepts both,
+// giving SRT1 trips the zero departure (slice 0 of any partition).
+var (
+	trajMagicV1 = [4]byte{'S', 'R', 'T', '1'}
+	trajMagicV2 = [4]byte{'S', 'R', 'T', '2'}
+)
 
-// WriteTrajectories serialises trajectories.
+// WriteTrajectories serialises trajectories in the SRT2 format.
 func WriteTrajectories(w io.Writer, trs []Trajectory) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(trajMagic[:]); err != nil {
+	if _, err := bw.Write(trajMagicV2[:]); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(trs))); err != nil {
@@ -32,6 +47,12 @@ func WriteTrajectories(w io.Writer, trs []Trajectory) error {
 		tr := &trs[i]
 		if len(tr.Edges) != len(tr.Times) {
 			return fmt.Errorf("traj: trajectory %d has mismatched edges/times", i)
+		}
+		if math.IsNaN(tr.Departure) || math.IsInf(tr.Departure, 0) || tr.Departure < 0 {
+			return fmt.Errorf("traj: trajectory %d has invalid departure %v", i, tr.Departure)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, tr.Departure); err != nil {
+			return err
 		}
 		if err := binary.Write(bw, binary.LittleEndian, uint32(len(tr.Edges))); err != nil {
 			return err
@@ -49,15 +70,21 @@ func WriteTrajectories(w io.Writer, trs []Trajectory) error {
 }
 
 // ReadTrajectories deserialises trajectories written by
-// WriteTrajectories, validating edge IDs against g (pass nil to skip).
+// WriteTrajectories — either format generation — validating edge IDs
+// against g (pass nil to skip). SRT1 trips get departure 0.
 func ReadTrajectories(r io.Reader, g *graph.Graph) ([]Trajectory, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("traj: read magic: %w", err)
 	}
-	if magic != trajMagic {
-		return nil, errors.New("traj: bad magic (not an SRT1 file)")
+	temporal := false
+	switch magic {
+	case trajMagicV1:
+	case trajMagicV2:
+		temporal = true
+	default:
+		return nil, errors.New("traj: bad magic (not an SRT1/SRT2 file)")
 	}
 	var n uint32
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
@@ -68,6 +95,15 @@ func ReadTrajectories(r io.Reader, g *graph.Graph) ([]Trajectory, error) {
 	}
 	out := make([]Trajectory, 0, n)
 	for i := uint32(0); i < n; i++ {
+		var tr Trajectory
+		if temporal {
+			if err := binary.Read(br, binary.LittleEndian, &tr.Departure); err != nil {
+				return nil, fmt.Errorf("traj: trajectory %d departure: %w", i, err)
+			}
+			if math.IsNaN(tr.Departure) || math.IsInf(tr.Departure, 0) || tr.Departure < 0 {
+				return nil, fmt.Errorf("traj: trajectory %d has invalid departure %v", i, tr.Departure)
+			}
+		}
 		var m uint32
 		if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
 			return nil, fmt.Errorf("traj: trajectory %d length: %w", i, err)
@@ -75,10 +111,8 @@ func ReadTrajectories(r io.Reader, g *graph.Graph) ([]Trajectory, error) {
 		if m > 1<<20 {
 			return nil, fmt.Errorf("traj: implausible trajectory length %d", m)
 		}
-		tr := Trajectory{
-			Edges: make([]graph.EdgeID, m),
-			Times: make([]float64, m),
-		}
+		tr.Edges = make([]graph.EdgeID, m)
+		tr.Times = make([]float64, m)
 		for j := uint32(0); j < m; j++ {
 			var e uint32
 			if err := binary.Read(br, binary.LittleEndian, &e); err != nil {

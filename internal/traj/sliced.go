@@ -1,0 +1,111 @@
+package traj
+
+import (
+	"stochroute/internal/graph"
+)
+
+// SlicedObservations is the temporal observation aggregate: one
+// ObservationStore per time-of-day slice, all sharing the same road
+// graph and travel-time grid width (the shared edge grid), with
+// trajectories bucketed by their departure slice. K = 1 degenerates to
+// a single store holding everything — the classic time-homogeneous
+// aggregate.
+type SlicedObservations struct {
+	k      int
+	stores []*ObservationStore
+}
+
+// NewSlicedObservations returns an empty k-slice aggregate over g on
+// the given grid width. k < 2 yields the single-slice aggregate.
+func NewSlicedObservations(g *graph.Graph, width float64, k int) *SlicedObservations {
+	k = NumSlices(k)
+	so := &SlicedObservations{k: k, stores: make([]*ObservationStore, k)}
+	for i := range so.stores {
+		so.stores[i] = NewObservationStore(g, width)
+	}
+	return so
+}
+
+// K returns the number of time-of-day slices.
+func (so *SlicedObservations) K() int { return so.k }
+
+// Graph returns the road network the observations are over.
+func (so *SlicedObservations) Graph() *graph.Graph { return so.stores[0].Graph() }
+
+// Width returns the shared travel-time grid width.
+func (so *SlicedObservations) Width() float64 { return so.stores[0].Width }
+
+// Slice returns slice i's observation store.
+func (so *SlicedObservations) Slice(i int) *ObservationStore { return so.stores[i] }
+
+// ReplaceSlice swaps in a new store for slice i (the aggregate
+// age-out path). The caller owns synchronisation, as with every other
+// mutation.
+func (so *SlicedObservations) ReplaceSlice(i int, s *ObservationStore) { so.stores[i] = s }
+
+// SliceFor maps a departure timestamp to its slice index.
+func (so *SlicedObservations) SliceFor(depart float64) int { return SliceIndex(depart, so.k) }
+
+// Collect ingests trajectories, bucketing each by its departure slice.
+func (so *SlicedObservations) Collect(trs []Trajectory) {
+	if so.k == 1 {
+		so.stores[0].Collect(trs)
+		return
+	}
+	for _, bucket := range SplitBySlice(trs, so.k) {
+		if len(bucket) > 0 {
+			so.stores[SliceIndex(bucket[0].Departure, so.k)].Collect(bucket)
+		}
+	}
+}
+
+// Merge folds other's per-slice observations into so as append-only
+// updates (see ObservationStore.Merge). Both aggregates must have the
+// same slice count, graph and grid width.
+func (so *SlicedObservations) Merge(other *SlicedObservations) {
+	if other == nil {
+		return
+	}
+	for i := range so.stores {
+		so.stores[i].Merge(other.stores[i])
+	}
+}
+
+// Snapshot returns a point-in-time copy of every slice's store that
+// stays stable while the original keeps absorbing updates (see
+// ObservationStore.Snapshot for the aliasing contract).
+func (so *SlicedObservations) Snapshot() *SlicedObservations {
+	cp := &SlicedObservations{k: so.k, stores: make([]*ObservationStore, so.k)}
+	for i, s := range so.stores {
+		cp.stores[i] = s.Snapshot()
+	}
+	return cp
+}
+
+// NumEdgeObservations returns the total edge-traversal count across all
+// slices.
+func (so *SlicedObservations) NumEdgeObservations() int {
+	n := 0
+	for _, s := range so.stores {
+		n += s.NumEdgeObservations()
+	}
+	return n
+}
+
+// SplitBySlice partitions trajectories by departure slice under a
+// k-slice partition of the day. The result always has k buckets;
+// trajectory order within a bucket follows the input. The trajectories
+// are shared, not copied.
+func SplitBySlice(trs []Trajectory, k int) [][]Trajectory {
+	k = NumSlices(k)
+	out := make([][]Trajectory, k)
+	if k == 1 {
+		out[0] = trs
+		return out
+	}
+	for i := range trs {
+		s := SliceIndex(trs[i].Departure, k)
+		out[s] = append(out[s], trs[i])
+	}
+	return out
+}

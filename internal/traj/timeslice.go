@@ -1,0 +1,92 @@
+package traj
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DaySeconds is the length of the time-of-day cycle in seconds. Every
+// departure timestamp in the system is interpreted modulo this cycle.
+const DaySeconds = 86400.0
+
+// NumSlices normalises a slice-count configuration value: anything
+// below 2 means the time-homogeneous single-slice setup.
+func NumSlices(k int) int {
+	if k < 2 {
+		return 1
+	}
+	return k
+}
+
+// SliceIndex maps a departure time (seconds since local midnight; any
+// finite value is wrapped into [0, DaySeconds)) to its time-of-day
+// slice under a partition of the day into k equal slices. k < 2 always
+// yields slice 0 — the degenerate, time-homogeneous case.
+func SliceIndex(depart float64, k int) int {
+	k = NumSlices(k)
+	if k == 1 {
+		return 0
+	}
+	d := math.Mod(depart, DaySeconds)
+	if d < 0 {
+		d += DaySeconds
+	}
+	i := int(d / (DaySeconds / float64(k)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= k {
+		i = k - 1
+	}
+	return i
+}
+
+// SliceStart returns the start of slice i (seconds since midnight)
+// under a k-slice partition.
+func SliceStart(i, k int) float64 {
+	k = NumSlices(k)
+	return float64(i) * (DaySeconds / float64(k))
+}
+
+// SliceDuration returns the length of one slice in seconds under a
+// k-slice partition.
+func SliceDuration(k int) float64 { return DaySeconds / float64(NumSlices(k)) }
+
+// SliceMid returns the midpoint of slice i under a k-slice partition —
+// the canonical departure a tool uses to address "somewhere in slice i".
+func SliceMid(i, k int) float64 { return SliceStart(i, k) + SliceDuration(k)/2 }
+
+// PeakedSlicePriors builds a per-slice mode-prior table for
+// WorldConfig.SlicePriors: every slice keeps the base prior except the
+// peak slice, where a `shift` fraction of each non-terminal mode's mass
+// is moved onto the most congested (last) mode — the rush-hour profile.
+// peak < 0 returns k unmodified copies (a sliced but homogeneous world).
+func PeakedSlicePriors(base []float64, k, peak int, shift float64) ([][]float64, error) {
+	k = NumSlices(k)
+	if len(base) == 0 {
+		return nil, errors.New("traj: PeakedSlicePriors with empty base prior")
+	}
+	if peak >= k {
+		return nil, fmt.Errorf("traj: peak slice %d outside [0, %d)", peak, k)
+	}
+	if shift < 0 || shift >= 1 {
+		return nil, fmt.Errorf("traj: peak shift %v outside [0, 1)", shift)
+	}
+	out := make([][]float64, k)
+	for s := range out {
+		row := append([]float64(nil), base...)
+		if s == peak && shift > 0 && len(row) > 1 {
+			last := len(row) - 1
+			moved := 0.0
+			for i := 0; i < last; i++ {
+				m := row[i] * shift
+				row[i] -= m
+				moved += m
+			}
+			row[last] += moved
+		}
+		out[s] = row
+	}
+	return out, nil
+}

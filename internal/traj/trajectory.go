@@ -11,11 +11,22 @@ import (
 )
 
 // Trajectory is one simulated vehicle trip: a contiguous edge sequence
-// with the observed travel time of each edge.
+// with the observed travel time of each edge, departing at a
+// time-of-day timestamp.
 type Trajectory struct {
 	Edges []graph.EdgeID
 	Times []float64 // seconds, parallel to Edges
+
+	// Departure is the trip's start time in seconds since local
+	// midnight (wrapped into [0, DaySeconds) by consumers). Zero — the
+	// SRT1 legacy value — places the trip in slice 0 of any partition,
+	// so pre-temporal data keeps behaving exactly as before.
+	Departure float64
 }
+
+// Slice returns the time-of-day slice the trip departs in under a
+// k-slice partition of the day.
+func (t *Trajectory) Slice(k int) int { return SliceIndex(t.Departure, k) }
 
 // TotalTime returns the summed travel time of the trajectory.
 func (t *Trajectory) TotalTime() float64 {
@@ -45,8 +56,15 @@ func (t *Trajectory) Validate(g *graph.Graph) error {
 // intersection crossed between the previous edge and e (ignored when
 // prevMode < 0).
 func (w *World) SampleTraversal(r *rng.RNG, e graph.EdgeID, via graph.VertexID, prevMode int) (t float64, mode int) {
+	return w.SampleTraversalAt(r, e, via, prevMode, 0)
+}
+
+// SampleTraversalAt is SampleTraversal under the mode prior of the
+// given time-of-day slice (the trip's departure slice).
+func (w *World) SampleTraversalAt(r *rng.RNG, e graph.EdgeID, via graph.VertexID, prevMode, slice int) (t float64, mode int) {
+	prior := w.ModePriorAt(slice)
 	if prevMode < 0 {
-		mode = r.Categorical(w.cfg.ModePrior)
+		mode = r.Categorical(prior)
 	} else {
 		stick := 0.0
 		if w.depVertex[via] {
@@ -55,7 +73,7 @@ func (w *World) SampleTraversal(r *rng.RNG, e graph.EdgeID, via graph.VertexID, 
 		if r.Bool(stick) {
 			mode = prevMode
 		} else {
-			mode = r.Categorical(w.cfg.ModePrior)
+			mode = r.Categorical(prior)
 		}
 	}
 	t = w.ModeTime(e, mode)
@@ -90,6 +108,19 @@ type WalkConfig struct {
 	// RouteJitter is the multiplicative weight jitter range (default
 	// 0.25 → weights in [0.75, 1.25]) that makes pool routes diverse.
 	RouteJitter float64
+
+	// Slices partitions the day into this many equal time-of-day
+	// slices: each trip draws a departure slice (see SliceWeights), a
+	// uniform departure timestamp within it, and samples its travel
+	// times under that slice's world mode prior. 0 or 1 keeps the
+	// legacy behaviour bit-for-bit: every trip departs at 0 and no
+	// extra randomness is drawn.
+	Slices int
+	// SliceWeights optionally weights the departure-slice draw (length
+	// Slices; need not be normalised). Nil means uniform. A one-hot
+	// vector concentrates the whole stream in one slice — the shape of
+	// a rush-hour drift replay.
+	SliceWeights []float64
 }
 
 // DefaultWalkConfig generates enough trips to give most edge pairs
@@ -122,6 +153,35 @@ func GenerateTrajectories(w *World, cfg WalkConfig) ([]Trajectory, error) {
 	if cfg.RouteFraction < 0 || cfg.RouteFraction > 1 {
 		return nil, fmt.Errorf("traj: RouteFraction %v outside [0,1]", cfg.RouteFraction)
 	}
+	k := NumSlices(cfg.Slices)
+	var weights []float64
+	if k > 1 {
+		weights = cfg.SliceWeights
+		if weights == nil {
+			weights = make([]float64, k)
+			for i := range weights {
+				weights[i] = 1
+			}
+		}
+		if len(weights) != k {
+			return nil, fmt.Errorf("traj: %d slice weights for %d slices", len(weights), k)
+		}
+		total := 0.0
+		for _, wt := range weights {
+			if math.IsNaN(wt) || math.IsInf(wt, 0) || wt < 0 {
+				return nil, fmt.Errorf("traj: invalid slice weight %v", wt)
+			}
+			total += wt
+		}
+		if total <= 0 {
+			return nil, errors.New("traj: slice weights sum to zero")
+		}
+		norm := make([]float64, k)
+		for i, wt := range weights {
+			norm[i] = wt / total
+		}
+		weights = norm
+	}
 	g := w.g
 	if g.NumEdges() == 0 {
 		return nil, errors.New("traj: empty graph")
@@ -136,15 +196,26 @@ func GenerateTrajectories(w *World, cfg WalkConfig) ([]Trajectory, error) {
 	out := make([]Trajectory, 0, cfg.NumTrajectories)
 	const maxRetriesPerTrip = 200
 	for len(out) < cfg.NumTrajectories {
+		// The legacy (single-slice) path draws exactly the RNG sequence
+		// it always has; slice and departure draws only happen when the
+		// day is actually partitioned.
+		slice := 0
+		depart := 0.0
+		if k > 1 {
+			slice = r.Categorical(weights)
+			depart = r.Range(SliceStart(slice, k), SliceStart(slice, k)+SliceDuration(k))
+		}
 		if len(pool) > 0 && r.Bool(cfg.RouteFraction) {
 			route := pool[r.Intn(len(pool))]
-			out = append(out, traverseRoute(w, r, route))
+			tr := traverseRoute(w, r, route, slice)
+			tr.Departure = depart
+			out = append(out, tr)
 			continue
 		}
 		var tr Trajectory
 		ok := false
 		for attempt := 0; attempt < maxRetriesPerTrip; attempt++ {
-			tr = walkOnce(w, r, cfg)
+			tr = walkOnce(w, r, cfg, slice)
 			if len(tr.Edges) >= cfg.MinEdges {
 				ok = true
 				break
@@ -154,14 +225,15 @@ func GenerateTrajectories(w *World, cfg WalkConfig) ([]Trajectory, error) {
 			return out, fmt.Errorf("traj: could not complete a %d-edge walk after %d attempts",
 				cfg.MinEdges, maxRetriesPerTrip)
 		}
+		tr.Departure = depart
 		out = append(out, tr)
 	}
 	return out, nil
 }
 
 // traverseRoute samples travel times for a fixed edge sequence from the
-// latent-mode chain.
-func traverseRoute(w *World, r *rng.RNG, route []graph.EdgeID) Trajectory {
+// latent-mode chain under the departure slice's mode prior.
+func traverseRoute(w *World, r *rng.RNG, route []graph.EdgeID, slice int) Trajectory {
 	tr := Trajectory{
 		Edges: route,
 		Times: make([]float64, len(route)),
@@ -169,7 +241,7 @@ func traverseRoute(w *World, r *rng.RNG, route []graph.EdgeID) Trajectory {
 	prevMode := -1
 	for i, e := range route {
 		via := w.g.Edge(e).From
-		t, mode := w.SampleTraversal(r, e, via, prevMode)
+		t, mode := w.SampleTraversalAt(r, e, via, prevMode, slice)
 		tr.Times[i] = t
 		prevMode = mode
 	}
@@ -258,7 +330,7 @@ func shortestPath(g *graph.Graph, weights []float64, src, dst graph.VertexID) []
 	return out
 }
 
-func walkOnce(w *World, r *rng.RNG, cfg WalkConfig) Trajectory {
+func walkOnce(w *World, r *rng.RNG, cfg WalkConfig, slice int) Trajectory {
 	g := w.g
 	length := cfg.MinEdges + r.Intn(cfg.MaxEdges-cfg.MinEdges+1)
 	start := graph.VertexID(r.Intn(g.NumVertices()))
@@ -282,7 +354,7 @@ func walkOnce(w *World, r *rng.RNG, cfg WalkConfig) Trajectory {
 			candidates = outs
 		}
 		e := candidates[r.Intn(len(candidates))]
-		t, mode := w.SampleTraversal(r, e, cur, prevMode)
+		t, mode := w.SampleTraversalAt(r, e, cur, prevMode, slice)
 		tr.Edges = append(tr.Edges, e)
 		tr.Times = append(tr.Times, t)
 		prevMode = mode

@@ -39,6 +39,17 @@ type WorldConfig struct {
 	CategoryFactors map[graph.RoadCategory][]float64
 	// ModePrior is the stationary distribution over modes.
 	ModePrior []float64
+	// SlicePriors optionally makes the world time-of-day dependent: row
+	// s is the mode prior in effect for trips departing in slice s of a
+	// partition of the day into len(SlicePriors) equal slices (see
+	// SliceIndex). Shifting prior mass toward the congested modes in
+	// one slice synthesises a rush hour while the mode *times* stay
+	// shared across slices. Nil (or a single row equal to ModePrior)
+	// keeps the world time-homogeneous. Within one trip the prior of
+	// the departure slice applies throughout, so the latent chain stays
+	// stationary per trip and the per-slice analytic ground truths stay
+	// exact. Build peaked tables with PeakedSlicePriors.
+	SlicePriors [][]float64
 	// Stickiness is the probability that the congestion mode carries
 	// over when crossing a *dependent* intersection. 0 means modes are
 	// redrawn independently (no dependence); 1 means perfectly coupled.
@@ -125,6 +136,21 @@ func (c WorldConfig) Validate() error {
 			if f < 0.5 {
 				return fmt.Errorf("traj: category %v factor %v below 0.5", cat, f)
 			}
+		}
+	}
+	for s, prior := range c.SlicePriors {
+		if len(prior) != len(c.ModePrior) {
+			return fmt.Errorf("traj: slice %d prior has %d modes, want %d", s, len(prior), len(c.ModePrior))
+		}
+		total := 0.0
+		for _, p := range prior {
+			if p < 0 {
+				return fmt.Errorf("traj: slice %d has a negative mode prior", s)
+			}
+			total += p
+		}
+		if math.Abs(total-1) > 1e-9 {
+			return fmt.Errorf("traj: slice %d prior sums to %v, want 1", s, total)
 		}
 	}
 	if c.Stickiness < 0 || c.Stickiness > 1 {
@@ -218,6 +244,27 @@ func (w *World) Config() WorldConfig { return w.cfg }
 // NumModes returns the number of latent congestion modes.
 func (w *World) NumModes() int { return len(w.cfg.ModeFactors) }
 
+// NumSlices returns the number of time-of-day slices the world models
+// (1 for a time-homogeneous world).
+func (w *World) NumSlices() int {
+	if len(w.cfg.SlicePriors) == 0 {
+		return 1
+	}
+	return len(w.cfg.SlicePriors)
+}
+
+// ModePriorAt returns the stationary mode prior in effect for trips
+// departing in the given time-of-day slice. Slices outside the
+// configured range (including everything when SlicePriors is nil) fall
+// back to the global ModePrior, so slice 0 of a homogeneous world is
+// exactly the classic behaviour.
+func (w *World) ModePriorAt(slice int) []float64 {
+	if slice >= 0 && slice < len(w.cfg.SlicePriors) {
+		return w.cfg.SlicePriors[slice]
+	}
+	return w.cfg.ModePrior
+}
+
 // ModeTime returns the travel time of edge e in mode m.
 func (w *World) ModeTime(e graph.EdgeID, m int) float64 {
 	return w.modeTime[int(e)*w.NumModes()+m]
@@ -256,8 +303,13 @@ func (w *World) noisePMF() ([]int, []float64) {
 
 // EdgeMarginal returns the analytic marginal travel-time distribution of
 // edge e: the mode prior over mode times, convolved with traversal noise.
-func (w *World) EdgeMarginal(e graph.EdgeID) *hist.Hist {
+func (w *World) EdgeMarginal(e graph.EdgeID) *hist.Hist { return w.EdgeMarginalAt(e, 0) }
+
+// EdgeMarginalAt is EdgeMarginal under the mode prior of the given
+// time-of-day slice.
+func (w *World) EdgeMarginalAt(e graph.EdgeID, slice int) *hist.Hist {
 	width := w.cfg.BucketWidth
+	prior := w.ModePriorAt(slice)
 	offs, noiseP := w.noisePMF()
 	masses := make(map[int]float64)
 	loIdx, hiIdx := math.MaxInt32, math.MinInt32
@@ -265,7 +317,7 @@ func (w *World) EdgeMarginal(e graph.EdgeID) *hist.Hist {
 		base := int(math.Round(w.ModeTime(e, mode) / width))
 		for k, off := range offs {
 			idx := base + off
-			masses[idx] += w.cfg.ModePrior[mode] * noiseP[k]
+			masses[idx] += prior[mode] * noiseP[k]
 			if idx < loIdx {
 				loIdx = idx
 			}
@@ -281,13 +333,14 @@ func (w *World) EdgeMarginal(e graph.EdgeID) *hist.Hist {
 	return hist.New(float64(loIdx)*width, width, p)
 }
 
-// transition returns P(m2 | m1) across vertex v.
-func (w *World) transition(v graph.VertexID, m1, m2 int) float64 {
+// transition returns P(m2 | m1) across vertex v under the given
+// stationary prior (the departure slice's prior).
+func (w *World) transition(v graph.VertexID, m1, m2 int, prior []float64) float64 {
 	stick := 0.0
 	if w.depVertex[v] {
 		stick = w.cfg.Stickiness
 	}
-	p := (1 - stick) * w.cfg.ModePrior[m2]
+	p := (1 - stick) * prior[m2]
 	if m1 == m2 {
 		p += stick
 	}
@@ -297,12 +350,19 @@ func (w *World) transition(v graph.VertexID, m1, m2 int) float64 {
 // PairModeJoint returns the joint mode distribution J[m1][m2] of a
 // consecutive traversal of e1 then e2 through vertex via.
 func (w *World) PairModeJoint(via graph.VertexID) [][]float64 {
+	return w.PairModeJointAt(via, 0)
+}
+
+// PairModeJointAt is PairModeJoint under the mode prior of the given
+// time-of-day slice.
+func (w *World) PairModeJointAt(via graph.VertexID, slice int) [][]float64 {
 	m := w.NumModes()
+	prior := w.ModePriorAt(slice)
 	j := make([][]float64, m)
 	for m1 := 0; m1 < m; m1++ {
 		j[m1] = make([]float64, m)
 		for m2 := 0; m2 < m; m2++ {
-			j[m1][m2] = w.cfg.ModePrior[m1] * w.transition(via, m1, m2)
+			j[m1][m2] = prior[m1] * w.transition(via, m1, m2, prior)
 		}
 	}
 	return j
@@ -312,9 +372,15 @@ func (w *World) PairModeJoint(via graph.VertexID) [][]float64 {
 // T(e1) + T(e2) for a traversal of the pair through vertex via — the
 // quantity the paper's estimation model learns.
 func (w *World) PairJointSum(e1, e2 graph.EdgeID, via graph.VertexID) *hist.Hist {
+	return w.PairJointSumAt(e1, e2, via, 0)
+}
+
+// PairJointSumAt is PairJointSum under the mode prior of the given
+// time-of-day slice.
+func (w *World) PairJointSumAt(e1, e2 graph.EdgeID, via graph.VertexID, slice int) *hist.Hist {
 	width := w.cfg.BucketWidth
 	offs, noiseP := w.noisePMF()
-	joint := w.PairModeJoint(via)
+	joint := w.PairModeJointAt(via, slice)
 	masses := make(map[int]float64)
 	loIdx, hiIdx := math.MaxInt32, math.MinInt32
 	for m1 := 0; m1 < w.NumModes(); m1++ {
@@ -375,10 +441,18 @@ func (w *World) DependentPairFraction() float64 {
 // against. It returns an error if the edge sequence is not contiguous or
 // empty.
 func (w *World) PathTruth(edges []graph.EdgeID) (*hist.Hist, error) {
+	return w.PathTruthAt(edges, 0)
+}
+
+// PathTruthAt is PathTruth under the mode prior of the given
+// time-of-day slice: the oracle distribution of a trip departing in
+// that slice.
+func (w *World) PathTruthAt(edges []graph.EdgeID, slice int) (*hist.Hist, error) {
 	if len(edges) == 0 {
 		return nil, errors.New("traj: PathTruth on empty path")
 	}
 	width := w.cfg.BucketWidth
+	prior := w.ModePriorAt(slice)
 	offs, noiseP := w.noisePMF()
 	m := w.NumModes()
 
@@ -395,7 +469,7 @@ func (w *World) PathTruth(edges []graph.EdgeID) (*hist.Hist, error) {
 		p := make([]float64, 3)
 		lo := base - 1
 		for k, off := range offs {
-			p[off+1] += w.cfg.ModePrior[mode] * noiseP[k]
+			p[off+1] += prior[mode] * noiseP[k]
 		}
 		perMode[mode] = subDist{lo: lo, p: p}
 	}
@@ -422,7 +496,7 @@ func (w *World) PathTruth(edges []graph.EdgeID) (*hist.Hist, error) {
 		for m2 := 0; m2 < m; m2++ {
 			acc := make([]float64, mixedHi-mixedLo+1)
 			for m1 := 0; m1 < m; m1++ {
-				t := w.transition(via, m1, m2)
+				t := w.transition(via, m1, m2, prior)
 				if t == 0 {
 					continue
 				}

@@ -41,8 +41,13 @@ type (
 	Trajectory = traj.Trajectory
 	// ObservationStore is the trajectory-derived training data.
 	ObservationStore = traj.ObservationStore
+	// SlicedObservations buckets observations by time-of-day slice.
+	SlicedObservations = traj.SlicedObservations
 	// Model is the trained Hybrid Model (estimation + classifier).
 	Model = hybrid.Model
+	// ModelSet is the time-sliced cost model: one Model per
+	// time-of-day slice behind a single façade.
+	ModelSet = hybrid.ModelSet
 	// KnowledgeBase holds per-edge and per-pair statistics.
 	KnowledgeBase = hybrid.KnowledgeBase
 	// EvalReport records the KL-divergence model evaluation.
