@@ -247,6 +247,29 @@ func BenchmarkRoutingPBR(b *testing.B) {
 	}
 }
 
+// BenchmarkRoutingPBRTimeExpanded is BenchmarkRoutingPBR with
+// per-extension slice lookup engaged (on a 1-slice set, so the answer
+// is identical and the cost difference is pure mode overhead: one mean
+// computation per generated label plus the per-slice frontier keying).
+// The allocation count must stay within a few percent of
+// BenchmarkRoutingPBR — the mode adds arithmetic, not allocations.
+func BenchmarkRoutingPBRTimeExpanded(b *testing.B) {
+	s := getBenchSetup(b)
+	cats := exp.Categories(s.Scale)
+	q, budget := benchQuery(b, s, cats[len(cats)/2])
+	set := hybrid.SingleModelSet(s.Model)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.PBR(s.Graph, set.TimeExpandedCoster(0, nil), q.Source, q.Dest, routing.Options{
+			Budget:       budget,
+			TimeExpanded: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkParetoRoutes measures stochastic-skyline enumeration.
 func BenchmarkParetoRoutes(b *testing.B) {
 	s := getBenchSetup(b)

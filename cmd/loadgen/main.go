@@ -24,6 +24,13 @@
 // departure — the per-time-of-day-slice view of a temporally sliced
 // server. Works in both single and batch mode (a batch shares one
 // departure).
+//
+// With -expand every request (single or batch item) asks for
+// time-expanded routing (time_expanded=true): the server re-selects
+// the slice model per edge from departure + accumulated mean cost.
+// Time-expanded answers are never served from the route cache, so this
+// mode measures raw search throughput; combine with -departs to sweep
+// boundary-crossing departures.
 package main
 
 import (
@@ -106,6 +113,7 @@ func main() {
 	anytimeMS := flag.Int("anytime-ms", 0, "use /route/anytime with this wall-clock limit (0 = full /route)")
 	batch := flag.Int("batch", 0, "POST this many queries per request to /route/batch (0 = single GET /route calls)")
 	departsFlag := flag.String("departs", "", "comma-separated departure sweep (seconds since midnight); reports per-departure p50/p99 and hit rate")
+	expand := flag.Bool("expand", false, "request time-expanded routing (per-edge slice selection; bypasses the route cache)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 	if *n <= 0 || *c <= 0 || *numQueries <= 0 {
@@ -158,7 +166,7 @@ func main() {
 				}
 				if *batch > 0 {
 					t0 := time.Now()
-					items, itemHits, err := fireBatch(client, *addr, queries, rng, *batch, *factor, depart)
+					items, itemHits, err := fireBatch(client, *addr, queries, rng, *batch, *factor, depart, *expand)
 					results[i] = outcome{latency: time.Since(t0), items: items, itemHits: itemHits, departIdx: departIdx, err: err}
 					continue
 				}
@@ -171,6 +179,9 @@ func main() {
 				}
 				if departIdx >= 0 {
 					url += fmt.Sprintf("&depart=%.0f", depart)
+				}
+				if *expand {
+					url += "&time_expanded=true"
 				}
 				t0 := time.Now()
 				hit, err := fire(client, url)
@@ -259,22 +270,23 @@ func reportDepartSweep(departs []float64, results []outcome) {
 // batchQuery is one item of a /route/batch request body, mirroring the
 // server's schema.
 type batchQuery struct {
-	Source int     `json:"source"`
-	Dest   int     `json:"dest"`
-	Budget float64 `json:"budget_s"`
-	Depart float64 `json:"depart_s,omitempty"`
+	Source       int     `json:"source"`
+	Dest         int     `json:"dest"`
+	Budget       float64 `json:"budget_s"`
+	Depart       float64 `json:"depart_s,omitempty"`
+	TimeExpanded bool    `json:"time_expanded,omitempty"`
 }
 
 // fireBatch POSTs k randomly drawn queries to /route/batch (all
-// departing at depart) and reports the item count and per-item cache
-// hits.
-func fireBatch(client *http.Client, addr string, queries []sampleQuery, rng *rand.Rand, k int, factor, depart float64) (items, itemHits int, err error) {
+// departing at depart, time-expanded when expand is set) and reports
+// the item count and per-item cache hits.
+func fireBatch(client *http.Client, addr string, queries []sampleQuery, rng *rand.Rand, k int, factor, depart float64, expand bool) (items, itemHits int, err error) {
 	req := struct {
 		Queries []batchQuery `json:"queries"`
 	}{Queries: make([]batchQuery, k)}
 	for i := range req.Queries {
 		q := queries[rng.Intn(len(queries))]
-		req.Queries[i] = batchQuery{Source: q.Source, Dest: q.Dest, Budget: q.OptimisticS * factor, Depart: depart}
+		req.Queries[i] = batchQuery{Source: q.Source, Dest: q.Dest, Budget: q.OptimisticS * factor, Depart: depart, TimeExpanded: expand}
 	}
 	body, err := json.Marshal(req)
 	if err != nil {

@@ -42,7 +42,7 @@ func main() {
 	}
 	// Edge IDs and contiguity are validated server-side against the
 	// serving graph, so no local graph is needed.
-	trs, err := traj.ReadTrajectories(f, nil)
+	trs, err := traj.ReadTrajectoryStream(f, nil)
 	f.Close()
 	if err != nil {
 		log.Fatal(err)

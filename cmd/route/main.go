@@ -25,6 +25,24 @@ import (
 	"stochroute/internal/traj"
 )
 
+// summariseSlices compresses a per-edge slice sequence into run-length
+// form ("slice 2 x14 -> slice 3 x9") for display.
+func summariseSlices(seq []int) string {
+	var b strings.Builder
+	for i := 0; i < len(seq); {
+		j := i
+		for j < len(seq) && seq[j] == seq[i] {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteString(" -> ")
+		}
+		fmt.Fprintf(&b, "slice %d x%d", seq[i], j-i)
+		i = j
+	}
+	return b.String()
+}
+
 func parseLatLon(s string) (geo.Point, error) {
 	parts := strings.Split(s, ",")
 	if len(parts) != 2 {
@@ -56,6 +74,7 @@ func main() {
 	to := flag.String("to", "", "destination as lat,lon")
 	budget := flag.Float64("budget", 600, "time budget in seconds")
 	depart := flag.Float64("depart", 0, "departure time in seconds since midnight (selects the time-of-day slice of a sliced model)")
+	expand := flag.Bool("expand", false, "time-expanded routing: re-select the slice model per edge from departure + accumulated mean cost (long trips cross slice boundaries mid-search)")
 	limit := flag.Duration("limit", 0, "anytime wall-clock limit (0 = run to optimality)")
 	width := flag.Float64("width", 2, "histogram grid width in seconds")
 	minObs := flag.Int("min-obs", 20, "minimum pair observations")
@@ -86,7 +105,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	trs, err := traj.ReadTrajectories(tf, g)
+	trs, err := traj.ReadTrajectoryStream(tf, g)
 	tf.Close()
 	if err != nil {
 		log.Fatal(err)
@@ -101,18 +120,30 @@ func main() {
 		log.Fatal(err)
 	}
 	// The departure picks the serving slice; only that slice's
-	// knowledge base is rebuilt (from the trips departing in it).
+	// knowledge base is rebuilt (from the trips departing in it) —
+	// unless the search is time-expanded, in which case any slice may
+	// serve an edge and every slice's knowledge base is needed.
 	slice := set.SliceOf(*depart)
 	obs := traj.NewSlicedObservations(g, *width, set.K())
 	obs.Collect(trs)
-	kb, err := hybrid.BuildKnowledgeBase(g, obs.Slice(slice), *width, *minObs)
-	if err != nil {
-		log.Fatal(err)
+	rebuild := []int{slice}
+	if *expand {
+		rebuild = rebuild[:0]
+		for s := 0; s < set.K(); s++ {
+			rebuild = append(rebuild, s)
+		}
+	}
+	for _, s := range rebuild {
+		kb, err := hybrid.BuildKnowledgeBase(g, obs.Slice(s), *width, *minObs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := set.At(s).AttachKB(kb); err != nil {
+			log.Fatal(err)
+		}
 	}
 	model := set.At(slice)
-	if err := model.AttachKB(kb); err != nil {
-		log.Fatal(err)
-	}
+	kb := model.KB
 	if set.K() > 1 {
 		fmt.Printf("departure %.0fs -> time slice %d of %d\n", *depart, slice, set.K())
 	}
@@ -123,10 +154,15 @@ func main() {
 	fmt.Printf("source %v -> vertex %d %v\n", src, s, g.Point(s))
 	fmt.Printf("dest   %v -> vertex %d %v\n", dst, d, g.Point(d))
 
-	res, err := routing.PBR(g, model, s, d, routing.Options{
-		Budget:      *budget,
-		Departure:   *depart,
-		MaxDuration: *limit,
+	var coster hybrid.Coster = model
+	if *expand {
+		coster = set.TimeExpandedCoster(*depart, nil)
+	}
+	res, err := routing.PBR(g, coster, s, d, routing.Options{
+		Budget:       *budget,
+		Departure:    *depart,
+		TimeExpanded: *expand,
+		MaxDuration:  *limit,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -139,6 +175,9 @@ func main() {
 		res.Prob, len(res.Path), res.Dist.Mean())
 	fmt.Printf("  expansions = %d, labels = %d, runtime = %v, complete = %v\n",
 		res.Expansions, res.GeneratedLabels, res.Runtime.Round(time.Millisecond), res.Complete)
+	if len(res.SliceSeq) > 0 {
+		fmt.Printf("  slice sequence = %v\n", summariseSlices(res.SliceSeq))
+	}
 
 	basePath, baseMean, err := routing.MeanCostPath(g, kb, s, d)
 	if err == nil {

@@ -246,7 +246,7 @@ func loadEngine(netPath, trajPath, modelPath string, width float64, minObs int) 
 	if err != nil {
 		return nil, nil, err
 	}
-	trs, err := traj.ReadTrajectories(tf, g)
+	trs, err := traj.ReadTrajectoryStream(tf, g)
 	tf.Close()
 	if err != nil {
 		return nil, nil, err

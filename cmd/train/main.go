@@ -53,7 +53,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	trs, err := traj.ReadTrajectories(tf, g)
+	trs, err := traj.ReadTrajectoryStream(tf, g)
 	tf.Close()
 	if err != nil {
 		log.Fatal(err)

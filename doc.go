@@ -119,17 +119,70 @@
 //     writes byte-identical v1.
 //   - A query's RouteOptions.Departure selects the slice exactly once,
 //     before the (unchanged, allocation-free) PBR kernel runs; results
-//     are stamped with the slice and the slice's epoch.
-//   - Epochs are two-level: ModelEpoch is the global generation
-//     counter, SliceEpoch(s) the generation of one slice's model.
-//     Engine.SwapSliceModel — the unit internal/ingest publishes
-//     through when one slice's drift monitor fires — advances only
-//     that slice's epoch, so an AM-peak rebuild leaves the night
-//     model, its epoch and its caches untouched.
-//   - The serving layer takes depart= on /route, /route/batch, /sample
-//     and /pairsum, keeps one epoch-validated result cache per slice,
-//     and reports per-slice epochs and drift counters on /healthz and
-//     /stats.
+//     are stamped with the slice and the slice's epoch. Legacy SRT1
+//     trajectory files load with departure 0; concatenated recordings
+//     that mix codec generations stream through
+//     traj.ReadTrajectoryStream.
+//
+// # Time-expanded routing
+//
+// Departure-slice selection alone has a blind spot: a long rush-hour
+// trip keeps paying peak costs hours after congestion clears, because
+// one slice's model prices the whole trip. RouteOptions.TimeExpanded
+// closes it — when a search label is extended along an edge, the cost
+// model is re-selected from the slice at departure + the label's
+// accumulated mean cost (hybrid.TemporalCoster, implemented by the
+// ModelSet façade), so long trips transition from peak to off-peak
+// models mid-search. The machinery, layer by layer:
+//
+//   - internal/hybrid: ModelSet.TimeExpandedCoster returns a
+//     per-query hybrid.TemporalScratchCoster — per-extension slice
+//     selection layered on the unchanged allocation-free kernel
+//     contracts (ExtendElapsed / ExtendElapsedInto mirror Extend /
+//     ExtendInto bit for bit at elapsed 0).
+//   - internal/routing: labels carry their accumulated mean; dominance
+//     frontiers are partitioned by next-extension slice (labels facing
+//     different future models never compete); potentials use bounds
+//     admissible across every slice reachable within the search
+//     horizon; Result.SliceSeq reports the slice sequence of the
+//     chosen path. See the internal/routing package doc for the
+//     invariants.
+//   - Equivalence is proven, not hoped for: TimeExpanded=false — and
+//     TimeExpanded=true on a 1-slice engine, or for any trip whose
+//     horizon stays inside its departure slice — is bit-identical to
+//     the departure-slice path (route, probability, distribution,
+//     telemetry), and an accuracy test shows the time-expanded
+//     distribution strictly closer to the world's multi-slice path
+//     truth (traj.World.PathTruthExpanded) on boundary-crossing trips.
+//   - A time-expanded result carries the GLOBAL model epoch rather
+//     than one slice's (any reachable slice's model may have shaped
+//     it), and Engine.PathDistributionExpanded /
+//     TrueDistributionExpanded expose the same semantics for explicit
+//     paths.
+//
+// # Two-level epochs and per-slice caches
+//
+// Epochs are two-level: ModelEpoch is the global generation counter —
+// it bumps on every swap of anything — and SliceEpoch(s) is the global
+// epoch value at which slice s last swapped. Engine.SwapSliceModel —
+// the unit internal/ingest publishes through when one slice's drift
+// monitor fires — advances only that slice's epoch, so an AM-peak
+// rebuild leaves the night model, its epoch and its caches untouched;
+// SwapModelSet and LoadModel advance every slice at once. Every
+// RouteResult is stamped with the epoch that answered it: the slice's
+// epoch for departure-slice queries, the global epoch for
+// time-expanded ones.
+//
+// The serving layer (internal/server) leans on exactly that split: it
+// keeps one sharded LRU route cache and one pair-sum cache PER SLICE
+// (capacity total/K each), each validated against its own slice's
+// epoch, so a peak-slice swap invalidates only the peak caches in O(1)
+// while every other slice stays warm. Time-expanded answers are never
+// cached — they vary continuously with the exact departure and would
+// need global-epoch validation — so time_expanded=true requests always
+// measure raw search cost. depart= and time_expanded= are accepted on
+// /route, /route/anytime and per item on /route/batch; /healthz and
+// /stats report per-slice epochs, cache and drift counters.
 //
 // # Quick start
 //
@@ -143,6 +196,7 @@
 //	fmt.Printf("P(arrive within 10 min) = %.2f over %d edges\n",
 //	    res.Prob, len(res.Path))
 //
-// See the examples/ directory for runnable programs and DESIGN.md for
-// the system inventory and experiment index.
+// See README.md for the contributor-facing architecture overview and
+// command quickstart, the examples/ directory for runnable programs,
+// and cmd/experiments for the paper's evaluation tables.
 package stochroute

@@ -461,22 +461,45 @@ func (e *Engine) RouteWithOptions(source, dest VertexID, opts RouteOptions) (*Ro
 }
 
 // routeOnSnapshot answers one budget-routing query against an explicit
-// model snapshot: the single place where slice selection happens (once,
-// from Options.Departure, before the unchanged PBR kernel runs) and
-// where per-request decision telemetry and the slice/epoch stamps are
-// wired onto a result, shared by the single and batched query paths.
+// model snapshot: the single place where slice selection happens
+// (once, from Options.Departure, before the unchanged PBR kernel runs
+// — or per extension when Options.TimeExpanded is set) and where
+// per-request decision telemetry and the slice/epoch stamps are wired
+// onto a result, shared by the single and batched query paths.
 func (e *Engine) routeOnSnapshot(cur *modelSnapshot, source, dest VertexID, opts RouteOptions) (*RouteResult, error) {
 	slice := cur.set.SliceOf(opts.Departure)
 	var qs hybrid.QueryStats
-	res, err := routing.PBR(e.graph, cur.set.At(slice).WithStats(&qs), source, dest, opts)
+	var coster hybrid.Coster
+	if opts.TimeExpanded {
+		// The temporal coster re-selects the slice model per extension;
+		// on a 1-slice set (or a trip that never leaves its departure
+		// slice) it is bit-identical to the departure-slice coster.
+		coster = cur.set.TimeExpandedCoster(opts.Departure, &qs)
+	} else {
+		coster = cur.set.At(slice).WithStats(&qs)
+	}
+	res, err := routing.PBR(e.graph, coster, source, dest, opts)
 	if err != nil {
 		return nil, err
 	}
 	res.NumConvolved = qs.Convolved
 	res.NumEstimated = qs.Estimated
-	res.ModelEpoch = cur.sliceEpochs[slice]
+	res.ModelEpoch = cur.epochFor(slice, opts)
 	res.Slice = slice
 	return res, nil
+}
+
+// epochFor is the generation stamped on a query's result: the serving
+// slice's epoch normally, but the GLOBAL epoch for a time-expanded
+// query — such a search may consult any slice within its horizon, so
+// only the global counter conservatively identifies every model that
+// could have shaped the answer. For a 1-slice engine the two are
+// always equal.
+func (s *modelSnapshot) epochFor(slice int, opts RouteOptions) uint64 {
+	if opts.TimeExpanded {
+		return s.epoch
+	}
+	return s.sliceEpochs[slice]
 }
 
 // RouteBatch answers many budget-routing queries as one unit: every
@@ -520,7 +543,7 @@ func (e *Engine) RouteBatch(ctx context.Context, queries []routing.BatchQuery, w
 					return
 				}
 				q := queries[i]
-				epoch := cur.sliceEpochs[cur.set.SliceOf(q.Opts.Departure)]
+				epoch := cur.epochFor(cur.set.SliceOf(q.Opts.Departure), q.Opts)
 				if err := ctx.Err(); err != nil {
 					out[i] = routing.BatchItem{Err: err, Epoch: epoch}
 					continue
@@ -583,6 +606,16 @@ func (e *Engine) PathDistributionAt(depart float64, edges []EdgeID) (*Hist, erro
 	return hybrid.PathCost(cur.set.At(cur.set.SliceOf(depart)), edges)
 }
 
+// PathDistributionExpanded is PathDistribution under time-expanded
+// slice selection: each edge of the path is costed by the serving
+// model of the slice the trip's accumulated mean cost has reached —
+// how a RouteOptions.TimeExpanded search would cost the same path. It
+// also returns the per-edge slice sequence (slices[i] costed
+// edges[i]). For a 1-slice engine it is identical to PathDistribution.
+func (e *Engine) PathDistributionExpanded(depart float64, edges []EdgeID) (*Hist, []int, error) {
+	return hybrid.PathCostElapsed(e.current.Load().set.TimeExpandedCoster(depart, nil), edges)
+}
+
 // ConvolutionDistribution computes the same path's distribution under
 // the independence assumption — the baseline the paper improves on.
 func (e *Engine) ConvolutionDistribution(edges []EdgeID) (*Hist, error) {
@@ -597,6 +630,18 @@ func (e *Engine) TrueDistribution(edges []EdgeID) (*Hist, error) {
 		return nil, errors.New("stochroute: engine has no ground-truth world")
 	}
 	return e.world.PathTruth(edges)
+}
+
+// TrueDistributionExpanded returns the oracle distribution of a path
+// whose trip crosses time-of-day slice boundaries: the world's
+// time-expanded path truth for a departure at depart seconds since
+// midnight (see traj.World.PathTruthExpanded), plus the per-edge slice
+// sequence the oracle traversed. Errors for engines without a world.
+func (e *Engine) TrueDistributionExpanded(depart float64, edges []EdgeID) (*Hist, []int, error) {
+	if e.world == nil {
+		return nil, nil, errors.New("stochroute: engine has no ground-truth world")
+	}
+	return e.world.PathTruthExpanded(depart, edges)
 }
 
 // SampleQueries draws n routing queries whose straight-line distance

@@ -1,0 +1,90 @@
+// Package routing implements the query algorithms of the paper:
+// Probabilistic Budget Routing (PBR) with the paper's four prunings
+// and the anytime extension, plus the classical baselines (Dijkstra
+// mean-cost routing, free-flow paths, Yen's k-shortest-paths ranking)
+// and the stochastic skyline (ParetoRoutes).
+//
+// # The label search
+//
+// PBR is a label-correcting best-first search. A label is a partial
+// path: its end vertex, its last edge (the hybrid cost model
+// conditions on the incoming edge, so (vertex, lastEdge) — not vertex
+// alone — is the search state), its travel-time distribution, and a
+// parent link for path reconstruction. Labels are stored in one
+// append-only arena ([]label) and referenced by index; the priority
+// queue orders expansion by optimistic arrival time dist.Min + h(v).
+//
+// The kernel relies on the following invariants; anything touching
+// pbr.go must preserve them:
+//
+//   - Label distributions are immutable once pushed. The search may
+//     read them (CDF, dominance comparisons, cost shifting) any number
+//     of times, but only the extension step creates new distributions.
+//     On the allocation-free path the floats live in a per-search
+//     hist.Arena; a label's buffer is recycled ONLY when the label is
+//     provably dead (killed by dominance, evicted from a full
+//     frontier, or pruned before ever being pushed) and nothing else
+//     references it. The pivot distribution escapes the search as
+//     Result.Dist, so it is cloned out of the arena at every pivot
+//     improvement.
+//   - Labels are truncated above the horizon budget*1.3. Truncation
+//     aggregates tail mass at the first support point above the
+//     horizon; it preserves CDF(v) for every v <= horizon, so the
+//     objective P(arrival <= budget) is computed exactly while label
+//     memory stays bounded.
+//   - Potentials h come from a backward Dijkstra over per-edge lower
+//     bounds and must be admissible: h(v) never exceeds the smallest
+//     cost any extension chain from v to dest can accumulate under
+//     the models the search will actually consult. Potential pruning
+//     (a) discards labels with dist.Min + h(v) > budget once a pivot
+//     exists; pivot pruning (b)+(c) discards labels whose optimistic
+//     on-time probability CDFShifted(budget, h(v)) cannot beat the
+//     pivot. Both are exact for convolution models; with a learned,
+//     non-monotone estimator they are heuristic (the estimate of an
+//     extension can fall below the bound), which is why Options
+//     supports SeedPath warm starts and ablation switches.
+//   - Dominance pruning (d) maintains a Pareto frontier per (vertex,
+//     lastEdge): a new label is dropped if an existing one
+//     first-order stochastically dominates it, and kills existing
+//     labels it dominates. Dominance comparisons are only sound
+//     between labels whose FUTURE extensions are priced identically —
+//     see the time-expanded rules below. Frontiers are capped at
+//     MaxFrontier entries (weakest upper bound evicted), which bounds
+//     memory but is another source of heuristic incompleteness.
+//   - Expansion order is deterministic: priorities, tie-breaking and
+//     frontier contents depend only on the inputs, never on wall
+//     clock or map iteration order (the frontier map is keyed lookup
+//     only; its iteration order never influences results). This is
+//     what makes the bit-identical equivalence tests meaningful.
+//
+// # Time-expanded search
+//
+// With Options.TimeExpanded set and a coster implementing
+// hybrid.TemporalCoster, the cost model may change mid-search: an
+// extension is priced by the slice at departure + the label's
+// accumulated mean cost (label.elapsed, the mean of its distribution
+// at creation). The classic invariants gain three time-expanded
+// clauses:
+//
+//   - Slice lookups are clamped to the horizon budget*1.3 + width, so
+//     the set of slices the search can consult is known up front;
+//     potentials use min-over-reachable-slices bounds
+//     (TemporalCoster.MinEdgeTimeWithin) and therefore remain
+//     admissible across every model an extension can be priced by.
+//   - Dominance frontiers are additionally keyed by the labels'
+//     next-extension slice: stochastic dominance at equal state says
+//     nothing about labels whose remaining trip will be priced by
+//     different models, so cross-slice labels never compete. (A
+//     dominating label reaches the slice boundary no later in
+//     distribution, but crossing earlier is not always cheaper —
+//     off-peak may be ahead.) Within one slice, dominance keeps the
+//     classic heuristic status.
+//   - Each label records the slice that priced its last edge;
+//     reconstructing the pivot yields Result.SliceSeq, the per-edge
+//     slice sequence of the answer.
+//
+// When every lookup lands in the departure slice — K = 1, or a trip
+// whose whole horizon fits inside its slice — all three clauses
+// degenerate to the classic search, bit for bit; equivalence tests at
+// the engine layer enforce exactly that.
+package routing

@@ -22,10 +22,27 @@ type Options struct {
 	// Departure is the trip's start time in seconds since local
 	// midnight (any finite value; wrapped modulo one day). Engines with
 	// a time-sliced cost model select the serving slice from it before
-	// the search starts; the search itself never sees time — it runs
-	// against whichever Coster the slice selection produced. Zero (the
-	// default) is slice 0, the time-homogeneous behaviour.
+	// the search starts; unless TimeExpanded is set, the search itself
+	// never sees time — it runs against whichever Coster the slice
+	// selection produced. Zero (the default) is slice 0, the
+	// time-homogeneous behaviour.
 	Departure float64
+
+	// TimeExpanded switches on elapsed-time-aware slice lookup: when a
+	// label is extended along an edge, the cost model is chosen from
+	// the slice at departure + the label's accumulated mean cost
+	// instead of the departure slice alone, so long trips transition
+	// from peak to off-peak models mid-search. The mode engages only
+	// when the coster implements hybrid.TemporalCoster (the ModelSet
+	// façade does); plain costers ignore the flag. With it on, labels
+	// whose next extension falls in different slices never compete on
+	// a dominance frontier, potentials use a bound admissible across
+	// every slice reachable within the search horizon, and
+	// Result.SliceSeq reports the slice sequence of the chosen path.
+	// False is bit-identical to the departure-slice path, and so is
+	// true on a 1-slice model or a trip whose horizon stays inside its
+	// departure slice.
+	TimeExpanded bool
 
 	// Anytime limits (the paper's anytime extension). Zero means
 	// unlimited. MaxExpansions bounds priority-queue pops (the
@@ -112,8 +129,17 @@ type Result struct {
 
 	// Slice is the time-of-day slice whose cost model answered the
 	// query (always 0 for time-homogeneous engines). Stamped by the
-	// engine, like ModelEpoch.
+	// engine, like ModelEpoch. For a time-expanded search this is the
+	// departure slice; SliceSeq reports the full traversal.
 	Slice int
+
+	// SliceSeq is the per-edge slice sequence of a time-expanded
+	// search: SliceSeq[i] is the time-of-day slice whose cost model
+	// extended the chosen path onto Path[i] (SliceSeq[0] is the
+	// departure slice, which costs the first edge). Nil unless
+	// Options.TimeExpanded engaged; len(SliceSeq) == len(Path)
+	// otherwise.
+	SliceSeq []int
 }
 
 // label is a partial path in the search.
@@ -123,6 +149,14 @@ type label struct {
 	dist     *hist.Hist
 	parent   int32 // index into the label arena, -1 for roots
 	dead     bool  // removed by dominance
+
+	// Time-expanded state (zero unless Options.TimeExpanded engaged):
+	// elapsed is the accumulated mean cost — dist.Mean() at creation —
+	// that selects the slice costing this label's NEXT extension, and
+	// slice is the time-of-day slice whose model costed lastEdge (the
+	// entry the label contributes to Result.SliceSeq).
+	elapsed float64
+	slice   int32
 }
 
 // scratchPool recycles the per-search cost-kernel scratch (histogram
@@ -135,6 +169,12 @@ var scratchPool = sync.Pool{New: func() any { return new(hybrid.Scratch) }}
 type frontierKey struct {
 	vertex   graph.VertexID
 	lastEdge graph.EdgeID
+	// slice partitions the frontier by the labels' next-extension
+	// slice under time-expanded search: two labels facing different
+	// future cost models are incomparable, so dominance never crosses
+	// a slice boundary. Always 0 for classic searches, which keeps
+	// their frontier grouping — and hence the whole search — unchanged.
+	slice int32
 }
 
 type frontierEntry struct {
@@ -159,6 +199,15 @@ type frontierEntry struct {
 // pruning reads shifted CDFs without cloning. The kernel path computes
 // bit-identical results to the plain Coster path — same route, same
 // probability, same telemetry — it only changes where the floats live.
+//
+// When opts.TimeExpanded is set and c implements hybrid.TemporalCoster
+// (the time-sliced ModelSet façade does), every extension re-selects
+// its cost model from the departure plus the label's accumulated mean
+// cost, dominance frontiers are partitioned by the labels'
+// next-extension slice, potentials use a bound admissible across every
+// reachable slice, and Result.SliceSeq reports the slice sequence of
+// the chosen path. See Options.TimeExpanded for the exact equivalence
+// guarantees.
 func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Options) (*Result, error) {
 	start := time.Now()
 	if opts.Budget <= 0 || math.IsNaN(opts.Budget) {
@@ -190,9 +239,38 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 	// bands condition on) survives, close enough to bound label memory.
 	truncateAt := opts.Budget * 1.3
 
+	// Time-expanded slice lookup (see Options.TimeExpanded): engaged
+	// only when requested AND the coster has the temporal capability.
+	tc, useTemporal := c.(hybrid.TemporalCoster)
+	useTemporal = useTemporal && opts.TimeExpanded
+	// hlim bounds every slice lookup of the search: truncation keeps a
+	// label's support — and therefore its mean — within one bucket of
+	// truncateAt, so clamping lookups to this horizon guarantees the
+	// potentials below are admissible for every model the search
+	// consults.
+	hlim := truncateAt + c.Width()
+	clampEl := func(el float64) float64 {
+		if el > hlim {
+			return hlim
+		}
+		return el
+	}
+	sliceAt := func(el float64) int {
+		if !useTemporal {
+			return 0
+		}
+		return tc.SliceAtElapsed(clampEl(el))
+	}
+
 	// (a) Optimistic potentials by backward Dijkstra over minimum
-	// possible edge times.
-	h := ReversePotentials(g, c.MinEdgeTime, dest)
+	// possible edge times — under time-expanded lookup, the minimum
+	// across every slice reachable within the search horizon, so the
+	// bound stays admissible whichever slice ends up costing an edge.
+	minEdge := c.MinEdgeTime
+	if useTemporal {
+		minEdge = func(e graph.EdgeID) float64 { return tc.MinEdgeTimeWithin(e, hlim) }
+	}
+	h := ReversePotentials(g, minEdge, dest)
 	if math.IsInf(h[source], 1) {
 		return nil, ErrUnreachable
 	}
@@ -200,8 +278,15 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 	// The allocation-free kernel path: when the coster can extend into
 	// caller-owned storage, label distributions live in a pooled
 	// per-search arena and dead labels recycle their buffers. Plain
-	// Costers (baselines, test doubles) take the heap path below.
+	// Costers (baselines, test doubles) take the heap path below. A
+	// time-expanded search needs the combined capability
+	// (hybrid.TemporalScratchCoster, which the ModelSet façade has);
+	// a temporal coster without it falls back to the heap path.
 	sc, useScratch := c.(hybrid.ScratchCoster)
+	tsc, haveTSC := c.(hybrid.TemporalScratchCoster)
+	if useTemporal && !haveTSC {
+		useScratch = false
+	}
 	var scratch *hybrid.Scratch
 	if useScratch {
 		scratch = scratchPool.Get().(*hybrid.Scratch)
@@ -216,7 +301,16 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 		}
 		return c.InitialHist(e)
 	}
-	extend := func(virtual *hist.Hist, lastEdge, next graph.EdgeID) *hist.Hist {
+	// extend appends next to a partial path; elapsed — the extended
+	// label's accumulated mean cost — selects the slice model under
+	// time-expanded lookup and is ignored otherwise.
+	extend := func(elapsed float64, virtual *hist.Hist, lastEdge, next graph.EdgeID) *hist.Hist {
+		if useTemporal {
+			if useScratch {
+				return tsc.ExtendElapsedInto(scratch, clampEl(elapsed), virtual, lastEdge, next).TruncateAboveInPlace(truncateAt)
+			}
+			return tc.ExtendElapsed(clampEl(elapsed), virtual, lastEdge, next).TruncateAbove(truncateAt)
+		}
 		if useScratch {
 			return sc.ExtendInto(scratch, virtual, lastEdge, next).TruncateAboveInPlace(truncateAt)
 		}
@@ -240,32 +334,51 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 	havePivot := false
 	var pivotPath []graph.EdgeID
 	var pivotDist *hist.Hist
+	var pivotSlices []int // time-expanded: slice per pivot edge
 	pivotProb := -1.0
 
-	// Warm-start the pivot from the seed path, if any.
+	// Warm-start the pivot from the seed path, if any. Under
+	// time-expanded lookup the seed is costed exactly like a search
+	// label chain: each extension's slice comes from the accumulated
+	// mean so far.
 	if len(opts.SeedPath) > 0 {
 		if err := ValidatePath(g, opts.SeedPath, source, dest); err != nil {
 			return nil, fmt.Errorf("routing: PBR seed path: %w", err)
 		}
+		var seedSlices []int
+		if useTemporal {
+			seedSlices = make([]int, len(opts.SeedPath))
+			seedSlices[0] = sliceAt(0)
+		}
 		sd := initialHist(opts.SeedPath[0])
 		for i := 1; i < len(opts.SeedPath); i++ {
-			nd := extend(sd, opts.SeedPath[i-1], opts.SeedPath[i])
+			elapsed := 0.0
+			if useTemporal {
+				elapsed = sd.Mean()
+				seedSlices[i] = sliceAt(elapsed)
+			}
+			nd := extend(elapsed, sd, opts.SeedPath[i-1], opts.SeedPath[i])
 			recycle(sd)
 			sd = nd
 		}
 		havePivot = true
 		pivotPath = append([]graph.EdgeID(nil), opts.SeedPath...)
 		pivotDist = sd
+		pivotSlices = seedSlices
 		if useScratch {
 			pivotDist = sd.Clone()
 			recycle(sd)
 		}
 		pivotProb = pivotDist.CDF(opts.Budget)
 	}
-	seedProb, seedDist := pivotProb, pivotDist
+	seedProb, seedDist, seedSliceSeq := pivotProb, pivotDist, pivotSlices
 
-	push := func(v graph.VertexID, last graph.EdgeID, d *hist.Hist, parent int32) {
-		labels = append(labels, label{vertex: v, lastEdge: last, dist: d, parent: parent})
+	// push appends a label; costSlice is the slice whose model costed
+	// last (the label's Result.SliceSeq entry) and elapsed the
+	// accumulated mean selecting its next extension's slice — both zero
+	// for classic searches.
+	push := func(v graph.VertexID, last graph.EdgeID, d *hist.Hist, parent int32, costSlice int32, elapsed float64) {
+		labels = append(labels, label{vertex: v, lastEdge: last, dist: d, parent: parent, slice: costSlice, elapsed: elapsed})
 		idx := int32(len(labels) - 1)
 		pq.Push(d.Min+h[v], idx)
 		res.GeneratedLabels++
@@ -279,13 +392,20 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 		return d.CDFShifted(opts.Budget, h[v])
 	}
 
-	// Seed with the out-edges of the source.
+	// Seed with the out-edges of the source: first edges are costed by
+	// the departure slice (elapsed 0).
+	departSlice := int32(sliceAt(0))
 	for _, e := range g.Out(source) {
 		to := g.Edge(e).To
 		if math.IsInf(h[to], 1) {
 			continue
 		}
-		push(to, e, initialHist(e), -1)
+		d := initialHist(e)
+		elapsed := 0.0
+		if useTemporal {
+			elapsed = d.Mean()
+		}
+		push(to, e, d, -1, departSlice, elapsed)
 	}
 
 	deadline := time.Time{}
@@ -332,6 +452,9 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 					pivotDist = lb.dist.Clone()
 				}
 				pivotPath = reconstructPath(labels, idx)
+				if useTemporal {
+					pivotSlices = reconstructSlices(labels, idx)
+				}
 			}
 			// Positive edge times mean re-leaving the destination can
 			// never improve the arrival distribution; do not expand.
@@ -343,6 +466,13 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 		}
 
 		parentVertex := g.Edge(lb.lastEdge).From
+		// All extensions of this label are costed by the slice its
+		// accumulated mean has reached (the departure slice when the
+		// search is not time-expanded).
+		expSlice := int32(0)
+		if useTemporal {
+			expSlice = int32(sliceAt(lb.elapsed))
+		}
 		for _, next := range g.Out(lb.vertex) {
 			ne := g.Edge(next)
 			if ne.To == parentVertex {
@@ -351,7 +481,7 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 			if math.IsInf(h[ne.To], 1) {
 				continue
 			}
-			nd := extend(lb.dist, lb.lastEdge, next)
+			nd := extend(lb.elapsed, lb.dist, lb.lastEdge, next)
 
 			// (a) optimistic-arrival pruning: a label whose best
 			// possible arrival misses the budget contributes zero
@@ -372,6 +502,17 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 				continue
 			}
 
+			// The surviving label's accumulated mean decides which
+			// slice costs its own extensions — and which frontier it
+			// competes on, since dominance must not compare labels
+			// facing different future cost models.
+			newElapsed := 0.0
+			nextSlice := int32(0)
+			if useTemporal {
+				newElapsed = nd.Mean()
+				nextSlice = int32(sliceAt(newElapsed))
+			}
+
 			// (d) stochastic-dominance pruning on the per-(vertex,
 			// incoming-edge) Pareto frontier. Labels killed here are
 			// dead for good — their buffers go back to the arena (the
@@ -380,7 +521,7 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 			// on this frontier, but the guard keeps the invariant
 			// explicit).
 			if !opts.DisableDominancePruning {
-				key := frontierKey{vertex: ne.To, lastEdge: next}
+				key := frontierKey{vertex: ne.To, lastEdge: next, slice: nextSlice}
 				entries := frontiers[key]
 				dominated := false
 				keep := entries[:0]
@@ -435,10 +576,10 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 					keep = keep[:len(keep)-1]
 					res.PrunedDominance++
 				}
-				push(ne.To, next, nd, idx)
+				push(ne.To, next, nd, idx, expSlice, newElapsed)
 				frontiers[key] = append(keep, frontierEntry{labelIdx: int32(len(labels) - 1), ub: ub})
 			} else {
-				push(ne.To, next, nd, idx)
+				push(ne.To, next, nd, idx, expSlice, newElapsed)
 			}
 		}
 	}
@@ -452,6 +593,7 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 		pivotPath = append([]graph.EdgeID(nil), opts.SeedPath...)
 		pivotDist = seedDist
 		pivotProb = seedProb
+		pivotSlices = seedSliceSeq
 	}
 
 	res.Runtime = time.Since(start)
@@ -463,6 +605,7 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 	res.Prob = pivotProb
 	res.Dist = pivotDist
 	res.Path = pivotPath
+	res.SliceSeq = pivotSlices
 	return res, nil
 }
 
@@ -472,6 +615,20 @@ func reconstructPath(arena []label, idx int32) []graph.EdgeID {
 		rev = append(rev, arena[i].lastEdge)
 	}
 	out := make([]graph.EdgeID, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// reconstructSlices mirrors reconstructPath for Result.SliceSeq: each
+// label records the slice whose model costed its last edge.
+func reconstructSlices(arena []label, idx int32) []int {
+	var rev []int
+	for i := idx; i >= 0; i = arena[i].parent {
+		rev = append(rev, int(arena[i].slice))
+	}
+	out := make([]int, len(rev))
 	for i := range rev {
 		out[i] = rev[len(rev)-1-i]
 	}

@@ -10,15 +10,17 @@ import (
 )
 
 type batchTestItem struct {
-	Source     int     `json:"source"`
-	Dest       int     `json:"dest"`
-	Budget     float64 `json:"budget_s"`
-	Found      bool    `json:"found"`
-	Complete   bool    `json:"complete"`
-	Prob       float64 `json:"prob"`
-	ModelEpoch uint64  `json:"model_epoch"`
-	Cached     bool    `json:"cached"`
-	Error      string  `json:"error,omitempty"`
+	Source       int     `json:"source"`
+	Dest         int     `json:"dest"`
+	Budget       float64 `json:"budget_s"`
+	Found        bool    `json:"found"`
+	Complete     bool    `json:"complete"`
+	Prob         float64 `json:"prob"`
+	ModelEpoch   uint64  `json:"model_epoch"`
+	Cached       bool    `json:"cached"`
+	TimeExpanded bool    `json:"time_expanded"`
+	SliceSeq     []int   `json:"slice_seq"`
+	Error        string  `json:"error,omitempty"`
 }
 
 type batchTestResponse struct {

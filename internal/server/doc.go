@@ -19,27 +19,39 @@
 // depart_s and slice, and model_epoch is the *slice's* serving
 // generation.
 //
-//   - /route?source=&dest=&budget=[&depart=] — full budget-routing
-//     search: the path maximising P(arrival within budget seconds)
-//     departing at depart. Responses carry model_epoch, the slice
-//     generation that answered.
+// Time-EXPANDED routing goes one step further: with
+// time_expanded=true (/route, /route/anytime) or "time_expanded":
+// true per batch item, the cost model is re-selected per edge from
+// departure + the trip's accumulated mean cost, so a long trip
+// departing in the rush hour stops paying peak costs once it crosses
+// into the off-peak slice. Time-expanded responses echo
+// time_expanded, report slice_seq — the per-edge slice sequence of
+// the returned path — and carry the GLOBAL model epoch (any slice's
+// model may have shaped the answer). On a 1-slice backend the mode is
+// bit-identical to a classic request.
+//
+//   - /route?source=&dest=&budget=[&depart=][&time_expanded=] — full
+//     budget-routing search: the path maximising P(arrival within
+//     budget seconds) departing at depart. Responses carry
+//     model_epoch, the generation that answered.
 //   - /route/anytime?...&limit_ms= — the anytime variant: the best
 //     pivot path found within the wall-clock limit.
 //   - /route/batch (POST, up to Config.MaxBatch queries) — the batched
 //     query path: {"queries": [{"source": 3, "dest": 9, "budget_s":
-//     420, "depart_s": 28800}, ...]} (depart_s optional per query, so
-//     one batch can mix peak and off-peak). The whole batch is
-//     validated up front (a malformed
-//     query fails the request with a 400 naming its index), answered
-//     against ONE model snapshot on a bounded worker pool
-//     (Config.BatchWorkers), and returned as {"results": [...],
+//     420, "depart_s": 28800, "time_expanded": true}, ...]} (depart_s
+//     and time_expanded optional per query, so one batch can mix
+//     peak, off-peak and time-expanded items). The whole batch is
+//     validated up front — a malformed query fails the request with a
+//     400 naming its index AND field, e.g. "queries[3].depart_s" —
+//     then answered against ONE model snapshot on a bounded worker
+//     pool (Config.BatchWorkers) and returned as {"results": [...],
 //     "cache_hits": n, "runtime_ms": t} with results[i] answering
 //     queries[i] in the same shape as /route (plus a per-item "error"
 //     for queries that individually failed, e.g. an exhausted label
-//     budget). Each item first consults the shared route cache under
-//     the same epoch-validated key /route uses, so hot batches are
-//     answered without searching and batch-warmed entries serve later
-//     /route calls.
+//     budget). Each classic item first consults the shared route cache
+//     under the same epoch-validated key /route uses, so hot batches
+//     are answered without searching and batch-warmed entries serve
+//     later /route calls; time-expanded items always search.
 //   - /alternatives?source=&dest=&horizon=&max=[&budget=] — the
 //     stochastic skyline of mutually non-dominated routes within the
 //     time horizon.
@@ -124,5 +136,17 @@
 // by key hash, keeping cache contention negligible next to search
 // cost. X-Cache: hit|miss response headers expose per-request cache
 // outcomes to load tools (cmd/loadgen's -departs sweep reports per-
-// slice hit rates and latency percentiles).
+// slice hit rates and latency percentiles; -expand load-tests the
+// uncached time-expanded path).
+//
+// Time-expanded requests bypass the caches entirely, in both
+// directions. Two reasons, both structural: a time-expanded answer
+// varies continuously with the exact departure (the point where the
+// trip crosses a slice boundary moves with it), so the slice-keyed,
+// budget-bucketed cache key would conflate genuinely different
+// answers; and its validity depends on EVERY slice the search could
+// reach, so an entry could only be checked against the global epoch —
+// at which point one swap anywhere would flush it anyway. Until a
+// departure-bucketed design earns its complexity (see ROADMAP), the
+// honest behaviour is cached=false and a fresh search per request.
 package server

@@ -400,6 +400,18 @@ func intParam(r *http.Request, key string, def int) (int, error) {
 	return v, nil
 }
 
+func boolParam(r *http.Request, key string, def bool) (bool, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseBool(raw)
+	if err != nil {
+		return false, badRequest("%s: not a boolean: %q", key, raw)
+	}
+	return v, nil
+}
+
 func (s *Server) budgetParam(r *http.Request) (float64, error) {
 	budget, err := floatParam(r, "budget", 0)
 	if err != nil {
@@ -441,9 +453,15 @@ type routeResponse struct {
 	Dest   graph.VertexID `json:"dest"`
 	Budget float64        `json:"budget_s"`
 	// Depart echoes the requested departure (seconds since midnight)
-	// and Slice the time-of-day slice whose cost model answered.
-	Depart          float64        `json:"depart_s,omitempty"`
-	Slice           int            `json:"slice,omitempty"`
+	// and Slice the time-of-day slice whose cost model answered (the
+	// departure slice for a time-expanded answer).
+	Depart float64 `json:"depart_s,omitempty"`
+	Slice  int     `json:"slice,omitempty"`
+	// TimeExpanded marks an answer computed with per-extension slice
+	// lookup; SliceSeq is then the per-edge slice sequence of the
+	// returned path (slice_seq[i] costed path[i]).
+	TimeExpanded    bool           `json:"time_expanded,omitempty"`
+	SliceSeq        []int          `json:"slice_seq,omitempty"`
 	Found           bool           `json:"found"`
 	Complete        bool           `json:"complete"`
 	Prob            float64        `json:"prob"`
@@ -499,6 +517,15 @@ func (s *Server) handleRouteAnytime(w http.ResponseWriter, r *http.Request) erro
 // *this* slice bumps its epoch, every pre-swap entry is invalid and
 // the next request recomputes — while the other slices' caches stay
 // warm.
+//
+// time_expanded=true requests bypass the cache in both directions: a
+// time-expanded answer varies continuously with the exact departure
+// (the point where the trip crosses a slice boundary moves with it),
+// so slice-keyed entries would conflate genuinely different answers —
+// and the answer may consult several slices' models, so it could only
+// be validated against the global epoch, not the slice epoch the cache
+// uses. Time-expanded responses therefore always recompute and report
+// cached=false.
 func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.Duration) error {
 	start := time.Now()
 	src, dst, err := s.endpointsParam(r)
@@ -513,33 +540,42 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 	if err != nil {
 		return err
 	}
+	expanded, err := boolParam(r, "time_expanded", false)
+	if err != nil {
+		return err
+	}
 
 	slice := s.backend.SliceOf(depart)
 	epoch := s.backend.SliceEpoch(slice)
+	if expanded {
+		epoch = s.backend.ModelEpoch()
+	}
 	cache := s.routes[slice]
-	cache.AdvanceEpoch(epoch)
-	key := routeKey{src: src, dst: dst, bucket: s.bucketOf(budget)}
-	if entry, ok := cache.Get(key); ok {
-		w.Header().Set("X-Cache", "hit")
-		return writeJSON(w, &routeResponse{
-			Source:      src,
-			Dest:        dst,
-			Budget:      budget,
-			Depart:      depart,
-			Slice:       slice,
-			Found:       true,
-			Complete:    true,
-			Prob:        entry.dist.CDF(budget),
-			MeanSeconds: entry.dist.Mean(),
-			Path:        entry.path,
-			ModelEpoch:  entry.epoch,
-			RuntimeMS:   msSince(start),
-			Cached:      true,
-		})
+	cache.AdvanceEpoch(s.backend.SliceEpoch(slice))
+	if !expanded {
+		key := routeKey{src: src, dst: dst, bucket: s.bucketOf(budget)}
+		if entry, ok := cache.Get(key); ok {
+			w.Header().Set("X-Cache", "hit")
+			return writeJSON(w, &routeResponse{
+				Source:      src,
+				Dest:        dst,
+				Budget:      budget,
+				Depart:      depart,
+				Slice:       slice,
+				Found:       true,
+				Complete:    true,
+				Prob:        entry.dist.CDF(budget),
+				MeanSeconds: entry.dist.Mean(),
+				Path:        entry.path,
+				ModelEpoch:  entry.epoch,
+				RuntimeMS:   msSince(start),
+				Cached:      true,
+			})
+		}
 	}
 	w.Header().Set("X-Cache", "miss")
 
-	opts := routing.Options{Budget: budget, Departure: depart, MaxDuration: s.cfg.RequestTimeout}
+	opts := routing.Options{Budget: budget, Departure: depart, TimeExpanded: expanded, MaxDuration: s.cfg.RequestTimeout}
 	if limit > 0 {
 		opts.MaxDuration = limit
 	}
@@ -547,13 +583,15 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 	if errors.Is(err, routing.ErrUnreachable) {
 		return writeJSON(w, &routeResponse{
 			Source: src, Dest: dst, Budget: budget, Depart: depart, Slice: slice,
-			Complete: true, ModelEpoch: epoch, RuntimeMS: msSince(start),
+			TimeExpanded: expanded,
+			Complete:     true, ModelEpoch: epoch, RuntimeMS: msSince(start),
 		})
 	}
 	if err != nil {
 		return err
 	}
-	if res.Found && res.Complete {
+	if !expanded && res.Found && res.Complete {
+		key := routeKey{src: src, dst: dst, bucket: s.bucketOf(budget)}
 		cache.PutAt(key, routeEntry{path: res.Path, dist: res.Dist, epoch: res.ModelEpoch}, res.ModelEpoch)
 	}
 	out := &routeResponse{
@@ -562,6 +600,8 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 		Budget:          budget,
 		Depart:          depart,
 		Slice:           res.Slice,
+		TimeExpanded:    expanded,
+		SliceSeq:        res.SliceSeq,
 		Found:           res.Found,
 		Complete:        res.Complete,
 		Prob:            res.Prob,
@@ -585,12 +625,15 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 // are vertex IDs; clients resolving coordinates use /route's from/to
 // form or snap once via /sample. Depart (seconds since midnight,
 // optional, default 0) selects the per-query time-of-day slice, so one
-// batch can mix peak and off-peak queries.
+// batch can mix peak and off-peak queries; TimeExpanded (optional)
+// switches that item to per-extension slice lookup, exactly like
+// /route's time_expanded parameter.
 type batchQueryRequest struct {
-	Source int     `json:"source"`
-	Dest   int     `json:"dest"`
-	Budget float64 `json:"budget_s"`
-	Depart float64 `json:"depart_s"`
+	Source       int     `json:"source"`
+	Dest         int     `json:"dest"`
+	Budget       float64 `json:"budget_s"`
+	Depart       float64 `json:"depart_s"`
+	TimeExpanded bool    `json:"time_expanded"`
 }
 
 type batchRequest struct {
@@ -643,16 +686,23 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) error 
 	if len(req.Queries) > s.cfg.MaxBatch {
 		return badRequest("queries: batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch)
 	}
+	// Whole-batch validation: a malformed query 400s the entire batch,
+	// so the error names BOTH the offending index and the offending
+	// field (queries[i].<field>) — a client replaying thousands of
+	// items must be able to find the bad value without bisecting.
 	g := s.backend.Graph()
 	for i, q := range req.Queries {
-		if q.Source < 0 || q.Source >= g.NumVertices() || q.Dest < 0 || q.Dest >= g.NumVertices() {
-			return badRequest("queries[%d]: vertex out of range [0, %d)", i, g.NumVertices())
+		if q.Source < 0 || q.Source >= g.NumVertices() {
+			return badRequest("queries[%d].source: vertex %d out of range [0, %d)", i, q.Source, g.NumVertices())
+		}
+		if q.Dest < 0 || q.Dest >= g.NumVertices() {
+			return badRequest("queries[%d].dest: vertex %d out of range [0, %d)", i, q.Dest, g.NumVertices())
 		}
 		if q.Budget <= 0 || math.IsNaN(q.Budget) || math.IsInf(q.Budget, 0) {
-			return badRequest("queries[%d]: budget_s must be a positive number of seconds", i)
+			return badRequest("queries[%d].budget_s: must be a positive number of seconds, got %v", i, q.Budget)
 		}
 		if q.Depart < 0 || math.IsNaN(q.Depart) || math.IsInf(q.Depart, 0) {
-			return badRequest("queries[%d]: depart_s must be a non-negative number of seconds since midnight", i)
+			return badRequest("queries[%d].depart_s: must be a non-negative number of seconds since midnight, got %v", i, q.Depart)
 		}
 	}
 
@@ -675,22 +725,28 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) error 
 		resp := &out.Results[i].routeResponse
 		resp.Source, resp.Dest, resp.Budget = src, dst, q.Budget
 		resp.Depart, resp.Slice = q.Depart, slice
-		key := routeKey{src: src, dst: dst, bucket: s.bucketOf(q.Budget)}
-		if entry, ok := s.routes[slice].Get(key); ok {
-			resp.Found = true
-			resp.Complete = true
-			resp.Prob = entry.dist.CDF(q.Budget)
-			resp.MeanSeconds = entry.dist.Mean()
-			resp.Path = entry.path
-			resp.ModelEpoch = entry.epoch
-			resp.Cached = true
-			out.CacheHits++
-			continue
+		resp.TimeExpanded = q.TimeExpanded
+		// Time-expanded items bypass the cache both ways, for the same
+		// reasons /route does (see routeCommon).
+		if !q.TimeExpanded {
+			key := routeKey{src: src, dst: dst, bucket: s.bucketOf(q.Budget)}
+			if entry, ok := s.routes[slice].Get(key); ok {
+				resp.Found = true
+				resp.Complete = true
+				resp.Prob = entry.dist.CDF(q.Budget)
+				resp.MeanSeconds = entry.dist.Mean()
+				resp.Path = entry.path
+				resp.ModelEpoch = entry.epoch
+				resp.Cached = true
+				out.CacheHits++
+				continue
+			}
 		}
 		misses = append(misses, routing.BatchQuery{
 			Source: src,
 			Dest:   dst,
-			Opts:   routing.Options{Budget: q.Budget, Departure: q.Depart, Deadline: start.Add(s.cfg.RequestTimeout)},
+			Opts: routing.Options{Budget: q.Budget, Departure: q.Depart, TimeExpanded: q.TimeExpanded,
+				Deadline: start.Add(s.cfg.RequestTimeout)},
 		})
 		missIdx = append(missIdx, i)
 	}
@@ -709,11 +765,12 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) error 
 			resp.ModelEpoch = item.Epoch
 		default:
 			res := item.Result
-			if res.Found && res.Complete {
+			if !q.Opts.TimeExpanded && res.Found && res.Complete {
 				key := routeKey{src: q.Source, dst: q.Dest, bucket: s.bucketOf(q.Opts.Budget)}
 				s.routes[res.Slice].PutAt(key, routeEntry{path: res.Path, dist: res.Dist, epoch: res.ModelEpoch}, res.ModelEpoch)
 			}
 			resp.Slice = res.Slice
+			resp.SliceSeq = res.SliceSeq
 			resp.Found = res.Found
 			resp.Complete = res.Complete
 			resp.Prob = res.Prob

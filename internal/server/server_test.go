@@ -101,13 +101,23 @@ func (f *fakeBackend) NearestVertex(lat, lon float64) graph.VertexID {
 	return 0
 }
 
+// globalEpoch mirrors the engine's global generation counter: every
+// per-slice bump advances it too, so it is never behind a slice epoch.
+func (f *fakeBackend) globalEpoch() uint64 {
+	e := f.epoch.Load()
+	for i := range f.sliceTicks {
+		e += f.sliceTicks[i].Load()
+	}
+	return e
+}
+
 func (f *fakeBackend) RouteWithOptions(src, dst graph.VertexID, opts routing.Options) (*routing.Result, error) {
 	f.routeCalls.Add(1)
 	slice := f.SliceOf(opts.Departure)
 	epoch := f.SliceEpoch(slice)
 	d := f.distFor(src, dst, epoch, slice)
 	complete := f.completeOver == 0 || opts.MaxDuration >= f.completeOver
-	return &routing.Result{
+	res := &routing.Result{
 		Path:         []graph.EdgeID{graph.EdgeID(src), graph.EdgeID(dst)},
 		Dist:         d,
 		Prob:         d.CDF(opts.Budget),
@@ -118,7 +128,15 @@ func (f *fakeBackend) RouteWithOptions(src, dst graph.VertexID, opts routing.Opt
 		NumEstimated: 1,
 		ModelEpoch:   epoch,
 		Slice:        slice,
-	}, nil
+	}
+	if opts.TimeExpanded {
+		// Mirror the engine: a time-expanded answer reports the slice
+		// sequence of its path and carries the GLOBAL epoch, since any
+		// slice's model may have shaped it.
+		res.SliceSeq = []int{slice, (slice + 1) % f.slices}
+		res.ModelEpoch = f.globalEpoch()
+	}
+	return res, nil
 }
 
 // RouteBatch mirrors the engine's contract: item i answers queries[i],
@@ -128,6 +146,9 @@ func (f *fakeBackend) RouteBatch(ctx context.Context, queries []routing.BatchQue
 	out := make([]routing.BatchItem, len(queries))
 	for i, q := range queries {
 		epoch := f.SliceEpoch(f.SliceOf(q.Opts.Departure))
+		if q.Opts.TimeExpanded {
+			epoch = f.globalEpoch()
+		}
 		if err := ctx.Err(); err != nil {
 			out[i] = routing.BatchItem{Err: err, Epoch: epoch}
 			continue

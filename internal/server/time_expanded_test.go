@@ -1,0 +1,157 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRouteTimeExpanded: time_expanded=true requests bypass the route
+// cache in both directions — they never hit, are never stored, and do
+// not disturb classic entries for the same endpoints — and their
+// responses echo the mode, the slice sequence and the global epoch.
+func TestRouteTimeExpanded(t *testing.T) {
+	fb := newFakeBackendSlices(t, 4)
+	srv := New(fb, Config{})
+	h := srv.Handler()
+	url := "/route?source=1&dest=2&budget=60&depart=30000&time_expanded=true"
+
+	rec, body := get(t, h, url)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["time_expanded"] != true {
+		t.Fatalf("response does not echo time_expanded: %v", body)
+	}
+	seq, ok := body["slice_seq"].([]any)
+	if !ok || len(seq) == 0 {
+		t.Fatalf("response has no slice_seq: %v", body)
+	}
+	if got := uint64(body["model_epoch"].(float64)); got != fb.globalEpoch() {
+		t.Fatalf("model_epoch %d, want global %d", got, fb.globalEpoch())
+	}
+
+	// A second identical request must recompute, not hit.
+	calls := fb.routeCalls.Load()
+	rec2, body2 := get(t, h, url)
+	if rec2.Header().Get("X-Cache") != "miss" || body2["cached"] == true {
+		t.Fatalf("time-expanded answer served from cache: %v", body2)
+	}
+	if fb.routeCalls.Load() != calls+1 {
+		t.Fatalf("expanded request did not reach the backend")
+	}
+
+	// Classic requests for the same endpoints still cache normally and
+	// are not poisoned by — nor do they serve — expanded answers.
+	classic := "/route?source=1&dest=2&budget=60&depart=30000"
+	if rec, _ := get(t, h, classic); rec.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("first classic request unexpectedly hit")
+	}
+	if rec, _ := get(t, h, classic); rec.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("second classic request did not hit")
+	}
+	calls = fb.routeCalls.Load()
+	if rec, _ := get(t, h, url); rec.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("expanded request hit after classic warmed the cache")
+	}
+	if fb.routeCalls.Load() != calls+1 {
+		t.Fatalf("expanded request served from classic entry")
+	}
+
+	// The parameter itself is validated.
+	if rec, _ := get(t, h, "/route?source=1&dest=2&budget=60&time_expanded=maybe"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad time_expanded value: status %d", rec.Code)
+	}
+}
+
+// TestRouteBatchTimeExpandedItems: a batch can mix classic and
+// time-expanded items; only classic items use the cache, and expanded
+// items echo the mode, slice sequence and global epoch.
+func TestRouteBatchTimeExpandedItems(t *testing.T) {
+	fb := newFakeBackendSlices(t, 4)
+	srv := New(fb, Config{})
+	h := srv.Handler()
+	body := `{"queries":[
+		{"source":1,"dest":2,"budget_s":60,"depart_s":30000},
+		{"source":1,"dest":2,"budget_s":60,"depart_s":30000,"time_expanded":true}
+	]}`
+
+	rec, out := postBatch(t, h, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if out.Results[0].TimeExpanded || !out.Results[1].TimeExpanded {
+		t.Fatalf("items do not echo their mode: %+v", out.Results)
+	}
+	if len(out.Results[1].SliceSeq) == 0 {
+		t.Fatalf("expanded item has no slice_seq: %+v", out.Results[1])
+	}
+	if len(out.Results[0].SliceSeq) != 0 {
+		t.Fatalf("classic item has a slice_seq: %+v", out.Results[0])
+	}
+	if out.Results[1].ModelEpoch != fb.globalEpoch() {
+		t.Fatalf("expanded item epoch %d, want global %d", out.Results[1].ModelEpoch, fb.globalEpoch())
+	}
+
+	// Replay: the classic item hits the batch-warmed cache, the
+	// expanded item recomputes.
+	calls := fb.routeCalls.Load()
+	_, out2 := postBatch(t, h, body)
+	if !out2.Results[0].Cached || out2.CacheHits != 1 {
+		t.Fatalf("classic item not served from cache on replay: %+v", out2)
+	}
+	if out2.Results[1].Cached {
+		t.Fatalf("expanded item served from cache on replay: %+v", out2.Results[1])
+	}
+	if fb.routeCalls.Load() != calls+1 {
+		t.Fatalf("replay searched %d times, want 1", fb.routeCalls.Load()-calls)
+	}
+}
+
+// TestRouteBatchErrorsNameField: whole-batch validation failures must
+// name the offending index AND field, so a client with a thousand-item
+// batch can find the bad value without bisecting.
+func TestRouteBatchErrorsNameField(t *testing.T) {
+	fb := newFakeBackend(t)
+	srv := New(fb, Config{})
+	h := srv.Handler()
+
+	cases := []struct {
+		name, body, wantIn string
+	}{
+		{"negative depart", `{"queries":[{"source":1,"dest":2,"budget_s":9},{"source":1,"dest":2,"budget_s":9,"depart_s":-5}]}`,
+			"queries[1].depart_s"},
+		{"bad budget", `{"queries":[{"source":1,"dest":2,"budget_s":-4}]}`, "queries[0].budget_s"},
+		{"bad source", `{"queries":[{"source":-1,"dest":2,"budget_s":9}]}`, "queries[0].source"},
+		{"bad dest", `{"queries":[{"source":1,"dest":99999,"budget_s":9}]}`, "queries[0].dest"},
+	}
+	for _, tc := range cases {
+		rec, _ := postBatch(t, h, tc.body)
+		if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), tc.wantIn) {
+			t.Errorf("%s: status %d body %q, want 400 containing %q", tc.name, rec.Code, rec.Body.String(), tc.wantIn)
+		}
+	}
+}
+
+// TestRouteTimeExpandedSurvivesSliceSwap: after a per-slice hot swap,
+// classic entries of that slice invalidate while time-expanded
+// requests — which never cached — keep recomputing against the newest
+// generation.
+func TestRouteTimeExpandedSurvivesSliceSwap(t *testing.T) {
+	fb := newFakeBackendSlices(t, 2)
+	srv := New(fb, Config{})
+	h := srv.Handler()
+	url := "/route?source=1&dest=2&budget=60&time_expanded=true"
+
+	_, before := get(t, h, url)
+	fb.bumpSlice(0)
+	_, after := get(t, h, url)
+	wantBefore, wantAfter := before["model_epoch"].(float64), after["model_epoch"].(float64)
+	if wantAfter != wantBefore+1 {
+		t.Fatalf("expanded epoch did not follow the swap: %v -> %v", wantBefore, wantAfter)
+	}
+	if fmt.Sprint(after["cached"]) == "true" {
+		t.Fatalf("post-swap expanded answer served from cache")
+	}
+}

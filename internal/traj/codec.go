@@ -69,11 +69,47 @@ func WriteTrajectories(w io.Writer, trs []Trajectory) error {
 	return bw.Flush()
 }
 
-// ReadTrajectories deserialises trajectories written by
+// ReadTrajectories deserialises one trajectory file written by
 // WriteTrajectories — either format generation — validating edge IDs
-// against g (pass nil to skip). SRT1 trips get departure 0.
+// against g (pass nil to skip). SRT1 trips get departure 0. The reader
+// is consumed through an internal buffer, so only the FIRST segment of
+// a concatenated stream is returned; use ReadTrajectoryStream to drain
+// a stream of several back-to-back files.
 func ReadTrajectories(r io.Reader, g *graph.Graph) ([]Trajectory, error) {
+	return readSegment(bufio.NewReader(r), g)
+}
+
+// ReadTrajectoryStream deserialises a stream of concatenated
+// trajectory files — any mix of SRT1 and SRT2 segments back to back,
+// e.g. `cat monday.srt tuesday.srt` of recordings from different
+// format generations — until EOF, validating edge IDs against g (pass
+// nil to skip). SRT1 trips get departure 0, exactly as in
+// ReadTrajectories; trips keep stream order across segment boundaries.
+// A truncated or corrupt segment fails the whole read.
+func ReadTrajectoryStream(r io.Reader, g *graph.Graph) ([]Trajectory, error) {
 	br := bufio.NewReader(r)
+	var out []Trajectory
+	for seg := 0; ; seg++ {
+		if _, err := br.Peek(1); err == io.EOF {
+			if seg == 0 {
+				// An empty stream is not a trajectory file; surface the
+				// same error a bare ReadTrajectories would.
+				return nil, fmt.Errorf("traj: read magic: %w", io.ErrUnexpectedEOF)
+			}
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		trs, err := readSegment(br, g)
+		if err != nil {
+			return nil, fmt.Errorf("traj: stream segment %d: %w", seg, err)
+		}
+		out = append(out, trs...)
+	}
+}
+
+// readSegment decodes one SRT1/SRT2 file image from br.
+func readSegment(br *bufio.Reader, g *graph.Graph) ([]Trajectory, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("traj: read magic: %w", err)

@@ -1,0 +1,128 @@
+package traj
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"stochroute/internal/graph"
+)
+
+// encodeSRT1 hand-assembles a legacy SRT1 file image (departures are
+// not representable and decode as 0).
+func encodeSRT1(t *testing.T, trs []Trajectory) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	buf.WriteString("SRT1")
+	binary.Write(&buf, le, uint32(len(trs)))
+	for _, tr := range trs {
+		binary.Write(&buf, le, uint32(len(tr.Edges)))
+		for j, e := range tr.Edges {
+			binary.Write(&buf, le, uint32(e))
+			binary.Write(&buf, le, tr.Times[j])
+		}
+	}
+	return buf.Bytes()
+}
+
+// encodeSRT2 serialises through the production writer.
+func encodeSRT2(t *testing.T, trs []Trajectory) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTrajectories(&buf, trs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func requireSameTrajectories(t *testing.T, got, want []Trajectory) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d trajectories, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Departure != want[i].Departure {
+			t.Fatalf("trajectory %d: departure %v, want %v", i, got[i].Departure, want[i].Departure)
+		}
+		if len(got[i].Edges) != len(want[i].Edges) {
+			t.Fatalf("trajectory %d: %d edges, want %d", i, len(got[i].Edges), len(want[i].Edges))
+		}
+		for j := range want[i].Edges {
+			if got[i].Edges[j] != want[i].Edges[j] || got[i].Times[j] != want[i].Times[j] {
+				t.Fatalf("trajectory %d hop %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestReadTrajectoryStreamMixedCodecs: a stream of concatenated SRT1
+// and SRT2 segments — the shape of `cat old.srt new.srt` across the
+// codec generation — decodes fully, in order, with SRT1 trips at
+// departure 0 and SRT2 departures preserved.
+func TestReadTrajectoryStreamMixedCodecs(t *testing.T) {
+	v1 := []Trajectory{
+		{Edges: []graph.EdgeID{3, 7}, Times: []float64{4.5, 6.0}},
+		{Edges: []graph.EdgeID{0}, Times: []float64{2.0}},
+	}
+	v2 := []Trajectory{
+		{Edges: []graph.EdgeID{1, 2}, Times: []float64{3.0, 5.5}, Departure: 28800},
+	}
+	v2b := []Trajectory{
+		{Edges: []graph.EdgeID{9}, Times: []float64{7.25}, Departure: 61200},
+	}
+
+	for _, tc := range []struct {
+		name     string
+		segments [][]byte
+		want     []Trajectory
+	}{
+		{"v1 then v2", [][]byte{encodeSRT1(t, v1), encodeSRT2(t, v2)}, append(append([]Trajectory{}, v1...), v2...)},
+		{"v2 then v1", [][]byte{encodeSRT2(t, v2), encodeSRT1(t, v1)}, append(append([]Trajectory{}, v2...), v1...)},
+		{"v2 v1 v2", [][]byte{encodeSRT2(t, v2), encodeSRT1(t, v1), encodeSRT2(t, v2b)},
+			append(append(append([]Trajectory{}, v2...), v1...), v2b...)},
+		{"single v1", [][]byte{encodeSRT1(t, v1)}, v1},
+		{"single v2", [][]byte{encodeSRT2(t, v2)}, v2},
+	} {
+		stream := bytes.Join(tc.segments, nil)
+		got, err := ReadTrajectoryStream(bytes.NewReader(stream), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		requireSameTrajectories(t, got, tc.want)
+	}
+}
+
+// TestReadTrajectoryStreamErrors: empty streams, mid-stream garbage and
+// truncated trailing segments all fail loudly instead of returning a
+// silently partial read.
+func TestReadTrajectoryStreamErrors(t *testing.T) {
+	v1 := []Trajectory{{Edges: []graph.EdgeID{3}, Times: []float64{4.5}}}
+
+	if _, err := ReadTrajectoryStream(bytes.NewReader(nil), nil); err == nil {
+		t.Error("empty stream should error")
+	}
+	garbage := append(encodeSRT1(t, v1), []byte("JUNK")...)
+	if _, err := ReadTrajectoryStream(bytes.NewReader(garbage), nil); err == nil {
+		t.Error("trailing garbage should error")
+	}
+	full := append(encodeSRT1(t, v1), encodeSRT2(t, v1)...)
+	truncated := full[:len(full)-4]
+	if _, err := ReadTrajectoryStream(bytes.NewReader(truncated), nil); err == nil {
+		t.Error("truncated trailing segment should error")
+	}
+}
+
+// TestReadTrajectoriesReadsFirstSegmentOnly pins the documented
+// single-file contract: ReadTrajectories consumes exactly one segment
+// and ignores whatever follows.
+func TestReadTrajectoriesReadsFirstSegmentOnly(t *testing.T) {
+	v1 := []Trajectory{{Edges: []graph.EdgeID{3}, Times: []float64{4.5}}}
+	v2 := []Trajectory{{Edges: []graph.EdgeID{1}, Times: []float64{3.0}, Departure: 100}}
+	stream := append(encodeSRT1(t, v1), encodeSRT2(t, v2)...)
+	got, err := ReadTrajectories(bytes.NewReader(stream), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameTrajectories(t, got, v1)
+}

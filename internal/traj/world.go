@@ -444,15 +444,51 @@ func (w *World) PathTruth(edges []graph.EdgeID) (*hist.Hist, error) {
 	return w.PathTruthAt(edges, 0)
 }
 
+// PathTruthExpanded returns the exact distribution of the total travel
+// time of a path for a trip departing at depart seconds since
+// midnight, under a TIME-EXPANDED world: the mode prior in effect at
+// each intersection is the one of the slice the trip's accumulated
+// mean travel time has reached, rather than the departure slice
+// throughout. This is the oracle that time-expanded routing
+// (cost model re-selected per extension from departure + accumulated
+// mean) is evaluated against: it also returns the per-edge slice
+// sequence the oracle traversed (slices[i] governed edges[i]). On a
+// 1-slice world — or a trip that never leaves its departure slice —
+// it is bit-identical to PathTruthAt of the departure slice.
+func (w *World) PathTruthExpanded(depart float64, edges []graph.EdgeID) (*hist.Hist, []int, error) {
+	k := w.NumSlices()
+	slices := make([]int, len(edges))
+	h, err := w.pathTruthChain(edges, func(step int, elapsedMean float64) []float64 {
+		s := SliceIndex(depart+elapsedMean, k)
+		slices[step] = s
+		return w.ModePriorAt(s)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, slices, nil
+}
+
 // PathTruthAt is PathTruth under the mode prior of the given
 // time-of-day slice: the oracle distribution of a trip departing in
 // that slice.
 func (w *World) PathTruthAt(edges []graph.EdgeID, slice int) (*hist.Hist, error) {
+	prior := w.ModePriorAt(slice)
+	return w.pathTruthChain(edges, func(int, float64) []float64 { return prior })
+}
+
+// pathTruthChain runs the latent-mode Markov chain down a path — the
+// shared numerics of PathTruthAt and PathTruthExpanded. priorAt
+// returns the mode prior governing step i (the initial mode draw for
+// step 0, the transition redraw at the intersection before edge i
+// otherwise), given the expected travel time accumulated so far; a
+// constant priorAt makes the two entry points bit-identical by
+// construction.
+func (w *World) pathTruthChain(edges []graph.EdgeID, priorAt func(step int, elapsedMean float64) []float64) (*hist.Hist, error) {
 	if len(edges) == 0 {
 		return nil, errors.New("traj: PathTruth on empty path")
 	}
 	width := w.cfg.BucketWidth
-	prior := w.ModePriorAt(slice)
 	offs, noiseP := w.noisePMF()
 	m := w.NumModes()
 
@@ -462,6 +498,19 @@ func (w *World) PathTruthAt(edges []graph.EdgeID, slice int) (*hist.Hist, error)
 		lo int
 		p  []float64
 	}
+	// meanOf is the expected accumulated travel time across the mode
+	// mixture — the elapsed clock a time-expanded priorAt selects by.
+	meanOf := func(perMode []subDist) float64 {
+		mean := 0.0
+		for _, sd := range perMode {
+			for j, mass := range sd.p {
+				mean += mass * float64(sd.lo+j) * width
+			}
+		}
+		return mean
+	}
+
+	prior := priorAt(0, 0)
 	perMode := make([]subDist, m)
 	e0 := edges[0]
 	for mode := 0; mode < m; mode++ {
@@ -481,6 +530,7 @@ func (w *World) PathTruthAt(edges []graph.EdgeID, slice int) (*hist.Hist, error)
 			return nil, fmt.Errorf("traj: PathTruth edges %d and %d not contiguous", i-1, i)
 		}
 		via := prev.To
+		prior = priorAt(i, meanOf(perMode))
 		// Mix accumulated distributions across the transition.
 		mixedLo := math.MaxInt32
 		mixedHi := math.MinInt32
