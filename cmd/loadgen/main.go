@@ -25,6 +25,14 @@
 // server. Works in both single and batch mode (a batch shares one
 // departure).
 //
+// When the server exposes /metrics, loadgen scrapes it before and
+// after the run and reports the server-observed route latency
+// quantiles of exactly this run (the route_latency_seconds histogram
+// delta) next to the client-observed ones — the gap between the two is
+// network and HTTP overhead. Every request also carries a unique
+// X-Request-ID (loadgen-<i>), so a slow request in the client report
+// joins to the server's slow-query log line exactly.
+//
 // With -expand every request (single or batch item) asks for
 // time-expanded routing (time_expanded=true): the server re-selects
 // the slice model per edge from departure + accumulated mean cost.
@@ -48,6 +56,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"stochroute/internal/obs"
 )
 
 type sampleQuery struct {
@@ -142,6 +152,13 @@ func main() {
 		log.Printf("replaying %d requests over %d distinct queries with %d workers", *n, len(queries), *c)
 	}
 
+	// Scrape the server's own latency histogram around the run: the
+	// delta isolates exactly this run's requests, so the report can put
+	// server-observed quantiles (handler wall clock, no network) next to
+	// the client-observed ones. A failed scrape (e.g. -metrics=false)
+	// just drops that section.
+	before, scrapeErr := scrapeMetrics(client, *addr)
+
 	results := make([]outcome, *n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -164,9 +181,13 @@ func main() {
 					departIdx = i % len(departs)
 					depart = departs[departIdx]
 				}
+				// Every request carries a unique X-Request-ID, echoed by
+				// the server and stamped on its slow-query log lines, so a
+				// slow request seen here joins to the server's trace.
+				rid := fmt.Sprintf("loadgen-%d", i)
 				if *batch > 0 {
 					t0 := time.Now()
-					items, itemHits, err := fireBatch(client, *addr, queries, rng, *batch, *factor, depart, *expand)
+					items, itemHits, err := fireBatch(client, *addr, queries, rng, *batch, *factor, depart, *expand, rid)
 					results[i] = outcome{latency: time.Since(t0), items: items, itemHits: itemHits, departIdx: departIdx, err: err}
 					continue
 				}
@@ -184,7 +205,7 @@ func main() {
 					url += "&time_expanded=true"
 				}
 				t0 := time.Now()
-				hit, err := fire(client, url)
+				hit, err := fire(client, url, rid)
 				results[i] = outcome{latency: time.Since(t0), hit: hit, items: 1, departIdx: departIdx, err: err}
 			}
 		}(w)
@@ -227,6 +248,7 @@ func main() {
 		percentile(latencies, 0.90).Round(time.Microsecond),
 		percentile(latencies, 0.99).Round(time.Microsecond),
 		latencies[ok-1].Round(time.Microsecond))
+	reportServerLatency(client, *addr, before, scrapeErr)
 	if len(departs) > 0 {
 		reportDepartSweep(departs, results)
 	}
@@ -267,6 +289,51 @@ func reportDepartSweep(departs []float64, results []outcome) {
 	}
 }
 
+// scrapeMetrics fetches and parses one /metrics exposition.
+func scrapeMetrics(client *http.Client, addr string) ([]obs.Sample, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// reportServerLatency scrapes /metrics again and prints the
+// server-observed route latency quantiles of exactly this run (the
+// route_latency_seconds delta across the two scrapes), beside the
+// client-observed numbers above it. The gap between the two is
+// network + HTTP overhead; a large gap with healthy server quantiles
+// points the investigation away from the routing kernel.
+func reportServerLatency(client *http.Client, addr string, before []obs.Sample, scrapeErr error) {
+	if scrapeErr != nil {
+		log.Printf("server-side latency unavailable (pre-run scrape: %v)", scrapeErr)
+		return
+	}
+	after, err := scrapeMetrics(client, addr)
+	if err != nil {
+		log.Printf("server-side latency unavailable (post-run scrape: %v)", err)
+		return
+	}
+	bounds, cum, total := obs.HistogramDelta(before, after, "route_latency_seconds")
+	if total == 0 {
+		log.Print("server-side latency unavailable (no route_latency_seconds movement)")
+		return
+	}
+	toDur := func(q float64) time.Duration {
+		return time.Duration(obs.Quantile(bounds, cum, q) * float64(time.Second))
+	}
+	fmt.Printf("server-side  p50=%v p90=%v p99=%v over %d route requests (/metrics delta)\n",
+		toDur(0.50).Round(time.Microsecond),
+		toDur(0.90).Round(time.Microsecond),
+		toDur(0.99).Round(time.Microsecond),
+		total)
+}
+
 // batchQuery is one item of a /route/batch request body, mirroring the
 // server's schema.
 type batchQuery struct {
@@ -280,7 +347,7 @@ type batchQuery struct {
 // fireBatch POSTs k randomly drawn queries to /route/batch (all
 // departing at depart, time-expanded when expand is set) and reports
 // the item count and per-item cache hits.
-func fireBatch(client *http.Client, addr string, queries []sampleQuery, rng *rand.Rand, k int, factor, depart float64, expand bool) (items, itemHits int, err error) {
+func fireBatch(client *http.Client, addr string, queries []sampleQuery, rng *rand.Rand, k int, factor, depart float64, expand bool, rid string) (items, itemHits int, err error) {
 	req := struct {
 		Queries []batchQuery `json:"queries"`
 	}{Queries: make([]batchQuery, k)}
@@ -292,7 +359,13 @@ func fireBatch(client *http.Client, addr string, queries []sampleQuery, rng *ran
 	if err != nil {
 		return 0, 0, err
 	}
-	resp, err := client.Post(addr+"/route/batch", "application/json", bytes.NewReader(body))
+	httpReq, err := http.NewRequest(http.MethodPost, addr+"/route/batch", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set("X-Request-ID", rid)
+	resp, err := client.Do(httpReq)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -337,8 +410,13 @@ func fetchQueries(client *http.Client, addr string, n int, loKm, hiKm float64, s
 
 // fire issues one request, fully draining the body so connections are
 // reused, and reports whether the answer came from the server cache.
-func fire(client *http.Client, url string) (hit bool, err error) {
-	resp, err := client.Get(url)
+func fire(client *http.Client, url, rid string) (hit bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("X-Request-ID", rid)
+	resp, err := client.Do(req)
 	if err != nil {
 		return false, err
 	}

@@ -19,6 +19,13 @@
 // -rebuild-every trajectories). /stats reports the model epoch and the
 // write path's counters.
 //
+// Observability: GET /metrics serves the Prometheus text exposition
+// (disable with -metrics=false); -slow-query-ms logs a structured
+// slow_query line for every route request over the threshold, and
+// -trace-sample 100 traces 1 in 100 requests regardless of latency.
+// Both kinds of line carry the request's X-Request-ID, which the
+// server echoes to the client, so logs join to responses exactly.
+//
 // With -pprof 127.0.0.1:6060 the process additionally serves
 // net/http/pprof on that separate loopback listener, so CPU and
 // allocation profiles of the serving kernel can be captured in
@@ -33,6 +40,7 @@ import (
 	"context"
 	"flag"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -45,6 +53,7 @@ import (
 	"stochroute/internal/graph"
 	"stochroute/internal/hybrid"
 	"stochroute/internal/ingest"
+	"stochroute/internal/obs"
 	"stochroute/internal/server"
 	"stochroute/internal/traj"
 )
@@ -95,6 +104,9 @@ func main() {
 	maxBatch := flag.Int("max-batch", 256, "largest accepted /route/batch query count (negative disables the endpoint)")
 	batchWorkers := flag.Int("batch-workers", 0, "worker pool per /route/batch request (0 = GOMAXPROCS)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate loopback address (e.g. 127.0.0.1:6060); empty disables")
+	metricsOn := flag.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "log a structured slow_query line for route requests over this latency (0 disables)")
+	traceSample := flag.Int("trace-sample", 0, "additionally trace 1 in N route requests as query_trace lines (0 disables)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -137,6 +149,12 @@ func main() {
 	log.Printf("engine ready: %d vertices, %d edges (model epoch %d, %d time slice(s))",
 		g.NumVertices(), g.NumEdges(), eng.ModelEpoch(), eng.NumSlices())
 
+	// One registry spans all three layers: the engine's per-slice search
+	// telemetry, the ingestor's drift/swap series and the server's
+	// request metrics land in a single /metrics exposition.
+	reg := obs.NewRegistry()
+	eng.SetSearchMetrics(obs.NewSearchMetrics(reg, eng.NumSlices()))
+
 	var ing *ingest.Ingestor
 	if *ingestOn {
 		// The rebuild trains with the same hyperparameters the serving
@@ -165,6 +183,7 @@ func main() {
 				RebuildEvery:  *rebuildEvery,
 			},
 			MaxTrajectories: *maxTrajectories,
+			Metrics:         obs.NewIngestMetrics(reg, eng.NumSlices()),
 		}, os.Stderr)
 		if len(seedTrajs) > 0 {
 			accepted, rejected := ing.Seed(seedTrajs)
@@ -183,7 +202,19 @@ func main() {
 		BatchWorkers:        *batchWorkers,
 		Ingestor:            ing,
 		MaxIngestBytes:      *maxIngestBytes,
+		Metrics:             reg,
+		DisableMetrics:      !*metricsOn,
+		SlowQueryThreshold:  time.Duration(*slowQueryMS) * time.Millisecond,
+		TraceSample:         *traceSample,
+		TraceLogger:         slog.New(slog.NewJSONHandler(os.Stderr, nil)),
 	})
+	if *metricsOn {
+		log.Print("metrics: GET /metrics enabled (Prometheus text exposition)")
+	}
+	if *slowQueryMS > 0 || *traceSample > 0 {
+		log.Printf("tracing: slow-query threshold %dms, sample 1/%d (structured lines on stderr)",
+			*slowQueryMS, *traceSample)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -184,6 +184,35 @@
 // /route, /route/anytime and per item on /route/batch; /healthz and
 // /stats report per-slice epochs, cache and drift counters.
 //
+// # Observability
+//
+// The system is instrumented end to end through internal/obs, a
+// dependency-free metrics registry serving the Prometheus text
+// exposition on GET /metrics. One registry spans all three layers
+// (cmd/serve wires it): the server's per-endpoint request counters and
+// latency histograms, the engine's per-query search telemetry —
+// expansions, generated labels, the three pruning counters, the
+// convolve-vs-estimate split and the arena footprint, folded into
+// per-slice histograms via Engine.SetSearchMetrics — and the
+// ingestor's drift scores, rebuild durations and swap counters. The
+// two-level epochs surface as the model_epoch gauge plus one
+// slice_epoch gauge per slice, with swap_total{slice} counting each
+// slice's hot swaps, so a dashboard sees exactly which slice swapped
+// and when. The instrumentation is allocation-free on the query path:
+// counters are single atomic adds on pre-registered series, and
+// attaching search metrics adds zero allocations per routed query
+// (gated by TestRouteMetricsZeroExtraAllocs and
+// BenchmarkMetricsHotPath in CI).
+//
+// Per-query tracing rides the same path: requests slower than the
+// server's slow-query threshold (and an optional 1-in-N sample) emit
+// one structured log/slog line carrying the request's X-Request-ID —
+// accepted from the client or minted, always echoed on the response —
+// with the full query identity and search counters, so a slow response
+// observed by a client joins to the server's view of the same request.
+// internal/server/doc.go catalogues the metric names, label
+// conventions and the trace line schema.
+//
 // # Quick start
 //
 //	cfg := stochroute.DefaultConfig()

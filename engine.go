@@ -16,6 +16,7 @@ import (
 	"stochroute/internal/hist"
 	"stochroute/internal/hybrid"
 	"stochroute/internal/netgen"
+	"stochroute/internal/obs"
 	"stochroute/internal/routing"
 	"stochroute/internal/traj"
 )
@@ -84,6 +85,12 @@ type Engine struct {
 
 	current atomic.Pointer[modelSnapshot]
 	swapMu  sync.Mutex // serialises swaps; queries never take it
+
+	// searchMetrics, when set, receives one SearchSample per routing
+	// query — the per-slice search telemetry behind /metrics. Held
+	// behind an atomic pointer so attaching or detaching the recorder
+	// never races the query path.
+	searchMetrics atomic.Pointer[obs.SearchMetrics]
 
 	// Report is the KL-divergence evaluation captured during training
 	// (slice 0's report for a time-sliced engine).
@@ -486,8 +493,30 @@ func (e *Engine) routeOnSnapshot(cur *modelSnapshot, source, dest VertexID, opts
 	res.NumEstimated = qs.Estimated
 	res.ModelEpoch = cur.epochFor(slice, opts)
 	res.Slice = slice
+	if m := e.searchMetrics.Load(); m != nil {
+		m.Observe(obs.SearchSample{
+			Slice:           slice,
+			TimeExpanded:    opts.TimeExpanded,
+			Expansions:      res.Expansions,
+			GeneratedLabels: res.GeneratedLabels,
+			PrunedPotential: res.PrunedPotential,
+			PrunedPivot:     res.PrunedPivot,
+			PrunedDominance: res.PrunedDominance,
+			Convolved:       qs.Convolved,
+			Estimated:       qs.Estimated,
+			ArenaBytes:      res.ArenaBytes,
+		})
+	}
 	return res, nil
 }
+
+// SetSearchMetrics attaches (or, with nil, detaches) the per-slice
+// search-telemetry recorder: from then on every query answered by this
+// engine — single, batched, or time-expanded — records its expansion,
+// pruning, decision and arena counters into the recorder's histograms.
+// Recording is a fixed set of atomic operations per query, adding zero
+// allocations to the route path. Safe to call while serving.
+func (e *Engine) SetSearchMetrics(m *obs.SearchMetrics) { e.searchMetrics.Store(m) }
 
 // epochFor is the generation stamped on a query's result: the serving
 // slice's epoch normally, but the GLOBAL epoch for a time-expanded

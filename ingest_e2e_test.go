@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"stochroute/internal/ingest"
+	"stochroute/internal/obs"
 	"stochroute/internal/replay"
 	"stochroute/internal/server"
 	"stochroute/internal/traj"
@@ -64,6 +65,12 @@ func TestOnlineIngestDriftRebuildSwapE2E(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The full observability wiring, exactly as cmd/serve assembles it:
+	// one registry shared by the engine's search telemetry, the
+	// ingestor's drift/swap series and the server's request metrics.
+	reg := obs.NewRegistry()
+	eng.SetSearchMetrics(obs.NewSearchMetrics(reg, eng.NumSlices()))
+
 	retrain := cfg.Hybrid
 	retrain.MinPairObs = 6
 	retrain.TrainPairs, retrain.TestPairs = 200, 50
@@ -74,9 +81,10 @@ func TestOnlineIngestDriftRebuildSwapE2E(t *testing.T) {
 			MinEdgeObs: 6,
 		},
 		MinRebuildTrajectories: 300,
+		Metrics:                obs.NewIngestMetrics(reg, eng.NumSlices()),
 	}, io.Discard)
 
-	srv := server.New(eng, server.Config{Ingestor: ing})
+	srv := server.New(eng, server.Config{Ingestor: ing, Metrics: reg})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -199,14 +207,73 @@ func TestOnlineIngestDriftRebuildSwapE2E(t *testing.T) {
 			post.MeanSeconds, pre.MeanSeconds)
 	}
 
-	// /healthz reports the new epoch too.
+	// /healthz reports the new epoch too, and the swap cleared any
+	// degraded window the drift opened.
 	var health struct {
 		ModelEpoch uint64 `json:"model_epoch"`
+		Degraded   bool   `json:"degraded"`
 	}
 	getJSON(t, ts.URL+"/healthz", &health)
 	if health.ModelEpoch != st.ModelEpoch {
 		t.Errorf("/healthz epoch %d != /stats epoch %d", health.ModelEpoch, st.ModelEpoch)
 	}
+	if health.Degraded {
+		t.Error("/healthz still degraded after a successful swap")
+	}
+
+	// The /metrics exposition must move in lockstep with /stats: the
+	// drift-triggered hot swap is visible as swap_total{slice="0"} ==
+	// Status.Rebuilds, the slice epoch gauge equals the slice's serving
+	// generation, and the engine's search telemetry recorded the query
+	// traffic above.
+	st = getStats(t, ts.URL+"/stats")
+	samples := scrapeSamples(t, ts.URL+"/metrics")
+	metric := func(name, slice string) float64 {
+		t.Helper()
+		for _, s := range samples {
+			if s.Name == name && s.Label("slice") == slice {
+				return s.Value
+			}
+		}
+		t.Fatalf("series %s{slice=%q} absent from /metrics", name, slice)
+		return 0
+	}
+	if got := metric("swap_total", "0"); got != float64(st.Ingest.Rebuilds) {
+		t.Errorf(`swap_total{slice="0"} = %v, /stats rebuilds = %d`, got, st.Ingest.Rebuilds)
+	}
+	if got := metric("slice_epoch", "0"); got != float64(st.SliceEpochs[0]) {
+		t.Errorf(`slice_epoch{slice="0"} = %v, /stats slice epoch = %d`, got, st.SliceEpochs[0])
+	}
+	if got := metric("model_epoch", ""); got != float64(st.ModelEpoch) {
+		t.Errorf("model_epoch gauge = %v, /stats model epoch = %d", got, st.ModelEpoch)
+	}
+	if got := metric("ingest_drift_events_total", "0"); got != float64(st.Ingest.DriftEvents) {
+		t.Errorf("drift events gauge = %v, /stats = %d", got, st.Ingest.DriftEvents)
+	}
+	if got := metric("search_expansions_count", "0"); got == 0 {
+		t.Error("engine search telemetry never recorded despite route traffic")
+	}
+	if got := metric("degraded", ""); got != 0 {
+		t.Errorf("degraded gauge = %v after successful swap", got)
+	}
+}
+
+// scrapeSamples fetches and parses one /metrics exposition.
+func scrapeSamples(t *testing.T, url string) []obs.Sample {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", url, resp.StatusCode)
+	}
+	samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+	return samples
 }
 
 func scaleFactors(f []float64, by float64) []float64 {
@@ -227,8 +294,9 @@ type routeView struct {
 }
 
 type statsView struct {
-	ModelEpoch uint64         `json:"model_epoch"`
-	Ingest     *ingest.Status `json:"ingest"`
+	ModelEpoch  uint64         `json:"model_epoch"`
+	SliceEpochs []uint64       `json:"slice_epochs"`
+	Ingest      *ingest.Status `json:"ingest"`
 }
 
 func getRoute(t *testing.T, url string) routeView {

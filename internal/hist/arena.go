@@ -1,6 +1,9 @@
 package hist
 
-import "math/bits"
+import (
+	"math/bits"
+	"unsafe"
+)
 
 // Arena is a bump allocator for the histogram working set of one
 // search: flat []float64 blocks that back label mass vectors, plus a
@@ -170,6 +173,17 @@ func (a *Arena) newHeader() *Hist {
 	h := &slab[a.histOff]
 	a.histOff++
 	return h
+}
+
+// Bytes reports the arena's retained memory footprint: the float
+// blocks plus the Hist header slabs, both of which survive Reset. It
+// deliberately excludes oversized heap fallbacks (which the GC owns)
+// — the number answers "how much memory does keeping this arena pooled
+// cost", which is what the arena_bytes telemetry tracks.
+func (a *Arena) Bytes() int64 {
+	const histHeaderBytes = int64(unsafe.Sizeof(Hist{}))
+	return int64(len(a.blocks))*arenaBlockFloats*8 +
+		int64(len(a.hists))*arenaHistSlab*histHeaderBytes
 }
 
 // Reset invalidates every buffer and header handed out so far and

@@ -1,0 +1,108 @@
+package ingest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stochroute/internal/hybrid"
+	"stochroute/internal/obs"
+)
+
+// TestDegradedWhileDriftPending: a drift firing with no possible
+// rebuild (aggregate below the training minimum) must leave the
+// subsystem degraded — the slice is knowingly serving a stale model.
+func TestDegradedWhileDriftPending(t *testing.T) {
+	fx := testFixture(t)
+	tgt := &fakeTarget{g: fx.g, kb: map[int]*hybrid.KnowledgeBase{0: fx.kb}, epoch: 1}
+	in := New(tgt, Config{
+		Hybrid:                 lightHybridConfig(fx.width),
+		Drift:                  DriftConfig{Window: 200, MinEdgeObs: 6},
+		MinRebuildTrajectories: 1 << 30, // rebuilds can never start
+	}, nil)
+
+	if in.Degraded() {
+		t.Fatal("fresh ingestor reports degraded")
+	}
+	in.Ingest(shifted(fx.trajs[:500], 2))
+	in.WaitRebuilds()
+
+	st := in.Status()
+	if st.DriftEvents == 0 {
+		t.Fatalf("drift never fired: %+v", st)
+	}
+	if !in.Degraded() || !st.Degraded {
+		t.Errorf("drift fired with no rebuild possible, yet Degraded() = %v, Status().Degraded = %v",
+			in.Degraded(), st.Degraded)
+	}
+	if !st.Slices[0].DriftPending {
+		t.Errorf("slice 0 DriftPending = false after drift with no swap: %+v", st.Slices[0])
+	}
+}
+
+// TestDegradedClearsOnSwapAndMetrics: the full drift → rebuild → swap
+// cycle must end not-degraded, and the ingest metrics must move in
+// lockstep with the /stats counters.
+func TestDegradedClearsOnSwapAndMetrics(t *testing.T) {
+	fx := testFixture(t)
+	tgt := &fakeTarget{g: fx.g, kb: map[int]*hybrid.KnowledgeBase{0: fx.kb}, epoch: 1}
+	reg := obs.NewRegistry()
+	in := New(tgt, Config{
+		Hybrid:                 lightHybridConfig(fx.width),
+		Drift:                  DriftConfig{Window: 200, MinEdgeObs: 6},
+		MinRebuildTrajectories: 150,
+		Metrics:                obs.NewIngestMetrics(reg, 1),
+	}, nil)
+
+	shift := shifted(fx.trajs, 2)
+	for lo := 0; lo < 500; lo += 50 {
+		in.Ingest(shift[lo : lo+50])
+	}
+	in.WaitRebuilds()
+
+	st := in.Status()
+	if st.Rebuilds == 0 {
+		t.Fatalf("no successful rebuild: %+v", st)
+	}
+	if in.Degraded() || st.Degraded || st.Slices[0].DriftPending {
+		t.Errorf("degraded persists after a successful swap: Degraded()=%v Status=%+v",
+			in.Degraded(), st.Slices[0])
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exposition := buf.String()
+	samples, err := obs.ParseText(strings.NewReader(exposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name, slice string) float64 {
+		for _, s := range samples {
+			if s.Name == name && s.Label("slice") == slice {
+				return s.Value
+			}
+		}
+		t.Fatalf("metric %s{slice=%q} absent from exposition:\n%s", name, slice, exposition)
+		return 0
+	}
+	if got := get("swap_total", "0"); got != float64(st.Rebuilds) {
+		t.Errorf(`swap_total{slice="0"} = %v, want %d (Status.Rebuilds)`, got, st.Rebuilds)
+	}
+	if got := get("ingest_drift_events_total", "0"); got != float64(st.DriftEvents) {
+		t.Errorf("drift events metric %v != status %d", got, st.DriftEvents)
+	}
+	if got := get("ingest_rebuild_seconds_count", "0"); got != float64(st.Rebuilds) {
+		t.Errorf("rebuild duration count %v != rebuilds %d", got, st.Rebuilds)
+	}
+	if got := get("ingest_folded_total", "0"); got != float64(st.Accepted) {
+		t.Errorf("folded total %v != accepted %d", got, st.Accepted)
+	}
+	if got := get("ingest_accepted_total", ""); got != float64(st.Accepted) {
+		t.Errorf("accepted metric %v != status %d", got, st.Accepted)
+	}
+	if !strings.Contains(exposition, "ingest_drift_score") {
+		t.Error("drift score gauge missing from exposition")
+	}
+}

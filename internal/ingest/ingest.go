@@ -10,6 +10,7 @@ import (
 
 	"stochroute/internal/graph"
 	"stochroute/internal/hybrid"
+	"stochroute/internal/obs"
 	"stochroute/internal/traj"
 )
 
@@ -57,6 +58,11 @@ type Config struct {
 	// a long-running service and letting post-drift data displace the
 	// old regime instead of being forever diluted by it.
 	MaxTrajectories int
+	// Metrics, when set, receives the subsystem's telemetry: fold and
+	// validation counters, per-slice drift scores and events, hot-swap
+	// counts and rebuild durations. Nil disables recording (the /stats
+	// counters are unaffected either way).
+	Metrics *obs.IngestMetrics
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +94,11 @@ type SliceStatus struct {
 	// LastSwapUnixMS is the wall-clock time of this slice's last
 	// successful model swap (0 = never).
 	LastSwapUnixMS int64 `json:"last_swap_unix_ms"`
+	// DriftPending reports that this slice's drift monitor has fired
+	// but no rebuild has swapped a fresh model in since: the slice is
+	// still serving a generation the monitor judged stale. Cleared by
+	// the next successful swap of this slice.
+	DriftPending bool `json:"drift_pending"`
 }
 
 // Status is a point-in-time snapshot of the subsystem, surfaced by the
@@ -118,6 +129,10 @@ type Status struct {
 	// LastSwapUnixMS is the wall-clock time of the last successful
 	// model swap (0 = never).
 	LastSwapUnixMS int64 `json:"last_swap_unix_ms"`
+	// Degraded is true while any slice has DriftPending set — the
+	// service is knowingly serving at least one stale generation. The
+	// server surfaces it on /healthz as a readiness hint.
+	Degraded bool `json:"degraded"`
 	// Slices is the per-time-of-day-slice breakdown, indexed by slice.
 	Slices []SliceStatus `json:"slices"`
 }
@@ -141,8 +156,11 @@ type Ingestor struct {
 	drift        []*DriftMonitor          // one window per slice
 	sinceRebuild []int
 	rebuilding   []bool
+	driftPending []bool        // drift fired, no swap yet (mu-guarded)
 	slices       []SliceStatus // per-slice counters (mu-guarded)
 	rebuildWG    sync.WaitGroup
+
+	metrics *obs.IngestMetrics // nil = recording disabled
 
 	accepted       atomic.Uint64
 	rejected       atomic.Uint64
@@ -177,7 +195,9 @@ func New(target Target, cfg Config, logW io.Writer) *Ingestor {
 		drift:        make([]*DriftMonitor, k),
 		sinceRebuild: make([]int, k),
 		rebuilding:   make([]bool, k),
+		driftPending: make([]bool, k),
 		slices:       make([]SliceStatus, k),
+		metrics:      cfg.Metrics,
 	}
 	for s := range in.drift {
 		in.drift[s] = NewDriftMonitor(cfg.Drift, cfg.Hybrid.Width)
@@ -231,8 +251,11 @@ func (in *Ingestor) fold(trs []traj.Trajectory, live bool) (accepted, rejected i
 	if live {
 		in.accepted.Add(uint64(accepted))
 		in.rejected.Add(uint64(rejected))
+		in.metrics.Accepted(uint64(accepted))
+		in.metrics.Rejected(uint64(rejected))
 	} else {
 		in.seeded.Add(uint64(accepted))
+		in.metrics.Seeded(uint64(accepted))
 	}
 	if accepted == 0 {
 		return
@@ -256,6 +279,7 @@ func (in *Ingestor) fold(trs []traj.Trajectory, live bool) (accepted, rejected i
 			continue
 		}
 		in.obs.Slice(s).Merge(deltas[s])
+		in.metrics.Folded(s, uint64(len(bucket)))
 		in.trajs[s] = append(in.trajs[s], bucket...)
 		in.slices[s].Trajectories = len(in.trajs[s])
 		if in.cfg.MaxTrajectories > 0 && len(in.trajs[s]) > in.cfg.MaxTrajectories {
@@ -317,6 +341,7 @@ func (in *Ingestor) pruneLocked(s int) {
 	in.obs.ReplaceSlice(s, obs)
 	in.slices[s].Trajectories = keep
 	in.prunes.Add(1)
+	in.metrics.Pruned(1)
 	in.logf("ingest: slice %d aggregate pruned: dropped %d oldest trajectories, retained %d", s, dropped, keep)
 }
 
@@ -327,9 +352,16 @@ func (in *Ingestor) checkTriggersLocked(s int) (bool, string) {
 		rep := in.drift[s].Evaluate(in.target.SliceKnowledgeBase(s))
 		in.lastDriftScore.Store(math.Float64bits(rep.Score))
 		in.slices[s].LastDriftScore = rep.Score
+		in.metrics.DriftScore(s, rep.Score)
 		if rep.Fired {
 			in.driftEvents.Add(1)
 			in.slices[s].DriftEvents++
+			in.metrics.DriftEvent(s)
+			// The slice is now knowingly stale: degraded until a rebuild
+			// swaps a fresh generation in (even if one is already in
+			// flight — it predates this evidence).
+			in.driftPending[s] = true
+			in.slices[s].DriftPending = true
 			in.logf("ingest: slice %d drift fired: %d/%d edges past threshold (max JS %.3f, mean %.3f)",
 				s, rep.Drifted, rep.Checked, rep.MaxDivergence, rep.MeanDivergence)
 			return true, "drift"
@@ -373,7 +405,13 @@ func (in *Ingestor) rebuild(p sliceRebuild) {
 		in.mu.Lock()
 		in.slices[p.slice].LastSwapUnixMS = now
 		in.slices[p.slice].Rebuilds++
+		// A fresh generation is serving: whatever drift evidence was
+		// pending for this slice has been answered.
+		in.driftPending[p.slice] = false
+		in.slices[p.slice].DriftPending = false
 		in.mu.Unlock()
+		in.metrics.Swap(p.slice)
+		in.metrics.RebuildDuration(p.slice, time.Since(start))
 		in.logf("ingest: slice %d rebuild (%s): trained on %d trajectories in %s (KL hybrid %.4f vs conv %.4f); slice serving epoch %d",
 			p.slice, p.reason, len(p.trajs), time.Since(start).Round(time.Millisecond),
 			report.MeanKLHybrid, report.MeanKLConv, epoch)
@@ -381,6 +419,7 @@ func (in *Ingestor) rebuild(p sliceRebuild) {
 	}()
 	if err != nil {
 		in.rebuildErrors.Add(1)
+		in.metrics.RebuildError()
 		in.logf("ingest: slice %d rebuild (%s) failed after %s: %v",
 			p.slice, p.reason, time.Since(start).Round(time.Millisecond), err)
 		return
@@ -399,12 +438,14 @@ func (in *Ingestor) Status() Status {
 	trajs := 0
 	since := 0
 	rebuilding := false
+	degraded := false
 	for s := range in.trajs {
 		trajs += len(in.trajs[s])
 		if in.sinceRebuild[s] > since {
 			since = in.sinceRebuild[s]
 		}
 		rebuilding = rebuilding || in.rebuilding[s]
+		degraded = degraded || in.driftPending[s]
 	}
 	edgeObs := in.obs.NumEdgeObservations()
 	slices := append([]SliceStatus(nil), in.slices...)
@@ -423,8 +464,25 @@ func (in *Ingestor) Status() Status {
 		DriftEvents:      in.driftEvents.Load(),
 		LastDriftScore:   math.Float64frombits(in.lastDriftScore.Load()),
 		LastSwapUnixMS:   in.lastSwapUnixMS.Load(),
+		Degraded:         degraded,
 		Slices:           slices,
 	}
+}
+
+// Degraded reports whether any slice's drift monitor has fired without
+// a successful rebuild swapping that slice since — i.e. the service is
+// knowingly serving at least one stale generation. Cheaper than a full
+// Status snapshot; the server's /healthz and the degraded gauge call it
+// per request/scrape.
+func (in *Ingestor) Degraded() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, p := range in.driftPending {
+		if p {
+			return true
+		}
+	}
+	return false
 }
 
 // validateTrajectory rejects anything that could corrupt the aggregate:

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// QueryTrace is the per-query trace record: everything the serving
+// layer knows about one routing request, flattened for structured
+// logging. The server fills one per /route-family request; TraceLog
+// decides whether it becomes a log line.
+type QueryTrace struct {
+	// RequestID is the X-Request-ID the request carried (or the one the
+	// server generated); it joins this trace to client-side logs.
+	RequestID string
+	// Endpoint is the mux pattern that served the request.
+	Endpoint string
+	// Source and Dest are the resolved vertex IDs.
+	Source, Dest int64
+	// BudgetS and DepartS echo the query parameters (seconds).
+	BudgetS, DepartS float64
+	// Slice is the time-of-day slice that served the request; Epoch is
+	// the model generation that answered (the slice's epoch, or the
+	// global epoch for time-expanded requests).
+	Slice int
+	Epoch uint64
+	// TimeExpanded marks a request routed across slice boundaries.
+	TimeExpanded bool
+	// CacheHit reports the route-cache outcome (always false for
+	// time-expanded requests, which bypass the cache).
+	CacheHit bool
+	// Found/Complete/Prob summarise the answer.
+	Found, Complete bool
+	Prob            float64
+	// Search counters, straight from routing.Result.
+	Expansions, GeneratedLabels                   int
+	PrunedPotential, PrunedPivot, PrunedDominance int
+	// Convolved and Estimated are the hybrid model's per-query decision
+	// counts; ArenaBytes is the search arena's retained footprint.
+	Convolved, Estimated int
+	ArenaBytes           int64
+	// Latency is the wall-clock time the handler spent on the request.
+	Latency time.Duration
+}
+
+// TraceLog emits QueryTraces as structured slog lines under two
+// independent policies: every query slower than the threshold (message
+// "slow_query", level WARN) and an unconditional 1-in-N sample
+// (message "query_trace", level INFO). When neither policy selects a
+// query, Record costs one atomic increment and two comparisons — no
+// allocation, no formatting.
+//
+// A nil *TraceLog is valid and records nothing.
+type TraceLog struct {
+	logger *slog.Logger
+	slow   time.Duration
+	sample uint64
+	seq    atomic.Uint64
+}
+
+// NewTraceLog builds a TraceLog writing to logger. slow <= 0 disables
+// the slow-query policy; sample <= 0 disables sampling (sample = 1
+// traces every query). Returns nil — the disabled TraceLog — when both
+// policies are off or logger is nil.
+func NewTraceLog(logger *slog.Logger, slow time.Duration, sample int) *TraceLog {
+	if logger == nil || (slow <= 0 && sample <= 0) {
+		return nil
+	}
+	t := &TraceLog{logger: logger, slow: slow}
+	if sample > 0 {
+		t.sample = uint64(sample)
+	}
+	return t
+}
+
+// Record applies the slow-query and sampling policies to one trace and
+// emits at most one log line.
+func (t *TraceLog) Record(tr *QueryTrace) {
+	if t == nil {
+		return
+	}
+	slow := t.slow > 0 && tr.Latency >= t.slow
+	sampled := t.sample > 0 && t.seq.Add(1)%t.sample == 0
+	if !slow && !sampled {
+		return
+	}
+	msg, level := "query_trace", slog.LevelInfo
+	if slow {
+		msg, level = "slow_query", slog.LevelWarn
+	}
+	t.logger.LogAttrs(context.Background(), level, msg,
+		slog.String("request_id", tr.RequestID),
+		slog.String("endpoint", tr.Endpoint),
+		slog.Int64("src", tr.Source),
+		slog.Int64("dst", tr.Dest),
+		slog.Float64("budget_s", tr.BudgetS),
+		slog.Float64("depart_s", tr.DepartS),
+		slog.Int("slice", tr.Slice),
+		slog.Uint64("epoch", tr.Epoch),
+		slog.Bool("time_expanded", tr.TimeExpanded),
+		slog.Bool("cache_hit", tr.CacheHit),
+		slog.Bool("found", tr.Found),
+		slog.Bool("complete", tr.Complete),
+		slog.Float64("prob", tr.Prob),
+		slog.Int("expansions", tr.Expansions),
+		slog.Int("generated_labels", tr.GeneratedLabels),
+		slog.Int("pruned_potential", tr.PrunedPotential),
+		slog.Int("pruned_pivot", tr.PrunedPivot),
+		slog.Int("pruned_dominance", tr.PrunedDominance),
+		slog.Int("convolved", tr.Convolved),
+		slog.Int("estimated", tr.Estimated),
+		slog.Int64("arena_bytes", tr.ArenaBytes),
+		slog.Float64("latency_ms", float64(tr.Latency)/float64(time.Millisecond)),
+	)
+}
+
+// Request-ID generation: a random per-process prefix plus an atomic
+// sequence number, so IDs are unique across restarts without
+// coordination and cheap to mint under load.
+var (
+	ridPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	ridSeq atomic.Uint64
+)
+
+// NewRequestID mints a process-unique request ID of the form
+// "prefix-seq". Used when a request arrives without an X-Request-ID.
+func NewRequestID() string {
+	return ridPrefix + "-" + strconv.FormatUint(ridSeq.Add(1), 16)
+}

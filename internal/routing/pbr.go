@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stochroute/internal/graph"
@@ -140,6 +141,12 @@ type Result struct {
 	// Options.TimeExpanded engaged; len(SliceSeq) == len(Path)
 	// otherwise.
 	SliceSeq []int
+
+	// ArenaBytes is the retained byte footprint of the pooled search
+	// arena this query ran on (hist.Arena.Bytes measured at release) —
+	// the per-query memory telemetry behind the search_arena_bytes
+	// histogram. 0 when the search took the plain heap path.
+	ArenaBytes int64
 }
 
 // label is a partial path in the search.
@@ -165,6 +172,18 @@ type label struct {
 // scratch for its duration and resets it on the way out, so pooled
 // scratches never serve two searches at once.
 var scratchPool = sync.Pool{New: func() any { return new(hybrid.Scratch) }}
+
+// arenaInUse tracks the retained bytes of every scratch arena currently
+// checked out of scratchPool by an in-flight search. Each search adds
+// its scratch's footprint at checkout and subtracts the same amount at
+// release, so the gauge is exact (never drifts) and growth during a
+// search becomes visible at that arena's next checkout.
+var arenaInUse atomic.Int64
+
+// ArenaBytesInUse reports the total retained bytes of search arenas
+// checked out by in-flight PBR queries — the routing pool's live memory
+// footprint, surfaced as the arena_bytes_inuse gauge and in /stats.
+func ArenaBytesInUse() int64 { return arenaInUse.Load() }
 
 type frontierKey struct {
 	vertex   graph.VertexID
@@ -290,7 +309,11 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 	var scratch *hybrid.Scratch
 	if useScratch {
 		scratch = scratchPool.Get().(*hybrid.Scratch)
+		checkedOut := scratch.Arena.Bytes()
+		arenaInUse.Add(checkedOut)
 		defer func() {
+			res.ArenaBytes = scratch.Arena.Bytes()
+			arenaInUse.Add(-checkedOut)
 			scratch.Reset()
 			scratchPool.Put(scratch)
 		}()

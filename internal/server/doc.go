@@ -70,7 +70,10 @@
 //     Stream a recorded SRT1/SRT2 file through this endpoint with
 //     cmd/replay.
 //   - /healthz — liveness, graph size, the global model epoch, the
-//     slice count and every slice's serving epoch.
+//     slice count, every slice's serving epoch, uptime, and a degraded
+//     flag: true while any slice's drift monitor has fired without a
+//     rebuild swapping that slice since — the server still answers,
+//     but knowingly on a stale model.
 //   - /stats — request counts, cache effectiveness (aggregate plus
 //     per-slice breakdowns including epoch invalidations), in-flight
 //     gauge, global and per-slice model epochs, the engine's lifetime
@@ -78,7 +81,11 @@
 //     enabled — the write path's counters: accepted/rejected,
 //     aggregate size, drift events, last drift score, rebuilds and
 //     the last-swap timestamp, each also broken down per slice (so a
-//     peak-hour drift event is attributable to its slice).
+//     peak-hour drift event is attributable to its slice). Also
+//     arena_bytes_inuse, the retained footprint of search arenas
+//     checked out by in-flight queries.
+//   - /metrics — the Prometheus text exposition (see Observability
+//     below); disable with Config.DisableMetrics.
 //
 // JSON request bodies are hardened: they are read through
 // http.MaxBytesReader (Config.MaxIngestBytes for /ingest,
@@ -149,4 +156,65 @@
 // at which point one swap anywhere would flush it anyway. Until a
 // departure-bucketed design earns its complexity (see ROADMAP), the
 // honest behaviour is cached=false and a fresh search per request.
+//
+// # Observability
+//
+// GET /metrics serves the Prometheus text exposition (format 0.0.4)
+// from an internal/obs registry — the server's own when Config.Metrics
+// is nil, or a shared one so the engine's search telemetry and the
+// ingestor's drift/swap series land in the same scrape (cmd/serve
+// wires all three). /stats reads the SAME atomics, so the two views
+// can never disagree at rest. The per-request instrumentation is
+// allocation-free: every series is pre-registered at construction and
+// the hot path is atomic adds plus an array index — no maps, no label
+// rendering.
+//
+// Label conventions: endpoint is the mux pattern ("/route",
+// "/route/batch", ...); slice is the time-of-day slice index as a
+// decimal string; cache is "hit"|"miss" on route_latency_seconds and
+// the cache family ("route"|"pair") on cache_* series;
+// time_expanded is "true"|"false". Metric catalogue:
+//
+//   - http_requests_total, http_request_errors_total,
+//     http_request_duration_seconds {endpoint} — every endpoint,
+//     /metrics itself included.
+//   - route_latency_seconds {slice, cache, time_expanded} — the
+//     route-serving latency the way a dashboard slices it; batch
+//     requests are measured as one /route/batch request, not per item.
+//   - cache_hits_total, cache_misses_total, cache_evictions_total,
+//     cache_invalidations_total, cache_entries {cache, slice} — the
+//     per-slice LRU caches; invalidations count the hot-swap
+//     footprint.
+//   - model_epoch, slice_epoch {slice} — the two-level epochs;
+//     swap_total {slice} (from internal/obs.IngestMetrics) counts each
+//     slice's hot swaps, so swap N is visible as swap_total moving
+//     with slice_epoch in lockstep.
+//   - search_expansions, search_generated_labels,
+//     search_pruned_potential, search_pruned_pivot,
+//     search_pruned_dominance, search_convolved, search_estimated,
+//     search_arena_bytes {slice} (histograms) and
+//     search_time_expanded_total — the engine's per-query search
+//     telemetry (Engine.SetSearchMetrics).
+//   - ingest_accepted_total, ingest_rejected_total,
+//     ingest_seeded_total, ingest_folded_total {slice},
+//     ingest_drift_score {slice}, ingest_drift_events_total {slice},
+//     ingest_rebuild_seconds {slice}, ingest_rebuild_errors_total,
+//     ingest_pruned_total — the write path.
+//   - uptime_seconds, inflight_requests, degraded, arena_bytes_inuse
+//     — scrape-time gauges; degraded mirrors /healthz.
+//
+// Per-query tracing: every request gets an X-Request-ID — the
+// client's own or a minted one — echoed on the response before the
+// handler runs. /route and /route/anytime requests slower than
+// Config.SlowQueryThreshold emit one structured slog line (msg
+// "slow_query", level WARN); Config.TraceSample additionally traces 1
+// in N requests regardless of latency (msg "query_trace", level
+// INFO). Both carry the same attrs: request_id, endpoint, src, dst,
+// budget_s, depart_s, slice, epoch, time_expanded, cache_hit, found,
+// complete, prob, expansions, generated_labels, pruned_potential,
+// pruned_pivot, pruned_dominance, convolved, estimated, arena_bytes,
+// latency_ms — enough to reconstruct why THIS request was slow
+// (cache miss? pruning collapse? giant arena?) without reproducing
+// it. Batch items are not traced per item — the batch shares one
+// request ID and one /route/batch latency observation.
 package server

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -17,6 +18,7 @@ import (
 	"stochroute/internal/hist"
 	"stochroute/internal/ingest"
 	"stochroute/internal/netgen"
+	"stochroute/internal/obs"
 	"stochroute/internal/routing"
 	"stochroute/internal/traj"
 )
@@ -98,6 +100,27 @@ type Config struct {
 	// MaxIngestBytes caps one /ingest request body (default 8 MiB);
 	// oversized payloads are rejected before they can balloon memory.
 	MaxIngestBytes int64
+	// Metrics is the registry GET /metrics serves and every server
+	// counter lives in. Nil makes the server create its own; pass a
+	// shared registry (as cmd/serve does) so the engine's search
+	// telemetry and the ingestor's drift/swap series land in the same
+	// exposition.
+	Metrics *obs.Registry
+	// DisableMetrics leaves GET /metrics unregistered. The counters are
+	// still maintained — /stats reads them through the same registry.
+	DisableMetrics bool
+	// SlowQueryThreshold makes every /route and /route/anytime request
+	// slower than this emit one structured slow_query log line
+	// (<= 0 disables the policy).
+	SlowQueryThreshold time.Duration
+	// TraceSample additionally traces one in every N route requests as
+	// a query_trace line regardless of latency (1 = every request,
+	// <= 0 disables sampling).
+	TraceSample int
+	// TraceLogger is the slog destination of slow-query and trace
+	// lines; nil falls back to slog.Default() when either policy is
+	// enabled.
+	TraceLogger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -154,12 +177,6 @@ type pairKey struct {
 	first, second graph.EdgeID
 }
 
-// endpointStats counts requests and errors for one endpoint.
-type endpointStats struct {
-	requests atomic.Uint64
-	errors   atomic.Uint64
-}
-
 // Server is the concurrent routing service: an http.Handler answering
 // Probabilistic Budget Routing queries over a shared Backend, with
 // per-time-of-day-slice sharded LRU caches for complete route results
@@ -180,7 +197,14 @@ type Server struct {
 
 	started  time.Time
 	inflight atomic.Int64
-	stats    map[string]*endpointStats
+	stats    map[string]*endpointMetrics
+
+	// reg backs both /metrics and /stats; trace emits slow-query /
+	// sampled trace lines; routeLat is the pre-registered
+	// route_latency_seconds family.
+	reg      *obs.Registry
+	trace    *obs.TraceLog
+	routeLat *routeLatencyMetrics
 }
 
 // perSliceCapacity splits a total cache capacity over k slices (at
@@ -200,6 +224,9 @@ func perSliceCapacity(total, k int) int {
 // safe for concurrent use (see Backend).
 func New(backend Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	k := backend.NumSlices()
 	if k < 1 {
 		k = 1
@@ -211,11 +238,20 @@ func New(backend Backend, cfg Config) *Server {
 		routes:  make([]*ShardedLRU[routeKey, routeEntry], k),
 		pairs:   make([]*ShardedLRU[pairKey, *hist.Hist], k),
 		started: time.Now(),
-		stats:   make(map[string]*endpointStats),
+		stats:   make(map[string]*endpointMetrics),
+		reg:     cfg.Metrics,
 	}
 	for i := 0; i < k; i++ {
 		s.routes[i] = NewShardedLRU[routeKey, routeEntry](cfg.CacheShards, perSliceCapacity(cfg.RouteCache, k))
 		s.pairs[i] = NewShardedLRU[pairKey, *hist.Hist](cfg.CacheShards, perSliceCapacity(cfg.PairCache, k))
+	}
+	s.initMetrics(k)
+	if cfg.SlowQueryThreshold > 0 || cfg.TraceSample > 0 {
+		logger := cfg.TraceLogger
+		if logger == nil {
+			logger = slog.Default()
+		}
+		s.trace = obs.NewTraceLog(logger, cfg.SlowQueryThreshold, cfg.TraceSample)
 	}
 	s.handle("/route", http.MethodGet, s.handleRoute)
 	s.handle("/route/anytime", http.MethodGet, s.handleRouteAnytime)
@@ -229,6 +265,9 @@ func New(backend Backend, cfg Config) *Server {
 	s.handle("/stats", http.MethodGet, s.handleStats)
 	if cfg.Ingestor != nil {
 		s.handle("/ingest", http.MethodPost, s.handleIngest)
+	}
+	if !cfg.DisableMetrics {
+		s.handle("/metrics", http.MethodGet, s.handleMetrics)
 	}
 	return s
 }
@@ -260,22 +299,34 @@ func (s *Server) Serve(ctx context.Context, addr string) error {
 	}
 }
 
-// handle registers an endpoint with request accounting, restricted to
-// one HTTP method.
+// handle registers an endpoint with request accounting (counts, errors
+// and a latency histogram in the metrics registry — /stats and
+// /metrics read the same atomics), restricted to one HTTP method.
+// Every request gets an X-Request-ID stamped on the response before the
+// handler runs: the client's own, or a freshly minted one, so a slow
+// query's log line is joinable with the response the client saw.
 func (s *Server) handle(pattern, method string, h func(http.ResponseWriter, *http.Request) error) {
-	es := &endpointStats{}
-	s.stats[pattern] = es
+	em := newEndpointMetrics(s.reg, pattern)
+	s.stats[pattern] = em
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != method {
 			w.Header().Set("Allow", method)
 			writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 			return
 		}
-		es.requests.Add(1)
+		start := time.Now()
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		em.requests.Inc()
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
-		if err := h(w, r); err != nil {
-			es.errors.Add(1)
+		err := h(w, r)
+		em.latency.Observe(time.Since(start).Seconds())
+		if err != nil {
+			em.errors.Inc()
 			var he *httpError
 			if errors.As(err, &he) {
 				writeError(w, he.code, he.msg)
@@ -545,6 +596,10 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 		return err
 	}
 
+	endpoint := "/route"
+	if limit > 0 {
+		endpoint = "/route/anytime"
+	}
 	slice := s.backend.SliceOf(depart)
 	epoch := s.backend.SliceEpoch(slice)
 	if expanded {
@@ -556,6 +611,23 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 		key := routeKey{src: src, dst: dst, bucket: s.bucketOf(budget)}
 		if entry, ok := cache.Get(key); ok {
 			w.Header().Set("X-Cache", "hit")
+			lat := time.Since(start)
+			s.routeLat.observe(slice, true, false, lat)
+			s.trace.Record(&obs.QueryTrace{
+				RequestID: requestID(w),
+				Endpoint:  endpoint,
+				Source:    int64(src),
+				Dest:      int64(dst),
+				BudgetS:   budget,
+				DepartS:   depart,
+				Slice:     slice,
+				Epoch:     entry.epoch,
+				CacheHit:  true,
+				Found:     true,
+				Complete:  true,
+				Prob:      entry.dist.CDF(budget),
+				Latency:   lat,
+			})
 			return writeJSON(w, &routeResponse{
 				Source:      src,
 				Dest:        dst,
@@ -594,6 +666,31 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 		key := routeKey{src: src, dst: dst, bucket: s.bucketOf(budget)}
 		cache.PutAt(key, routeEntry{path: res.Path, dist: res.Dist, epoch: res.ModelEpoch}, res.ModelEpoch)
 	}
+	lat := time.Since(start)
+	s.routeLat.observe(res.Slice, false, expanded, lat)
+	s.trace.Record(&obs.QueryTrace{
+		RequestID:       requestID(w),
+		Endpoint:        endpoint,
+		Source:          int64(src),
+		Dest:            int64(dst),
+		BudgetS:         budget,
+		DepartS:         depart,
+		Slice:           res.Slice,
+		Epoch:           res.ModelEpoch,
+		TimeExpanded:    expanded,
+		Found:           res.Found,
+		Complete:        res.Complete,
+		Prob:            res.Prob,
+		Expansions:      res.Expansions,
+		GeneratedLabels: res.GeneratedLabels,
+		PrunedPotential: res.PrunedPotential,
+		PrunedPivot:     res.PrunedPivot,
+		PrunedDominance: res.PrunedDominance,
+		Convolved:       res.NumConvolved,
+		Estimated:       res.NumEstimated,
+		ArenaBytes:      res.ArenaBytes,
+		Latency:         lat,
+	})
 	out := &routeResponse{
 		Source:          src,
 		Dest:            dst,
@@ -1060,6 +1157,10 @@ type healthResponse struct {
 	Slices      int      `json:"slices"`
 	SliceEpochs []uint64 `json:"slice_epochs"`
 	UptimeS     float64  `json:"uptime_s"`
+	// Degraded is true while any slice's drift monitor has fired but no
+	// rebuild has swapped that slice since: the server still answers,
+	// knowingly on a stale model. Always false without an ingestor.
+	Degraded bool `json:"degraded"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
@@ -1072,6 +1173,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 		Slices:      s.backend.NumSlices(),
 		SliceEpochs: s.backend.SliceEpochs(),
 		UptimeS:     time.Since(s.started).Seconds(),
+		Degraded:    s.cfg.Ingestor != nil && s.cfg.Ingestor.Degraded(),
 	})
 }
 
@@ -1098,6 +1200,10 @@ type statsResponse struct {
 	PairCacheSlices  []CacheStats `json:"pair_cache_slices,omitempty"`
 	Convolved        uint64       `json:"convolved_total"`
 	Estimated        uint64       `json:"estimated_total"`
+	// ArenaBytesInUse is the retained footprint of search arenas
+	// currently checked out by in-flight queries (the same value
+	// /metrics exports as arena_bytes_inuse).
+	ArenaBytesInUse int64 `json:"arena_bytes_inuse"`
 	// Ingest reports the write path's counters (absent when ingestion
 	// is disabled), including its per-slice drift/rebuild breakdown;
 	// LastSwapUnixMS within it is the time of the last model hot swap.
@@ -1135,16 +1241,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	conv, est := s.backend.DecisionCounts()
 	routeStats, pairStats, routeSlices, pairSlices := sumCacheStats(s.routes, s.pairs)
 	out := &statsResponse{
-		UptimeS:     time.Since(s.started).Seconds(),
-		Inflight:    s.inflight.Load(),
-		ModelEpoch:  s.backend.ModelEpoch(),
-		Slices:      s.backend.NumSlices(),
-		SliceEpochs: s.backend.SliceEpochs(),
-		Endpoints:   make(map[string]endpointStatsResponse, len(s.stats)),
-		RouteCache:  routeStats,
-		PairCache:   pairStats,
-		Convolved:   conv,
-		Estimated:   est,
+		UptimeS:         time.Since(s.started).Seconds(),
+		Inflight:        s.inflight.Load(),
+		ModelEpoch:      s.backend.ModelEpoch(),
+		Slices:          s.backend.NumSlices(),
+		SliceEpochs:     s.backend.SliceEpochs(),
+		Endpoints:       make(map[string]endpointStatsResponse, len(s.stats)),
+		RouteCache:      routeStats,
+		PairCache:       pairStats,
+		Convolved:       conv,
+		Estimated:       est,
+		ArenaBytesInUse: routing.ArenaBytesInUse(),
 	}
 	if s.backend.NumSlices() > 1 {
 		out.RouteCacheSlices = routeSlices
@@ -1154,10 +1261,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 		st := s.cfg.Ingestor.Status()
 		out.Ingest = &st
 	}
-	for pattern, es := range s.stats {
+	for pattern, em := range s.stats {
 		out.Endpoints[pattern] = endpointStatsResponse{
-			Requests: es.requests.Load(),
-			Errors:   es.errors.Load(),
+			Requests: em.requests.Value(),
+			Errors:   em.errors.Value(),
 		}
 	}
 	return writeJSON(w, out)
