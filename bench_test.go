@@ -17,6 +17,7 @@ import (
 	"stochroute/internal/hybrid"
 	"stochroute/internal/ingest"
 	"stochroute/internal/netgen"
+	"stochroute/internal/obs"
 	"stochroute/internal/routing"
 	"stochroute/internal/server"
 	"stochroute/internal/traj"
@@ -244,6 +245,32 @@ func BenchmarkRoutingPBR(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRoutingPBRTraced is BenchmarkRoutingPBR under a sampled
+// trace: every iteration runs inside a fresh always-sampled root span,
+// so PBRCtx records its potentials/seed-path/expand phase spans and the
+// finished trace lands in a span store. The delta against
+// BenchmarkRoutingPBR is the full per-query cost of span tracing — a
+// handful of small allocations (trace, root, three phase spans, attrs)
+// that CI bounds so instrumentation creep is caught the same way
+// kernel allocation creep is.
+func BenchmarkRoutingPBRTraced(b *testing.B) {
+	s := getBenchSetup(b)
+	cats := exp.Categories(s.Scale)
+	q, budget := benchQuery(b, s, cats[len(cats)/2])
+	tracer := obs.NewTracer(obs.NewSpanStore(64, 0), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, root := tracer.StartBackground("bench", "bench-req")
+		if _, err := routing.PBRCtx(ctx, s.Graph, s.Model, q.Source, q.Dest, routing.Options{
+			Budget: budget,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		tracer.Finish(root)
 	}
 }
 

@@ -1,0 +1,91 @@
+// Command benchjson converts `go test -bench -benchmem` output on
+// stdin into a JSON array on stdout, one object per benchmark result
+// line:
+//
+//	go test -bench=. -benchmem ./... | benchjson > bench.json
+//
+//	[{"name":"BenchmarkRoutingPBR-8","iterations":20,
+//	  "ns_per_op":1234567.0,"b_per_op":45678,"allocs_per_op":727}, ...]
+//
+// CI runs it over the allocation-gate benchmark pass so every build
+// uploads a machine-readable perf snapshot (BENCH_<pr>.json) next to
+// the raw text — trend tooling diffs JSON, humans read the text.
+// Non-benchmark lines (test output, ok/PASS markers) are ignored;
+// benchmarks without -benchmem still parse, with the memory fields
+// zero.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// parseLine parses one `Benchmark... N x unit [x unit ...]` line; ok is
+// false for anything that is not a benchmark result.
+func parseLine(line string) (result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: f[0], Iterations: iters}
+	// The remaining fields come in "value unit" pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(v, 64); err != nil {
+				return result{}, false
+			}
+		case "B/op":
+			if r.BPerOp, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return result{}, false
+			}
+		case "allocs/op":
+			if r.AllocsPerOp, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return result{}, false
+			}
+		}
+	}
+	return r, r.NsPerOp > 0
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	results := []result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s)\n", len(results))
+}

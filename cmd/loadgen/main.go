@@ -39,6 +39,15 @@
 // Time-expanded answers are never served from the route cache, so this
 // mode measures raw search throughput; combine with -departs to sweep
 // boundary-crossing departures.
+//
+// Every request carries a W3C traceparent header minted by loadgen, so
+// when the server samples a request its span tree joins this client's
+// trace ID. With -traces N loadgen additionally FORCES tracing of 1 in
+// N requests (sampled flag set) and, after the run, fetches
+// /debug/traces and prints the slowest span trees plus an aggregate
+// per-phase time breakdown — where the tail latency actually went,
+// phase by phase, next to the latency quantiles above it. Requires the
+// server to run with -span-sample > 0.
 package main
 
 import (
@@ -124,6 +133,7 @@ func main() {
 	batch := flag.Int("batch", 0, "POST this many queries per request to /route/batch (0 = single GET /route calls)")
 	departsFlag := flag.String("departs", "", "comma-separated departure sweep (seconds since midnight); reports per-departure p50/p99 and hit rate")
 	expand := flag.Bool("expand", false, "request time-expanded routing (per-edge slice selection; bypasses the route cache)")
+	traces := flag.Int("traces", 0, "force-trace 1 in N requests (sampled traceparent) and print the slowest span trees from /debug/traces after the run (0 disables)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 	if *n <= 0 || *c <= 0 || *numQueries <= 0 {
@@ -183,11 +193,15 @@ func main() {
 				}
 				// Every request carries a unique X-Request-ID, echoed by
 				// the server and stamped on its slow-query log lines, so a
-				// slow request seen here joins to the server's trace.
+				// slow request seen here joins to the server's trace. It
+				// also carries a client-minted traceparent; the sampled
+				// flag on 1 in -traces requests forces a server span tree.
 				rid := fmt.Sprintf("loadgen-%d", i)
+				sampled := *traces > 0 && i%*traces == 0
+				tp := obs.FormatTraceparent(obs.NewTraceID(), fmt.Sprintf("%016x", uint64(i)+1), sampled)
 				if *batch > 0 {
 					t0 := time.Now()
-					items, itemHits, err := fireBatch(client, *addr, queries, rng, *batch, *factor, depart, *expand, rid)
+					items, itemHits, err := fireBatch(client, *addr, queries, rng, *batch, *factor, depart, *expand, rid, tp)
 					results[i] = outcome{latency: time.Since(t0), items: items, itemHits: itemHits, departIdx: departIdx, err: err}
 					continue
 				}
@@ -205,7 +219,7 @@ func main() {
 					url += "&time_expanded=true"
 				}
 				t0 := time.Now()
-				hit, err := fire(client, url, rid)
+				hit, err := fire(client, url, rid, tp)
 				results[i] = outcome{latency: time.Since(t0), hit: hit, items: 1, departIdx: departIdx, err: err}
 			}
 		}(w)
@@ -252,8 +266,127 @@ func main() {
 	if len(departs) > 0 {
 		reportDepartSweep(departs, results)
 	}
+	if *traces > 0 {
+		reportTraces(client, *addr)
+	}
 	if errs > 0 {
 		log.Printf("first error: %v", firstError(results))
+	}
+}
+
+// traceSpan / traceEntry mirror the server's /debug/traces rendering
+// (internal/server/traces.go).
+type traceSpan struct {
+	Name       string       `json:"name"`
+	StartMS    float64      `json:"start_ms"`
+	DurationMS float64      `json:"duration_ms"`
+	Error      string       `json:"error"`
+	Children   []*traceSpan `json:"children"`
+}
+
+type traceEntry struct {
+	TraceID    string     `json:"trace_id"`
+	RequestID  string     `json:"request_id"`
+	Endpoint   string     `json:"endpoint"`
+	DurationMS float64    `json:"duration_ms"`
+	Root       *traceSpan `json:"root"`
+}
+
+// reportTraces fetches the span trees the server recorded for this run
+// and prints (a) an aggregate per-phase breakdown — total and mean time
+// per span name across every retained trace, the "where does a request
+// spend its time" table — and (b) the slowest individual trees as
+// waterfalls. Requires serve -span-sample; a 404 just notes that.
+func reportTraces(client *http.Client, addr string) {
+	resp, err := client.Get(addr + "/debug/traces?n=256")
+	if err != nil {
+		log.Printf("span trees unavailable (/debug/traces: %v)", err)
+		return
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Printf("span trees unavailable (/debug/traces: %v)", err)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Printf("span trees unavailable (/debug/traces: %s; run serve with -span-sample > 0)", resp.Status)
+		return
+	}
+	var tr struct {
+		Traces []traceEntry `json:"traces"`
+	}
+	if err := json.Unmarshal(payload, &tr); err != nil {
+		log.Printf("span trees unavailable (/debug/traces: %v)", err)
+		return
+	}
+	if len(tr.Traces) == 0 {
+		log.Print("span trees unavailable (server retained no traces)")
+		return
+	}
+
+	// Phase breakdown: flatten every tree, accumulate per span name.
+	type phase struct {
+		count int
+		total float64
+	}
+	phases := map[string]*phase{}
+	var walk func(s *traceSpan)
+	walk = func(s *traceSpan) {
+		if s == nil {
+			return
+		}
+		p := phases[s.Name]
+		if p == nil {
+			p = &phase{}
+			phases[s.Name] = p
+		}
+		p.count++
+		p.total += s.DurationMS
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, t := range tr.Traces {
+		walk(t.Root)
+	}
+	names := make([]string, 0, len(phases))
+	for n := range phases {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return phases[names[i]].total > phases[names[j]].total })
+	fmt.Printf("phase breakdown over %d sampled traces:\n", len(tr.Traces))
+	for _, n := range names {
+		p := phases[n]
+		fmt.Printf("  %-14s %6d spans  total %9.3fms  mean %8.3fms\n",
+			n, p.count, p.total, p.total/float64(p.count))
+	}
+
+	sort.Slice(tr.Traces, func(i, j int) bool { return tr.Traces[i].DurationMS > tr.Traces[j].DurationMS })
+	top := 3
+	if len(tr.Traces) < top {
+		top = len(tr.Traces)
+	}
+	fmt.Printf("slowest traces:\n")
+	for _, t := range tr.Traces[:top] {
+		fmt.Printf("  %s %.3fms (request %s, trace %s)\n",
+			t.Endpoint, t.DurationMS, t.RequestID, t.TraceID)
+		printSpanTree(t.Root, "    ")
+	}
+}
+
+// printSpanTree renders one span subtree as an indented waterfall.
+func printSpanTree(s *traceSpan, indent string) {
+	if s == nil {
+		return
+	}
+	line := fmt.Sprintf("%s%-14s +%.3fms %.3fms", indent, s.Name, s.StartMS, s.DurationMS)
+	if s.Error != "" {
+		line += " ERROR: " + s.Error
+	}
+	fmt.Println(line)
+	for _, c := range s.Children {
+		printSpanTree(c, indent+"  ")
 	}
 }
 
@@ -347,7 +480,7 @@ type batchQuery struct {
 // fireBatch POSTs k randomly drawn queries to /route/batch (all
 // departing at depart, time-expanded when expand is set) and reports
 // the item count and per-item cache hits.
-func fireBatch(client *http.Client, addr string, queries []sampleQuery, rng *rand.Rand, k int, factor, depart float64, expand bool, rid string) (items, itemHits int, err error) {
+func fireBatch(client *http.Client, addr string, queries []sampleQuery, rng *rand.Rand, k int, factor, depart float64, expand bool, rid, tp string) (items, itemHits int, err error) {
 	req := struct {
 		Queries []batchQuery `json:"queries"`
 	}{Queries: make([]batchQuery, k)}
@@ -365,6 +498,7 @@ func fireBatch(client *http.Client, addr string, queries []sampleQuery, rng *ran
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
 	httpReq.Header.Set("X-Request-ID", rid)
+	httpReq.Header.Set("traceparent", tp)
 	resp, err := client.Do(httpReq)
 	if err != nil {
 		return 0, 0, err
@@ -410,12 +544,13 @@ func fetchQueries(client *http.Client, addr string, n int, loKm, hiKm float64, s
 
 // fire issues one request, fully draining the body so connections are
 // reused, and reports whether the answer came from the server cache.
-func fire(client *http.Client, url, rid string) (hit bool, err error) {
+func fire(client *http.Client, url, rid, tp string) (hit bool, err error) {
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
 		return false, err
 	}
 	req.Header.Set("X-Request-ID", rid)
+	req.Header.Set("traceparent", tp)
 	resp, err := client.Do(req)
 	if err != nil {
 		return false, err

@@ -26,6 +26,15 @@
 // Both kinds of line carry the request's X-Request-ID, which the
 // server echoes to the client, so logs join to responses exactly.
 //
+// With -span-sample N the service additionally records a phase-level
+// span tree for 1 in N requests (and for every request arriving with a
+// sampled W3C traceparent header), retains the most recent -trace-store
+// of them — slow and error traces preferentially — and serves them as
+// JSON on GET /debug/traces. Background rebuilds are always traced.
+// Scrapers that Accept application/openmetrics-text get latency
+// histogram buckets annotated with exemplar trace IDs that resolve in
+// /debug/traces?trace_id=....
+//
 // With -pprof 127.0.0.1:6060 the process additionally serves
 // net/http/pprof on that separate loopback listener, so CPU and
 // allocation profiles of the serving kernel can be captured in
@@ -107,6 +116,8 @@ func main() {
 	metricsOn := flag.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics")
 	slowQueryMS := flag.Int("slow-query-ms", 0, "log a structured slow_query line for route requests over this latency (0 disables)")
 	traceSample := flag.Int("trace-sample", 0, "additionally trace 1 in N route requests as query_trace lines (0 disables)")
+	spanSample := flag.Int("span-sample", 0, "record a span tree for 1 in N requests on GET /debug/traces (0 disables span tracing; sampled traceparent headers always trace)")
+	traceStore := flag.Int("trace-store", 256, "completed traces retained for /debug/traces (plus a slow/error annex)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -155,6 +166,16 @@ func main() {
 	reg := obs.NewRegistry()
 	eng.SetSearchMetrics(obs.NewSearchMetrics(reg, eng.NumSlices()))
 
+	// One tracer spans the read and write paths too: request span trees
+	// and background rebuild traces land in the same store, so
+	// /debug/traces shows both sides of a hot swap.
+	var tracer *obs.Tracer
+	if *spanSample > 0 {
+		tracer = obs.NewTracer(
+			obs.NewSpanStore(*traceStore, time.Duration(*slowQueryMS)*time.Millisecond),
+			*spanSample)
+	}
+
 	var ing *ingest.Ingestor
 	if *ingestOn {
 		// The rebuild trains with the same hyperparameters the serving
@@ -184,6 +205,7 @@ func main() {
 			},
 			MaxTrajectories: *maxTrajectories,
 			Metrics:         obs.NewIngestMetrics(reg, eng.NumSlices()),
+			Tracer:          tracer,
 		}, os.Stderr)
 		if len(seedTrajs) > 0 {
 			accepted, rejected := ing.Seed(seedTrajs)
@@ -207,6 +229,7 @@ func main() {
 		SlowQueryThreshold:  time.Duration(*slowQueryMS) * time.Millisecond,
 		TraceSample:         *traceSample,
 		TraceLogger:         slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+		Tracer:              tracer,
 	})
 	if *metricsOn {
 		log.Print("metrics: GET /metrics enabled (Prometheus text exposition)")
@@ -214,6 +237,10 @@ func main() {
 	if *slowQueryMS > 0 || *traceSample > 0 {
 		log.Printf("tracing: slow-query threshold %dms, sample 1/%d (structured lines on stderr)",
 			*slowQueryMS, *traceSample)
+	}
+	if tracer.Enabled() {
+		log.Printf("spans: GET /debug/traces enabled (sampling 1/%d requests, retaining %d traces)",
+			*spanSample, *traceStore)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

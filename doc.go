@@ -213,6 +213,25 @@
 // internal/server/doc.go catalogues the metric names, label
 // conventions and the trace line schema.
 //
+// Span-based tracing (obs.Tracer) goes one level deeper: a sampled
+// request carries a root span through context.Context, and every layer
+// it crosses contributes timed child spans — the server's slice-select,
+// cache-lookup and encode phases, the engine's search span (with the
+// per-query counters as attributes), and inside it the PBR kernel's
+// potentials/seed-path/expand phases (routing.PBRCtx). Background
+// rebuilds are always traced as root "rebuild" with build-kb/train/swap
+// children. Finished trees land in a bounded lock-free store —
+// obs.SpanStore, which retains slow and error traces preferentially —
+// and are served as JSON on GET /debug/traces. W3C traceparent headers
+// join client and server hops (a sampled inbound header forces
+// tracing; the response echoes the trace identity), and the
+// route-latency histograms attach the trace ID as an OpenMetrics
+// exemplar, so a latency spike on a dashboard links straight to the
+// span tree that explains it. The unsampled path is free: StartSpan on
+// a span-free context returns a nil span whose every method is a no-op,
+// gated at zero allocations per query by BenchmarkSpanUnsampledHotPath
+// and bounded under sampling by BenchmarkRoutingPBRTraced in CI.
+//
 // # Quick start
 //
 //	cfg := stochroute.DefaultConfig()

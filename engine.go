@@ -464,7 +464,17 @@ func (e *Engine) RouteAnytime(source, dest VertexID, budget float64, limit time.
 // NumEstimated) collected race-free even when many queries run at once,
 // plus the ModelEpoch of the generation that answered it.
 func (e *Engine) RouteWithOptions(source, dest VertexID, opts RouteOptions) (*RouteResult, error) {
-	return e.routeOnSnapshot(e.current.Load(), source, dest, opts)
+	return e.routeOnSnapshot(context.Background(), e.current.Load(), source, dest, opts)
+}
+
+// RouteCtx is RouteWithOptions with trace-context propagation: when ctx
+// carries a sampled span (the serving layer's root span), the query
+// emits a "search" child span annotated with the slice, epoch and
+// search counters, and the PBR kernel adds its phase spans beneath it.
+// With an unsampled context it is byte-for-byte RouteWithOptions —
+// the span API collapses to a zero-allocation no-op.
+func (e *Engine) RouteCtx(ctx context.Context, source, dest VertexID, opts RouteOptions) (*RouteResult, error) {
+	return e.routeOnSnapshot(ctx, e.current.Load(), source, dest, opts)
 }
 
 // routeOnSnapshot answers one budget-routing query against an explicit
@@ -473,7 +483,8 @@ func (e *Engine) RouteWithOptions(source, dest VertexID, opts RouteOptions) (*Ro
 // — or per extension when Options.TimeExpanded is set) and where
 // per-request decision telemetry and the slice/epoch stamps are wired
 // onto a result, shared by the single and batched query paths.
-func (e *Engine) routeOnSnapshot(cur *modelSnapshot, source, dest VertexID, opts RouteOptions) (*RouteResult, error) {
+func (e *Engine) routeOnSnapshot(ctx context.Context, cur *modelSnapshot, source, dest VertexID, opts RouteOptions) (*RouteResult, error) {
+	sctx, sp := obs.StartSpan(ctx, "search")
 	slice := cur.set.SliceOf(opts.Departure)
 	var qs hybrid.QueryStats
 	var coster hybrid.Coster
@@ -485,14 +496,29 @@ func (e *Engine) routeOnSnapshot(cur *modelSnapshot, source, dest VertexID, opts
 	} else {
 		coster = cur.set.At(slice).WithStats(&qs)
 	}
-	res, err := routing.PBR(e.graph, coster, source, dest, opts)
+	res, err := routing.PBRCtx(sctx, e.graph, coster, source, dest, opts)
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return nil, err
 	}
 	res.NumConvolved = qs.Convolved
 	res.NumEstimated = qs.Estimated
 	res.ModelEpoch = cur.epochFor(slice, opts)
 	res.Slice = slice
+	if sp != nil {
+		sp.SetInt("slice", int64(slice))
+		sp.SetInt("epoch", int64(res.ModelEpoch))
+		sp.SetBool("time_expanded", opts.TimeExpanded)
+		sp.SetInt("expansions", int64(res.Expansions))
+		sp.SetInt("generated_labels", int64(res.GeneratedLabels))
+		sp.SetInt("convolved", int64(qs.Convolved))
+		sp.SetInt("estimated", int64(qs.Estimated))
+		sp.SetInt("arena_bytes", res.ArenaBytes)
+		sp.SetBool("found", res.Found)
+		sp.SetFloat("prob", res.Prob)
+		sp.End()
+	}
 	if m := e.searchMetrics.Load(); m != nil {
 		m.Observe(obs.SearchSample{
 			Slice:           slice,
@@ -577,8 +603,18 @@ func (e *Engine) RouteBatch(ctx context.Context, queries []routing.BatchQuery, w
 					out[i] = routing.BatchItem{Err: err, Epoch: epoch}
 					continue
 				}
-				res, err := e.routeOnSnapshot(cur, q.Source, q.Dest, q.Opts)
-				out[i] = routing.BatchItem{Result: res, Err: err, Epoch: epoch}
+				// Each item gets its own child span under the batch's
+				// request scope, so one slow item is visible inside the
+				// batch's trace instead of vanishing into the aggregate.
+				t0 := time.Now()
+				ictx, isp := obs.StartSpan(ctx, "batch-item")
+				isp.SetInt("index", int64(i))
+				isp.SetInt("source", int64(q.Source))
+				isp.SetInt("dest", int64(q.Dest))
+				res, err := e.routeOnSnapshot(ictx, cur, q.Source, q.Dest, q.Opts)
+				isp.SetError(err)
+				isp.End()
+				out[i] = routing.BatchItem{Result: res, Err: err, Epoch: epoch, Elapsed: time.Since(t0)}
 			}
 		}()
 	}

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -63,6 +64,12 @@ type Config struct {
 	// counts and rebuild durations. Nil disables recording (the /stats
 	// counters are unaffected either way).
 	Metrics *obs.IngestMetrics
+	// Tracer, when set, gives the write path span trees: sampled
+	// /ingest requests get validate/fold/drift-score child spans, and
+	// every background rebuild records an always-sampled trace
+	// (endpoint "rebuild": build-kb → train → swap) in the same store
+	// the server's /debug/traces reads. Pass the server's tracer.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -214,7 +221,7 @@ func (in *Ingestor) NumSlices() int { return in.k }
 // feeding the drift monitors or triggering rebuilds. Returns how many
 // were accepted and rejected.
 func (in *Ingestor) Seed(trs []traj.Trajectory) (accepted, rejected int) {
-	return in.fold(trs, false)
+	return in.fold(context.Background(), trs, false)
 }
 
 // Ingest validates and folds a batch of trajectories into their
@@ -225,7 +232,15 @@ func (in *Ingestor) Seed(trs []traj.Trajectory) (accepted, rejected int) {
 // edges, non-finite or negative times or departures) are counted and
 // skipped, never fatal. Returns how many were accepted and rejected.
 func (in *Ingestor) Ingest(trs []traj.Trajectory) (accepted, rejected int) {
-	return in.fold(trs, true)
+	return in.fold(context.Background(), trs, true)
+}
+
+// IngestCtx is Ingest with trace-context propagation: when ctx carries
+// a sampled span (the server's /ingest root), the fold emits
+// "ingest-validate", "ingest-fold" and per-slice "drift-score" child
+// spans. With an unsampled ctx it is exactly Ingest.
+func (in *Ingestor) IngestCtx(ctx context.Context, trs []traj.Trajectory) (accepted, rejected int) {
+	return in.fold(ctx, trs, true)
 }
 
 // sliceRebuild is one pending background rebuild decided under the
@@ -237,8 +252,9 @@ type sliceRebuild struct {
 	trajs  []traj.Trajectory
 }
 
-func (in *Ingestor) fold(trs []traj.Trajectory, live bool) (accepted, rejected int) {
+func (in *Ingestor) fold(ctx context.Context, trs []traj.Trajectory, live bool) (accepted, rejected int) {
 	g := in.target.Graph()
+	_, vsp := obs.StartSpan(ctx, "ingest-validate")
 	valid := make([]traj.Trajectory, 0, len(trs))
 	for i := range trs {
 		if err := validateTrajectory(g, &trs[i]); err != nil {
@@ -248,6 +264,11 @@ func (in *Ingestor) fold(trs []traj.Trajectory, live bool) (accepted, rejected i
 		valid = append(valid, trs[i])
 	}
 	accepted = len(valid)
+	if vsp != nil {
+		vsp.SetInt("accepted", int64(accepted))
+		vsp.SetInt("rejected", int64(rejected))
+		vsp.End()
+	}
 	if live {
 		in.accepted.Add(uint64(accepted))
 		in.rejected.Add(uint64(rejected))
@@ -262,6 +283,7 @@ func (in *Ingestor) fold(trs []traj.Trajectory, live bool) (accepted, rejected i
 	}
 	// Bucket by departure slice and build the per-slice deltas outside
 	// the lock; merging them in is cheap.
+	_, fsp := obs.StartSpan(ctx, "ingest-fold")
 	buckets := traj.SplitBySlice(valid, in.k)
 	deltas := make([]*traj.ObservationStore, in.k)
 	for s, bucket := range buckets {
@@ -293,7 +315,7 @@ func (in *Ingestor) fold(trs []traj.Trajectory, live bool) (accepted, rejected i
 		for i := range bucket {
 			in.drift[s].Observe(&bucket[i])
 		}
-		trigger, reason := in.checkTriggersLocked(s)
+		trigger, reason := in.checkTriggersLocked(ctx, s)
 		if trigger && !in.rebuilding[s] && len(in.trajs[s]) >= in.cfg.MinRebuildTrajectories {
 			in.rebuilding[s] = true
 			in.slices[s].Rebuilding = true
@@ -313,6 +335,10 @@ func (in *Ingestor) fold(trs []traj.Trajectory, live bool) (accepted, rejected i
 		}
 	}
 	in.mu.Unlock()
+	if fsp != nil {
+		fsp.SetInt("rebuilds_triggered", int64(len(pending)))
+		fsp.End()
+	}
 
 	for _, p := range pending {
 		in.rebuildWG.Add(1)
@@ -346,10 +372,21 @@ func (in *Ingestor) pruneLocked(s int) {
 }
 
 // checkTriggersLocked evaluates slice s's drift window (when full) and
-// its trajectory-count trigger. Callers hold in.mu.
-func (in *Ingestor) checkTriggersLocked(s int) (bool, string) {
+// its trajectory-count trigger. Callers hold in.mu. ctx carries the
+// fold's trace context: a full-window evaluation is the expensive step
+// of the write path, so it gets its own span.
+func (in *Ingestor) checkTriggersLocked(ctx context.Context, s int) (bool, string) {
 	if in.drift[s].Ready() {
+		_, dsp := obs.StartSpan(ctx, "drift-score")
 		rep := in.drift[s].Evaluate(in.target.SliceKnowledgeBase(s))
+		if dsp != nil {
+			dsp.SetInt("slice", int64(s))
+			dsp.SetFloat("score", rep.Score)
+			dsp.SetBool("fired", rep.Fired)
+			dsp.SetInt("drifted", int64(rep.Drifted))
+			dsp.SetInt("checked", int64(rep.Checked))
+			dsp.End()
+		}
 		in.lastDriftScore.Store(math.Float64bits(rep.Score))
 		in.slices[s].LastDriftScore = rep.Score
 		in.metrics.DriftScore(s, rep.Score)
@@ -387,19 +424,38 @@ func (in *Ingestor) rebuild(p sliceRebuild) {
 		in.rebuildWG.Done()
 	}()
 	start := time.Now()
+	// Every rebuild gets a trace (no sampling: rebuilds are rare and
+	// exactly what an operator goes to /debug/traces for — "where did
+	// that 2-second rebuild spend its time" is the build-kb/train/swap
+	// breakdown below). Filter with /debug/traces?endpoint=rebuild.
+	rctx, root := in.cfg.Tracer.StartBackground("rebuild", obs.NewRequestID())
+	root.SetInt("slice", int64(p.slice))
+	root.SetStr("reason", p.reason)
+	root.SetInt("trajectories", int64(len(p.trajs)))
 	err := func() error {
+		_, ksp := obs.StartSpan(rctx, "build-kb")
 		kb, err := hybrid.BuildKnowledgeBase(in.target.Graph(), p.obs, in.cfg.Hybrid.Width, in.cfg.Hybrid.MinPairObs)
+		ksp.SetError(err)
+		ksp.End()
 		if err != nil {
 			return err
 		}
+		_, tsp := obs.StartSpan(rctx, "train")
 		model, report, err := hybrid.Train(kb, p.obs, p.trajs, nil, in.cfg.Hybrid)
+		tsp.SetError(err)
+		tsp.End()
 		if err != nil {
 			return err
 		}
+		_, wsp := obs.StartSpan(rctx, "swap")
 		epoch, err := in.target.SwapSliceModel(p.slice, model, p.obs)
 		if err != nil {
+			wsp.SetError(err)
+			wsp.End()
 			return err
 		}
+		wsp.SetInt("epoch", int64(epoch))
+		wsp.End()
 		now := time.Now().UnixMilli()
 		in.lastSwapUnixMS.Store(now)
 		in.mu.Lock()
@@ -417,6 +473,8 @@ func (in *Ingestor) rebuild(p sliceRebuild) {
 			report.MeanKLHybrid, report.MeanKLConv, epoch)
 		return nil
 	}()
+	root.SetError(err)
+	in.cfg.Tracer.Finish(root)
 	if err != nil {
 		in.rebuildErrors.Add(1)
 		in.metrics.RebuildError()

@@ -53,6 +53,14 @@ func ParseText(r io.Reader) ([]Sample, error) {
 func parseSampleLine(line string) (Sample, error) {
 	var s Sample
 	rest := line
+	// OpenMetrics bucket lines may carry an exemplar annotation after
+	// the value (` # {trace_id="..."} value ts`); strip it before
+	// parsing so ParseText accepts either exposition. The marker cannot
+	// occur inside a label value this registry renders (values escape
+	// nothing that would produce ` # {`).
+	if i := strings.Index(rest, " # {"); i >= 0 {
+		rest = rest[:i]
+	}
 	if i := strings.IndexByte(rest, '{'); i >= 0 {
 		s.Name = rest[:i]
 		end := strings.LastIndexByte(rest, '}')

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // metricKind discriminates the three exposition types.
@@ -62,6 +63,13 @@ func L(name, value string) Label { return Label{Name: name, Value: value} }
 // child is anything that can render its sample lines.
 type child interface {
 	write(w io.Writer, name, labels string)
+}
+
+// exemplarChild is a child that renders extra detail (exemplar
+// annotations) in the OpenMetrics exposition. Children that do not
+// implement it render identically in both formats.
+type exemplarChild interface {
+	writeOM(w io.Writer, name, labels string)
 }
 
 // childEntry pairs a rendered label string with its metric.
@@ -238,6 +246,24 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...L
 // exposition format (version 0.0.4), deterministically ordered:
 // families by name, children by rendered label set.
 func (r *Registry) WriteText(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the same families as WriteText but with
+// OpenMetrics extras: histogram buckets carry exemplar annotations
+// (`# {trace_id="..."} value timestamp`) when one was recorded, and the
+// output ends with the mandatory `# EOF` terminator. Everything else is
+// byte-identical to the 0.0.4 exposition, so ParseText-based tooling
+// keeps working on either.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.writeExposition(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) writeExposition(w io.Writer, om bool) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
@@ -261,16 +287,31 @@ func (r *Registry) WriteText(w io.Writer) error {
 		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
 		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
 		for _, e := range entries {
+			if ec, ok := e.metric.(exemplarChild); ok && om {
+				ec.writeOM(bw, f.name, e.labels)
+				continue
+			}
 			e.metric.write(bw, f.name, e.labels)
 		}
 	}
 	return bw.err
 }
 
+// openMetricsType is the media type that selects the exemplar-bearing
+// exposition on /metrics.
+const openMetricsType = "application/openmetrics-text"
+
 // Handler returns an http.Handler serving the text exposition — mount
-// it at GET /metrics.
+// it at GET /metrics. Scrapers that send an Accept header naming
+// application/openmetrics-text get the OpenMetrics rendering with
+// exemplars; everyone else gets the plain 0.0.4 exposition.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), openMetricsType) {
+			w.Header().Set("Content-Type", openMetricsType+"; version=1.0.0; charset=utf-8")
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WriteText(w)
 	})
@@ -390,14 +431,26 @@ func (f funcMetric) write(w io.Writer, name, labels string) {
 	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(f()))
 }
 
+// Exemplar links one histogram bucket to a recent trace: the observed
+// value, the W3C trace ID of the request that produced it, and when it
+// was recorded. "p99 got worse" becomes "open this trace".
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Time    time.Time
+}
+
 // Histogram is a fixed-bucket histogram: cumulative counts are derived
 // at scrape time from per-bucket atomics, so Observe is a bucket scan
-// plus three atomic operations and never allocates.
+// plus three atomic operations and never allocates. Each bucket can
+// additionally hold the most recent exemplar (set only on the sampled
+// path via ObserveWithExemplar, so plain Observe stays allocation-free).
 type Histogram struct {
-	bounds  []float64 // sorted upper bounds, +Inf implicit
-	counts  []atomic.Uint64
-	count   atomic.Uint64
-	sumBits atomic.Uint64
+	bounds    []float64 // sorted upper bounds, +Inf implicit
+	counts    []atomic.Uint64
+	count     atomic.Uint64
+	sumBits   atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -414,7 +467,11 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	bs := make([]float64, len(bounds))
 	copy(bs, bounds)
-	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		counts:    make([]atomic.Uint64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one value. It is lock-free and allocation-free.
@@ -436,6 +493,38 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveWithExemplar records one value and attaches traceID as the
+// bucket's exemplar. Only sampled requests take this path; it allocates
+// one Exemplar, which is fine — sampling already paid for a span tree.
+// An empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	if traceID != "" {
+		i := 0
+		for i < len(h.bounds) && v > h.bounds[i] {
+			i++
+		}
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v, Time: time.Now()})
+	}
+	h.Observe(v)
+}
+
+// Exemplars returns the current exemplar for each bucket that has one.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]Exemplar, 0, len(h.exemplars))
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -453,15 +542,35 @@ func (h *Histogram) Sum() float64 {
 }
 
 func (h *Histogram) write(w io.Writer, name, labels string) {
+	h.writeBuckets(w, name, labels, false)
+}
+
+// writeOM renders the OpenMetrics variant: bucket lines carry exemplar
+// annotations when one was recorded.
+func (h *Histogram) writeOM(w io.Writer, name, labels string) {
+	h.writeBuckets(w, name, labels, true)
+}
+
+func (h *Histogram) writeBuckets(w io.Writer, name, labels string, om bool) {
 	// Rendered as cumulative buckets; the le label joins any existing
 	// label set.
 	var cum uint64
-	for i, b := range h.bounds {
+	for i := 0; i <= len(h.bounds); i++ {
+		bound := "+Inf"
+		if i < len(h.bounds) {
+			bound = formatFloat(h.bounds[i])
+		}
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name, joinLE(labels, formatFloat(b)), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d", name, joinLE(labels, bound), cum)
+		if om {
+			if e := h.exemplars[i].Load(); e != nil {
+				fmt.Fprintf(w, " # {trace_id=\"%s\"} %s %.3f",
+					escapeLabelValue(e.TraceID), formatFloat(e.Value),
+					float64(e.Time.UnixMilli())/1e3)
+			}
+		}
+		fmt.Fprintf(w, "\n")
 	}
-	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket%s %d\n", name, joinLE(labels, "+Inf"), cum)
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count.Load())
 }

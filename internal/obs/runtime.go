@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RuntimeStats samples the Go runtime for telemetry. ReadMemStats
+// stops the world, so samples are cached for a short TTL: a scrape
+// that reads four series triggers at most one collection, and /stats
+// piggybacks on the same sample as /metrics.
+type RuntimeStats struct {
+	mu  sync.Mutex
+	at  time.Time
+	ms  runtime.MemStats
+	ttl time.Duration
+}
+
+// mem returns the cached MemStats, refreshing it when stale. The
+// returned pointer is only valid under mu, so accessors copy what they
+// need before unlocking.
+func (s *RuntimeStats) mem() *runtime.MemStats {
+	if time.Since(s.at) > s.ttl {
+		runtime.ReadMemStats(&s.ms)
+		s.at = time.Now()
+	}
+	return &s.ms
+}
+
+// Goroutines returns the current goroutine count (not cached — it is
+// cheap).
+func (s *RuntimeStats) Goroutines() int { return runtime.NumGoroutine() }
+
+// HeapInuseBytes returns bytes in in-use heap spans.
+func (s *RuntimeStats) HeapInuseBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem().HeapInuse
+}
+
+// GCPauseTotalSeconds returns the cumulative stop-the-world pause time.
+func (s *RuntimeStats) GCPauseTotalSeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return float64(s.mem().PauseTotalNs) / 1e9
+}
+
+// GCCycles returns the number of completed GC cycles.
+func (s *RuntimeStats) GCCycles() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem().NumGC
+}
+
+// GOMAXPROCS returns the scheduler's processor limit.
+func (s *RuntimeStats) GOMAXPROCS() int { return runtime.GOMAXPROCS(0) }
+
+// RegisterRuntimeMetrics registers Go runtime telemetry in r as
+// scrape-time funcs — go_goroutines, go_heap_inuse_bytes,
+// go_gomaxprocs gauges and the go_gc_pause_seconds_total /
+// go_gc_cycles_total counters — and returns the shared sampler so
+// /stats can report the same numbers without a second stop-the-world.
+// Registering twice on one registry keeps the first registration's
+// funcs (Registry children are idempotent by label set).
+func RegisterRuntimeMetrics(r *Registry) *RuntimeStats {
+	s := &RuntimeStats{ttl: time.Second}
+	r.GaugeFunc("go_goroutines", "Current number of goroutines.",
+		func() float64 { return float64(s.Goroutines()) })
+	r.GaugeFunc("go_heap_inuse_bytes", "Bytes in in-use heap spans.",
+		func() float64 { return float64(s.HeapInuseBytes()) })
+	r.GaugeFunc("go_gomaxprocs", "GOMAXPROCS: the scheduler's processor limit.",
+		func() float64 { return float64(s.GOMAXPROCS()) })
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time in seconds.",
+		s.GCPauseTotalSeconds)
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return float64(s.GCCycles()) })
+	return s
+}

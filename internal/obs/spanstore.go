@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// SpanStore is a bounded, lock-free buffer of completed traces backing
+// GET /debug/traces. Writers claim a slot with one atomic add and store
+// a pointer; scrapers read the pointers without locks — a scrape sees
+// some consistent recent window, never a torn trace, because traces are
+// immutable once published.
+//
+// Retention is two rings: every trace enters the main ring, and traces
+// that were slow (root duration >= the slow threshold) or recorded an
+// error ALSO enter a second ring. Under load the main ring cycles in
+// seconds, but the traces worth debugging survive in the slow/error
+// ring until enough equally interesting traces push them out.
+type SpanStore struct {
+	slow time.Duration
+	main traceRing
+	kept traceRing // slow + error traces, retained preferentially
+}
+
+// traceRing is one fixed-size atomic ring of trace pointers.
+type traceRing struct {
+	slots []atomic.Pointer[Trace]
+	pos   atomic.Uint64
+}
+
+func (r *traceRing) add(t *Trace) {
+	i := (r.pos.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[i].Store(t)
+}
+
+func (r *traceRing) collect(out []*Trace) []*Trace {
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// NewSpanStore builds a store retaining the last `capacity` traces plus
+// the last capacity/4 (min 16) slow-or-error traces. slow <= 0 disables
+// the slow classification (error traces are still kept). capacity < 16
+// is raised to 16.
+func NewSpanStore(capacity int, slow time.Duration) *SpanStore {
+	if capacity < 16 {
+		capacity = 16
+	}
+	keep := capacity / 4
+	if keep < 16 {
+		keep = 16
+	}
+	return &SpanStore{
+		slow: slow,
+		main: traceRing{slots: make([]atomic.Pointer[Trace], capacity)},
+		kept: traceRing{slots: make([]atomic.Pointer[Trace], keep)},
+	}
+}
+
+// SlowThreshold returns the duration at or above which a trace is
+// classified slow.
+func (s *SpanStore) SlowThreshold() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.slow
+}
+
+// Add publishes a completed trace. Lock-free; safe from any goroutine.
+func (s *SpanStore) Add(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	s.main.add(t)
+	if t.Err() || (s.slow > 0 && t.Duration() >= s.slow) {
+		s.kept.add(t)
+	}
+}
+
+// Snapshot returns the retained traces (both rings, deduplicated),
+// newest first by end time.
+func (s *SpanStore) Snapshot() []*Trace {
+	if s == nil {
+		return nil
+	}
+	out := make([]*Trace, 0, len(s.main.slots)+len(s.kept.slots))
+	out = s.main.collect(out)
+	out = s.kept.collect(out)
+	seen := make(map[*Trace]struct{}, len(out))
+	uniq := out[:0]
+	for _, t := range out {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		uniq = append(uniq, t)
+	}
+	sort.SliceStable(uniq, func(i, j int) bool {
+		return uniq[i].end.After(uniq[j].end)
+	})
+	return uniq
+}
+
+// Find returns the retained trace with the given W3C trace ID, or nil.
+// Exemplar trace IDs on /metrics resolve through this.
+func (s *SpanStore) Find(traceID string) *Trace {
+	if s == nil || traceID == "" {
+		return nil
+	}
+	for _, r := range []*traceRing{&s.kept, &s.main} {
+		for i := range r.slots {
+			if t := r.slots[i].Load(); t != nil && t.ID == traceID {
+				return t
+			}
+		}
+	}
+	return nil
+}

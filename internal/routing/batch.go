@@ -1,6 +1,10 @@
 package routing
 
-import "stochroute/internal/graph"
+import (
+	"time"
+
+	"stochroute/internal/graph"
+)
 
 // BatchQuery is one query of a batched routing request: the endpoints
 // plus the full per-query search options (budget, anytime limits,
@@ -24,4 +28,9 @@ type BatchItem struct {
 	Result *Result
 	Err    error
 	Epoch  uint64
+	// Elapsed is the wall-clock time this item spent in its search,
+	// measured by the executor — it lets the serving layer observe
+	// per-item latency even though the handler only sees the whole
+	// batch.
+	Elapsed time.Duration
 }

@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -11,6 +12,7 @@ import (
 	"stochroute/internal/graph"
 	"stochroute/internal/hist"
 	"stochroute/internal/hybrid"
+	"stochroute/internal/obs"
 	"stochroute/internal/pqueue"
 )
 
@@ -227,7 +229,21 @@ type frontierEntry struct {
 // reachable slice, and Result.SliceSeq reports the slice sequence of
 // the chosen path. See Options.TimeExpanded for the exact equivalence
 // guarantees.
+//
+// PBR is PBRCtx with an empty context: no span tree, zero tracing cost.
 func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Options) (*Result, error) {
+	return PBRCtx(context.Background(), g, c, source, dest, opts)
+}
+
+// PBRCtx is PBR with trace-context propagation: when ctx carries a
+// sampled span (obs.StartSpan), the search emits child spans for its
+// phases — "potentials" (the backward Dijkstra bound), "seed-path"
+// (warm-start costing, only when opts.SeedPath is set) and "expand"
+// (the main label-correcting loop, annotated with the expansion and
+// generated-label counts). On an unsampled context every span call is
+// a zero-allocation no-op, so this is the function the engine calls
+// unconditionally.
+func PBRCtx(ctx context.Context, g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Options) (*Result, error) {
 	start := time.Now()
 	if opts.Budget <= 0 || math.IsNaN(opts.Budget) {
 		return nil, fmt.Errorf("routing: PBR with invalid budget %v", opts.Budget)
@@ -289,7 +305,9 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 	if useTemporal {
 		minEdge = func(e graph.EdgeID) float64 { return tc.MinEdgeTimeWithin(e, hlim) }
 	}
+	_, psp := obs.StartSpan(ctx, "potentials")
 	h := ReversePotentials(g, minEdge, dest)
+	psp.End()
 	if math.IsInf(h[source], 1) {
 		return nil, ErrUnreachable
 	}
@@ -365,7 +383,10 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 	// label chain: each extension's slice comes from the accumulated
 	// mean so far.
 	if len(opts.SeedPath) > 0 {
+		_, ssp := obs.StartSpan(ctx, "seed-path")
 		if err := ValidatePath(g, opts.SeedPath, source, dest); err != nil {
+			ssp.SetError(err)
+			ssp.End()
 			return nil, fmt.Errorf("routing: PBR seed path: %w", err)
 		}
 		var seedSlices []int
@@ -393,6 +414,9 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 			recycle(sd)
 		}
 		pivotProb = pivotDist.CDF(opts.Budget)
+		ssp.SetInt("edges", int64(len(opts.SeedPath)))
+		ssp.SetFloat("prob", pivotProb)
+		ssp.End()
 	}
 	seedProb, seedDist, seedSliceSeq := pivotProb, pivotDist, pivotSlices
 
@@ -439,6 +463,7 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 		deadline = opts.Deadline
 	}
 
+	_, esp := obs.StartSpan(ctx, "expand")
 	for pq.Len() > 0 {
 		idx, prio, _ := pq.Pop()
 		lb := &labels[idx]
@@ -485,7 +510,10 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 		}
 
 		if len(labels) > maxLabels {
-			return nil, fmt.Errorf("routing: PBR exceeded %d labels; raise MaxLabels or tighten the budget", maxLabels)
+			err := fmt.Errorf("routing: PBR exceeded %d labels; raise MaxLabels or tighten the budget", maxLabels)
+			esp.SetError(err)
+			esp.End()
+			return nil, err
 		}
 
 		parentVertex := g.Edge(lb.lastEdge).From
@@ -605,6 +633,14 @@ func PBR(g *graph.Graph, c hybrid.Coster, source, dest graph.VertexID, opts Opti
 				push(ne.To, next, nd, idx, expSlice, newElapsed)
 			}
 		}
+	}
+	if esp != nil {
+		esp.SetInt("expansions", int64(res.Expansions))
+		esp.SetInt("generated_labels", int64(res.GeneratedLabels))
+		esp.SetInt("pruned_potential", int64(res.PrunedPotential))
+		esp.SetInt("pruned_pivot", int64(res.PrunedPivot))
+		esp.SetInt("pruned_dominance", int64(res.PrunedDominance))
+		esp.End()
 	}
 	if pq.Len() == 0 {
 		res.Complete = true

@@ -179,8 +179,10 @@
 //     http_request_duration_seconds {endpoint} — every endpoint,
 //     /metrics itself included.
 //   - route_latency_seconds {slice, cache, time_expanded} — the
-//     route-serving latency the way a dashboard slices it; batch
-//     requests are measured as one /route/batch request, not per item.
+//     route-serving latency the way a dashboard slices it; every batch
+//     item contributes its own observation (its wall-clock search time,
+//     or the hit-path time for cached items) under the batch request's
+//     scope, so batch and single-query latency share one histogram.
 //   - cache_hits_total, cache_misses_total, cache_evictions_total,
 //     cache_invalidations_total, cache_entries {cache, slice} — the
 //     per-slice LRU caches; invalidations count the hot-swap
@@ -215,6 +217,57 @@
 // pruned_pivot, pruned_dominance, convolved, estimated, arena_bytes,
 // latency_ms — enough to reconstruct why THIS request was slow
 // (cache miss? pruning collapse? giant arena?) without reproducing
-// it. Batch items are not traced per item — the batch shares one
-// request ID and one /route/batch latency observation.
+// it.
+//
+// # Span tracing and /debug/traces
+//
+// When Config.Tracer is set, the server samples requests into span
+// trees: the handle wrapper opens a root span named after the endpoint
+// pattern, stores it in the request context, and every layer below
+// contributes children via obs.StartSpan — which is a zero-allocation
+// no-op for the unsampled majority, so the hot path is identical with
+// and without a tracer. Sampling is 1-in-N (the tracer's rate) plus
+// every request whose inbound W3C traceparent header has the sampled
+// flag set; /metrics and /debug/traces themselves are never sampled,
+// so scrapes cannot displace request traces from the bounded store.
+// Sampled responses carry a Traceparent header echoing the trace ID
+// and root span, and the trace records the request's X-Request-ID, so
+// client, log line and span tree all join on both identifiers.
+//
+// Span taxonomy (name — parent — attributes):
+//
+//   - "/route" etc. — root — the endpoint pattern; error status from
+//     the handler's error return.
+//   - "slice-select" — root — slice, epoch, time_expanded: departure →
+//     slice mapping and epoch advance.
+//   - "cache-lookup" — root — hit; bypass=true when time-expanded
+//     skipped the cache.
+//   - "search" — root (from Engine.RouteCtx) — slice, epoch,
+//     time_expanded, expansions, generated_labels, convolved,
+//     estimated, arena_bytes, found, prob.
+//   - "potentials", "seed-path", "expand" — search (from
+//     routing.PBRCtx) — the kernel phases; expand carries the pruning
+//     counters.
+//   - "encode" — root — JSON rendering of the response.
+//   - "batch-item" — root — index, source, dest (+cached=true for
+//     hits, spanned by the server; misses are spanned by the engine's
+//     batch executor and own a child search span). Each item also
+//     contributes its own route_latency_seconds observation.
+//   - "ingest-validate", "ingest-fold", "drift-score" — /ingest root —
+//     the write path's phases (internal/ingest).
+//   - "rebuild" — always-sampled background root — slice, reason,
+//     trajectories; children "build-kb", "train", "swap" (epoch). Find
+//     them with /debug/traces?endpoint=rebuild.
+//
+// GET /debug/traces (registered only when tracing is on) returns the
+// most recent trees newest-first as JSON, filterable by n, request_id,
+// trace_id, endpoint, min_ms and errors=true; the store keeps slow
+// (over its threshold) and error traces in a separate annex so they
+// survive the main ring cycling. Exemplars close the metrics↔traces
+// loop: scraping /metrics with Accept: application/openmetrics-text
+// renders route_latency_seconds buckets annotated with
+// `# {trace_id="..."}`, and that ID resolves via
+// /debug/traces?trace_id=... — from histogram spike to span tree in
+// two requests. The default exposition is byte-identical to the plain
+// 0.0.4 format, exemplar-free.
 package server

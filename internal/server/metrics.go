@@ -3,6 +3,7 @@ package server
 import (
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"stochroute/internal/obs"
@@ -84,6 +85,35 @@ func (m *routeLatencyMetrics) observe(slice int, hit, expanded bool, d time.Dura
 	m.h[slice][hi][ei].Observe(d.Seconds())
 }
 
+// observeEx is observe plus an exemplar: when the request was sampled
+// (traceID != ""), the landing bucket remembers the trace ID so a
+// latency spike on /metrics links straight to a span tree in
+// /debug/traces. Unsampled requests ("" trace ID) take the plain
+// allocation-free Observe path.
+func (m *routeLatencyMetrics) observeEx(slice int, hit, expanded bool, d time.Duration, traceID string) {
+	if traceID == "" {
+		m.observe(slice, hit, expanded, d)
+		return
+	}
+	if m == nil {
+		return
+	}
+	if slice < 0 {
+		slice = 0
+	}
+	if slice >= len(m.h) {
+		slice = len(m.h) - 1
+	}
+	hi, ei := 0, 0
+	if hit {
+		hi = 1
+	}
+	if expanded {
+		ei = 1
+	}
+	m.h[slice][hi][ei].ObserveWithExemplar(d.Seconds(), traceID)
+}
+
 // initMetrics registers the server-level scrape-time series: uptime,
 // in-flight gauge, the two-level epoch series (the global model epoch
 // plus one gauge per slice — a dashboard sees exactly which slice
@@ -93,6 +123,7 @@ func (m *routeLatencyMetrics) observe(slice int, hit, expanded bool, d time.Dura
 func (s *Server) initMetrics(k int) {
 	reg := s.reg
 	s.routeLat = newRouteLatencyMetrics(reg, k)
+	s.runtime = obs.RegisterRuntimeMetrics(reg)
 	reg.GaugeFunc("uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.started).Seconds() })
 	reg.GaugeFunc("inflight_requests", "Requests currently being served.",
@@ -139,8 +170,15 @@ func (s *Server) initMetrics(k int) {
 	}
 }
 
-// handleMetrics serves the Prometheus text exposition.
+// handleMetrics serves the Prometheus text exposition. Scrapers that
+// Accept application/openmetrics-text get the OpenMetrics rendering,
+// whose histogram buckets carry exemplar trace IDs; everyone else gets
+// the plain 0.0.4 exposition, byte-identical to what PR 6 served.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		return s.reg.WriteOpenMetrics(w)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	return s.reg.WriteText(w)
 }

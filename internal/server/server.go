@@ -34,7 +34,12 @@ import (
 type Backend interface {
 	Graph() *graph.Graph
 	NearestVertex(lat, lon float64) graph.VertexID
-	RouteWithOptions(source, dest graph.VertexID, opts routing.Options) (*routing.Result, error)
+	// RouteCtx answers one query. ctx carries the request's trace
+	// context: when the serving layer sampled the request, the backend
+	// is expected to emit its search spans as children of ctx's active
+	// span (obs.StartSpan); with an unsampled ctx the backend must add
+	// no overhead.
+	RouteCtx(ctx context.Context, source, dest graph.VertexID, opts routing.Options) (*routing.Result, error)
 	// RouteBatch answers queries[i] in item i against ONE model
 	// snapshot: a hot swap mid-batch must never split a batch across
 	// model generations, and every item (error items included) carries
@@ -121,6 +126,13 @@ type Config struct {
 	// lines; nil falls back to slog.Default() when either policy is
 	// enabled.
 	TraceLogger *slog.Logger
+	// Tracer enables span-based tracing: sampled requests (the tracer's
+	// 1-in-N head sampling, or any request carrying a sampled W3C
+	// traceparent header) get a span tree published to the tracer's
+	// SpanStore and served by GET /debug/traces. Nil leaves tracing off
+	// and /debug/traces unregistered. Construct the tracer externally
+	// (cmd/serve does) so ingest rebuild traces land in the same store.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -201,10 +213,14 @@ type Server struct {
 
 	// reg backs both /metrics and /stats; trace emits slow-query /
 	// sampled trace lines; routeLat is the pre-registered
-	// route_latency_seconds family.
+	// route_latency_seconds family; tracer samples span trees into the
+	// /debug/traces store; runtime is the shared Go-runtime sampler
+	// behind the go_* series and /stats.
 	reg      *obs.Registry
 	trace    *obs.TraceLog
 	routeLat *routeLatencyMetrics
+	tracer   *obs.Tracer
+	runtime  *obs.RuntimeStats
 }
 
 // perSliceCapacity splits a total cache capacity over k slices (at
@@ -240,6 +256,7 @@ func New(backend Backend, cfg Config) *Server {
 		started: time.Now(),
 		stats:   make(map[string]*endpointMetrics),
 		reg:     cfg.Metrics,
+		tracer:  cfg.Tracer,
 	}
 	for i := 0; i < k; i++ {
 		s.routes[i] = NewShardedLRU[routeKey, routeEntry](cfg.CacheShards, perSliceCapacity(cfg.RouteCache, k))
@@ -268,6 +285,9 @@ func New(backend Backend, cfg Config) *Server {
 	}
 	if !cfg.DisableMetrics {
 		s.handle("/metrics", http.MethodGet, s.handleMetrics)
+	}
+	if s.tracer.Enabled() {
+		s.handle("/debug/traces", http.MethodGet, s.handleDebugTraces)
 	}
 	return s
 }
@@ -305,9 +325,20 @@ func (s *Server) Serve(ctx context.Context, addr string) error {
 // Every request gets an X-Request-ID stamped on the response before the
 // handler runs: the client's own, or a freshly minted one, so a slow
 // query's log line is joinable with the response the client saw.
+//
+// When a tracer is configured, the wrapper is also where sampling
+// happens: a request is traced when the tracer's 1-in-N counter fires
+// or its inbound W3C traceparent carries the sampled flag. A traced
+// request gets a root span in its context (handlers and the backend
+// hang phase spans off it via obs.StartSpan) and a response traceparent
+// header naming our trace so the caller can find it in /debug/traces;
+// unsampled requests skip all of it — no context wrap, no allocation.
 func (s *Server) handle(pattern, method string, h func(http.ResponseWriter, *http.Request) error) {
 	em := newEndpointMetrics(s.reg, pattern)
 	s.stats[pattern] = em
+	// Tracing /debug/traces itself would fill the store with scrape
+	// noise the moment someone looks at it.
+	traceable := pattern != "/debug/traces" && pattern != "/metrics"
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != method {
 			w.Header().Set("Allow", method)
@@ -320,6 +351,16 @@ func (s *Server) handle(pattern, method string, h func(http.ResponseWriter, *htt
 			rid = obs.NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", rid)
+		var root *obs.Span
+		if traceable {
+			tp, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+			if s.tracer.ShouldSample(ok && tp.Sampled) {
+				var ctx context.Context
+				ctx, root = s.tracer.StartRequest(r.Context(), pattern, rid, tp)
+				r = r.WithContext(ctx)
+				w.Header().Set("Traceparent", obs.FormatTraceparent(root.TraceID(), root.WireID(), true))
+			}
+		}
 		em.requests.Inc()
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
@@ -327,6 +368,7 @@ func (s *Server) handle(pattern, method string, h func(http.ResponseWriter, *htt
 		em.latency.Observe(time.Since(start).Seconds())
 		if err != nil {
 			em.errors.Inc()
+			root.SetError(err)
 			var he *httpError
 			if errors.As(err, &he) {
 				writeError(w, he.code, he.msg)
@@ -334,6 +376,7 @@ func (s *Server) handle(pattern, method string, h func(http.ResponseWriter, *htt
 				writeError(w, http.StatusInternalServerError, err.Error())
 			}
 		}
+		s.tracer.Finish(root)
 	})
 }
 
@@ -600,6 +643,13 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 	if limit > 0 {
 		endpoint = "/route/anytime"
 	}
+	// ctx carries the request's root span when this request was sampled
+	// (see handle); traceID doubles as the sampling flag — "" means
+	// every span call below is a free no-op.
+	ctx := r.Context()
+	traceID := obs.SpanFromContext(ctx).TraceID()
+
+	_, ssp := obs.StartSpan(ctx, "slice-select")
 	slice := s.backend.SliceOf(depart)
 	epoch := s.backend.SliceEpoch(slice)
 	if expanded {
@@ -607,12 +657,22 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 	}
 	cache := s.routes[slice]
 	cache.AdvanceEpoch(s.backend.SliceEpoch(slice))
+	if ssp != nil {
+		ssp.SetInt("slice", int64(slice))
+		ssp.SetInt("epoch", int64(epoch))
+		ssp.SetBool("time_expanded", expanded)
+		ssp.End()
+	}
+
+	_, csp := obs.StartSpan(ctx, "cache-lookup")
 	if !expanded {
 		key := routeKey{src: src, dst: dst, bucket: s.bucketOf(budget)}
 		if entry, ok := cache.Get(key); ok {
+			csp.SetBool("hit", true)
+			csp.End()
 			w.Header().Set("X-Cache", "hit")
 			lat := time.Since(start)
-			s.routeLat.observe(slice, true, false, lat)
+			s.routeLat.observeEx(slice, true, false, lat, traceID)
 			s.trace.Record(&obs.QueryTrace{
 				RequestID: requestID(w),
 				Endpoint:  endpoint,
@@ -628,7 +688,8 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 				Prob:      entry.dist.CDF(budget),
 				Latency:   lat,
 			})
-			return writeJSON(w, &routeResponse{
+			_, esp := obs.StartSpan(ctx, "encode")
+			encErr := writeJSON(w, &routeResponse{
 				Source:      src,
 				Dest:        dst,
 				Budget:      budget,
@@ -643,7 +704,14 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 				RuntimeMS:   msSince(start),
 				Cached:      true,
 			})
+			esp.End()
+			return encErr
 		}
+	}
+	if csp != nil {
+		csp.SetBool("hit", false)
+		csp.SetBool("bypass", expanded) // time-expanded: cache not consulted
+		csp.End()
 	}
 	w.Header().Set("X-Cache", "miss")
 
@@ -651,7 +719,7 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 	if limit > 0 {
 		opts.MaxDuration = limit
 	}
-	res, err := s.backend.RouteWithOptions(src, dst, opts)
+	res, err := s.backend.RouteCtx(ctx, src, dst, opts)
 	if errors.Is(err, routing.ErrUnreachable) {
 		return writeJSON(w, &routeResponse{
 			Source: src, Dest: dst, Budget: budget, Depart: depart, Slice: slice,
@@ -667,7 +735,7 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 		cache.PutAt(key, routeEntry{path: res.Path, dist: res.Dist, epoch: res.ModelEpoch}, res.ModelEpoch)
 	}
 	lat := time.Since(start)
-	s.routeLat.observe(res.Slice, false, expanded, lat)
+	s.routeLat.observeEx(res.Slice, false, expanded, lat, traceID)
 	s.trace.Record(&obs.QueryTrace{
 		RequestID:       requestID(w),
 		Endpoint:        endpoint,
@@ -713,7 +781,10 @@ func (s *Server) routeCommon(w http.ResponseWriter, r *http.Request, limit time.
 	if res.Dist != nil {
 		out.MeanSeconds = res.Dist.Mean()
 	}
-	return writeJSON(w, out)
+	_, esp := obs.StartSpan(ctx, "encode")
+	encErr := writeJSON(w, out)
+	esp.End()
+	return encErr
 }
 
 // --- batched routing -------------------------------------------------
@@ -813,10 +884,19 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) error 
 		s.routes[slice].AdvanceEpoch(s.backend.SliceEpoch(slice))
 	}
 
+	// The batch's trace context: every item hangs its own child span off
+	// the one root (cache hits spanned here, misses spanned by the
+	// backend's executor), and every per-item latency observation below
+	// carries the batch's trace as its exemplar — so one request ID and
+	// one trace cover the whole batch, with per-item resolution inside.
+	ctx := r.Context()
+	traceID := obs.SpanFromContext(ctx).TraceID()
+
 	out := &batchResponse{Results: make([]batchItemResponse, len(req.Queries))}
 	var misses []routing.BatchQuery
 	var missIdx []int
 	for i, q := range req.Queries {
+		itemStart := time.Now()
 		src, dst := graph.VertexID(q.Source), graph.VertexID(q.Dest)
 		slice := s.backend.SliceOf(q.Depart)
 		resp := &out.Results[i].routeResponse
@@ -836,6 +916,14 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) error 
 				resp.ModelEpoch = entry.epoch
 				resp.Cached = true
 				out.CacheHits++
+				if _, hitSpan := obs.StartSpan(ctx, "batch-item"); hitSpan != nil {
+					hitSpan.SetInt("index", int64(i))
+					hitSpan.SetInt("source", int64(q.Source))
+					hitSpan.SetInt("dest", int64(q.Dest))
+					hitSpan.SetBool("cached", true)
+					hitSpan.End()
+				}
+				s.routeLat.observeEx(slice, true, false, time.Since(itemStart), traceID)
 				continue
 			}
 		}
@@ -848,11 +936,23 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) error 
 		missIdx = append(missIdx, i)
 	}
 
-	items := s.backend.RouteBatch(r.Context(), misses, s.cfg.BatchWorkers)
+	items := s.backend.RouteBatch(ctx, misses, s.cfg.BatchWorkers)
 	for k, item := range items {
 		i := missIdx[k]
 		q := misses[k]
 		resp := &out.Results[i].routeResponse
+		// Per-item latency: the executor timed each miss individually
+		// (BatchItem.Elapsed), so batch items land in the same
+		// route_latency_seconds series as /route requests — tagged with
+		// the batch's trace exemplar. Items the executor never started
+		// (context cancelled) have no latency to report.
+		if item.Elapsed > 0 {
+			itemSlice := resp.Slice
+			if item.Result != nil {
+				itemSlice = item.Result.Slice
+			}
+			s.routeLat.observeEx(itemSlice, false, q.Opts.TimeExpanded, item.Elapsed, traceID)
+		}
 		switch {
 		case errors.Is(item.Err, routing.ErrUnreachable):
 			resp.Complete = true
@@ -1135,7 +1235,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 	for i, tr := range req.Trajectories {
 		trs[i] = traj.Trajectory{Edges: tr.Edges, Times: tr.Times, Departure: tr.Depart}
 	}
-	accepted, rejected := s.cfg.Ingestor.Ingest(trs)
+	accepted, rejected := s.cfg.Ingestor.IngestCtx(r.Context(), trs)
 	st := s.cfg.Ingestor.Status()
 	return writeJSON(w, &ingestResponse{
 		Accepted:   accepted,
@@ -1208,6 +1308,18 @@ type statsResponse struct {
 	// is disabled), including its per-slice drift/rebuild breakdown;
 	// LastSwapUnixMS within it is the time of the last model hot swap.
 	Ingest *ingest.Status `json:"ingest,omitempty"`
+	// Runtime is the Go runtime's health snapshot — the same sampler
+	// that backs the go_* series on /metrics.
+	Runtime runtimeStatsResponse `json:"runtime"`
+}
+
+// runtimeStatsResponse is the /stats view of the Go runtime sampler.
+type runtimeStatsResponse struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapInuseBytes uint64  `json:"heap_inuse_bytes"`
+	GCPauseTotalS  float64 `json:"gc_pause_total_s"`
+	GCCycles       uint32  `json:"gc_cycles"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
 }
 
 // sumCacheStats aggregates per-slice cache stats; Epoch reports the
@@ -1260,6 +1372,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	if s.cfg.Ingestor != nil {
 		st := s.cfg.Ingestor.Status()
 		out.Ingest = &st
+	}
+	out.Runtime = runtimeStatsResponse{
+		Goroutines:     s.runtime.Goroutines(),
+		HeapInuseBytes: s.runtime.HeapInuseBytes(),
+		GCPauseTotalS:  s.runtime.GCPauseTotalSeconds(),
+		GCCycles:       s.runtime.GCCycles(),
+		GOMAXPROCS:     s.runtime.GOMAXPROCS(),
 	}
 	for pattern, em := range s.stats {
 		out.Endpoints[pattern] = endpointStatsResponse{

@@ -17,6 +17,7 @@ import (
 	"stochroute/internal/hybrid"
 	"stochroute/internal/ingest"
 	"stochroute/internal/netgen"
+	"stochroute/internal/obs"
 	"stochroute/internal/routing"
 	"stochroute/internal/traj"
 )
@@ -39,6 +40,9 @@ type fakeBackend struct {
 	// completeOver marks searches as cut off (Complete=false) whenever
 	// the request's MaxDuration is below this threshold.
 	completeOver time.Duration
+	// searchDelay stalls every search by this much wall-clock time, so
+	// tracing tests can manufacture a slow query deterministically.
+	searchDelay time.Duration
 }
 
 func newFakeBackend(t testing.TB) *fakeBackend { return newFakeBackendSlices(t, 1) }
@@ -111,8 +115,15 @@ func (f *fakeBackend) globalEpoch() uint64 {
 	return e
 }
 
-func (f *fakeBackend) RouteWithOptions(src, dst graph.VertexID, opts routing.Options) (*routing.Result, error) {
+// RouteCtx mirrors the engine's contract, including its span shape: a
+// sampled context gets a "search" span with the same attribute names
+// the real engine records, so tracing tests exercise the same tree.
+func (f *fakeBackend) RouteCtx(ctx context.Context, src, dst graph.VertexID, opts routing.Options) (*routing.Result, error) {
 	f.routeCalls.Add(1)
+	_, sp := obs.StartSpan(ctx, "search")
+	if f.searchDelay > 0 {
+		time.Sleep(f.searchDelay)
+	}
 	slice := f.SliceOf(opts.Departure)
 	epoch := f.SliceEpoch(slice)
 	d := f.distFor(src, dst, epoch, slice)
@@ -136,6 +147,12 @@ func (f *fakeBackend) RouteWithOptions(src, dst graph.VertexID, opts routing.Opt
 		res.SliceSeq = []int{slice, (slice + 1) % f.slices}
 		res.ModelEpoch = f.globalEpoch()
 	}
+	if sp != nil {
+		sp.SetInt("slice", int64(res.Slice))
+		sp.SetInt("expansions", int64(res.Expansions))
+		sp.SetBool("found", res.Found)
+		sp.End()
+	}
 	return res, nil
 }
 
@@ -153,8 +170,13 @@ func (f *fakeBackend) RouteBatch(ctx context.Context, queries []routing.BatchQue
 			out[i] = routing.BatchItem{Err: err, Epoch: epoch}
 			continue
 		}
-		res, err := f.RouteWithOptions(q.Source, q.Dest, q.Opts)
-		out[i] = routing.BatchItem{Result: res, Err: err, Epoch: epoch}
+		t0 := time.Now()
+		ictx, isp := obs.StartSpan(ctx, "batch-item")
+		isp.SetInt("index", int64(i))
+		res, err := f.RouteCtx(ictx, q.Source, q.Dest, q.Opts)
+		isp.SetError(err)
+		isp.End()
+		out[i] = routing.BatchItem{Result: res, Err: err, Epoch: epoch, Elapsed: time.Since(t0)}
 	}
 	return out
 }

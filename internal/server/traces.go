@@ -1,0 +1,148 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"stochroute/internal/obs"
+)
+
+// GET /debug/traces: the span trees of recently sampled requests (and
+// background rebuilds), newest first. Registered only when a tracer is
+// configured.
+//
+// Query parameters:
+//
+//	n          - max traces to return (default 32, capped by retention)
+//	request_id - only traces whose X-Request-ID matches exactly
+//	trace_id   - only the trace with this W3C trace ID (exemplar lookup)
+//	endpoint   - only traces for this endpoint/job ("/route", "rebuild")
+//	min_ms     - only traces at least this slow
+//	errors     - "true": only traces that recorded an error
+//
+// The store retains slow and error traces preferentially, so a trace
+// that was worth debugging is findable even after the main ring has
+// cycled past it.
+
+// spanResponse is one node of a rendered span tree. Times are offsets
+// from the trace start so a tree reads like a waterfall.
+type spanResponse struct {
+	Name       string          `json:"name"`
+	SpanID     string          `json:"span_id"`
+	StartMS    float64         `json:"start_ms"`
+	DurationMS float64         `json:"duration_ms"`
+	Error      string          `json:"error,omitempty"`
+	Attrs      map[string]any  `json:"attrs,omitempty"`
+	Children   []*spanResponse `json:"children,omitempty"`
+}
+
+// traceResponse is one rendered trace.
+type traceResponse struct {
+	TraceID    string        `json:"trace_id"`
+	ParentSpan string        `json:"parent_span_id,omitempty"`
+	RequestID  string        `json:"request_id"`
+	Endpoint   string        `json:"endpoint"`
+	Start      time.Time     `json:"start"`
+	DurationMS float64       `json:"duration_ms"`
+	Error      bool          `json:"error,omitempty"`
+	Root       *spanResponse `json:"root"`
+}
+
+type tracesResponse struct {
+	Traces []traceResponse `json:"traces"`
+	// Retained is how many traces the store currently holds (before
+	// filtering), so a client can tell "no match" from "already
+	// evicted".
+	Retained int `json:"retained"`
+	// SlowThresholdMS echoes the store's slow-retention threshold.
+	SlowThresholdMS float64 `json:"slow_threshold_ms,omitempty"`
+}
+
+func renderSpanTree(start time.Time, n *obs.SpanNode) *spanResponse {
+	if n == nil {
+		return nil
+	}
+	sp := n.Span
+	out := &spanResponse{
+		Name:       sp.Name(),
+		SpanID:     sp.WireID(),
+		StartMS:    float64(sp.Start().Sub(start)) / float64(time.Millisecond),
+		DurationMS: float64(sp.Duration()) / float64(time.Millisecond),
+		Error:      sp.Err(),
+	}
+	if attrs := sp.Attrs(); len(attrs) > 0 {
+		out.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			out.Attrs[a.Key] = a.Value()
+		}
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, renderSpanTree(start, c))
+	}
+	return out
+}
+
+func renderTrace(t *obs.Trace) traceResponse {
+	return traceResponse{
+		TraceID:    t.ID,
+		ParentSpan: t.ParentSpan,
+		RequestID:  t.RequestID,
+		Endpoint:   t.Endpoint,
+		Start:      t.Start,
+		DurationMS: float64(t.Duration()) / float64(time.Millisecond),
+		Error:      t.Err(),
+		Root:       renderSpanTree(t.Start, t.Tree()),
+	}
+}
+
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) error {
+	store := s.tracer.Store()
+	n, err := intParam(r, "n", 32)
+	if err != nil {
+		return err
+	}
+	if n < 1 {
+		n = 1
+	}
+	minMS, err := floatParam(r, "min_ms", 0)
+	if err != nil {
+		return err
+	}
+	errorsOnly, err := boolParam(r, "errors", false)
+	if err != nil {
+		return err
+	}
+	rid := r.URL.Query().Get("request_id")
+	traceID := r.URL.Query().Get("trace_id")
+	endpoint := r.URL.Query().Get("endpoint")
+
+	all := store.Snapshot()
+	out := &tracesResponse{
+		Traces:          make([]traceResponse, 0, min(n, len(all))),
+		Retained:        len(all),
+		SlowThresholdMS: float64(store.SlowThreshold()) / float64(time.Millisecond),
+	}
+	minDur := time.Duration(minMS * float64(time.Millisecond))
+	for _, t := range all {
+		if len(out.Traces) >= n {
+			break
+		}
+		if rid != "" && t.RequestID != rid {
+			continue
+		}
+		if traceID != "" && t.ID != traceID {
+			continue
+		}
+		if endpoint != "" && t.Endpoint != endpoint {
+			continue
+		}
+		if minDur > 0 && t.Duration() < minDur {
+			continue
+		}
+		if errorsOnly && !t.Err() {
+			continue
+		}
+		out.Traces = append(out.Traces, renderTrace(t))
+	}
+	return writeJSON(w, out)
+}
