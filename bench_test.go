@@ -7,12 +7,14 @@ package stochroute
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
 
 	"stochroute/internal/exp"
+	"stochroute/internal/graph"
 	"stochroute/internal/hist"
 	"stochroute/internal/hybrid"
 	"stochroute/internal/ingest"
@@ -473,4 +475,149 @@ func BenchmarkDominance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, _ = hist.CompareCDF(x, y)
 	}
+}
+
+// osmScaleFixture is the OSM-scale proving ground for ALT: a
+// deterministic synthetic network of >1M directed edges (the size class
+// of a large metropolitan OSM extract) with sparse synthetic temporal
+// trajectories, a knowledge base over them, prebuilt ALT landmark
+// tables, and a query workload with tight budgets. Built once per
+// process — the graph plus tables cost a few seconds and ~150MB.
+type osmScaleFixture struct {
+	g       *graph.Graph
+	kb      *hybrid.KnowledgeBase
+	alt     *routing.ALT
+	queries []netgen.Query
+	budgets []float64
+}
+
+var (
+	osmOnce sync.Once
+	osmFix  *osmScaleFixture
+	osmErr  error
+)
+
+func getOSMFixture(b *testing.B) *osmScaleFixture {
+	b.Helper()
+	osmOnce.Do(func() { osmFix, osmErr = buildOSMFixture() })
+	if osmErr != nil {
+		b.Fatalf("OSM fixture: %v", osmErr)
+	}
+	return osmFix
+}
+
+func buildOSMFixture() (*osmScaleFixture, error) {
+	netCfg := netgen.DefaultConfig()
+	netCfg.Rows, netCfg.Cols = 520, 520
+	g, err := netgen.Generate(netCfg)
+	if err != nil {
+		return nil, err
+	}
+	if g.NumEdges() < 1_000_000 {
+		return nil, fmt.Errorf("OSM-scale fixture has %d edges, need >= 1M", g.NumEdges())
+	}
+
+	// Synthetic temporal trajectories: deterministic random walks whose
+	// per-edge times scatter around free flow and whose departures cover
+	// the day. Coverage is deliberately sparse (~2%% of edges observed),
+	// like map-matched GPS on a metro extract; the knowledge base fills
+	// the rest with category priors.
+	const width = 2.0
+	r := rand.New(rand.NewSource(7))
+	store := traj.NewObservationStore(g, width)
+	trs := make([]traj.Trajectory, 0, 4096)
+	for len(trs) < 4096 {
+		v := graph.VertexID(r.Intn(g.NumVertices()))
+		var tr traj.Trajectory
+		tr.Departure = r.Float64() * 86400
+		for len(tr.Edges) < 10 {
+			out := g.Out(v)
+			if len(out) == 0 {
+				break
+			}
+			e := out[r.Intn(len(out))]
+			tr.Edges = append(tr.Edges, e)
+			tr.Times = append(tr.Times, g.Edge(e).FreeFlowSeconds()*(1.05+0.5*r.Float64()))
+			v = g.Edge(e).To
+		}
+		if len(tr.Edges) >= 4 {
+			trs = append(trs, tr)
+		}
+	}
+	store.Collect(trs)
+	kb, err := hybrid.BuildKnowledgeBase(g, store, width, 20)
+	if err != nil {
+		return nil, err
+	}
+
+	lms := routing.SelectLandmarks(g, graph.NewGridIndex(g, 2000).CellRepresentatives(), 16)
+	alt, err := routing.BuildALT(g, kb.MinEdgeTime, lms)
+	if err != nil {
+		return nil, err
+	}
+
+	wg := netgen.NewWorkloadGen(g, 17)
+	queries, err := wg.SampleCategory(netgen.DistanceCategory{LoKm: 1.5, HiKm: 3.5}, 6)
+	if err != nil {
+		return nil, err
+	}
+	budgets := make([]float64, len(queries))
+	for i, q := range queries {
+		_, optimistic, err := routing.Dijkstra(g, kb.MinEdgeTime, q.Source, q.Dest)
+		if err != nil {
+			return nil, err
+		}
+		budgets[i] = 1.15 * optimistic
+	}
+
+	// Equivalence guard: the benchmark pair is only meaningful if ALT
+	// returns bit-identical answers, so prove it on the workload before
+	// timing anything.
+	coster := &hybrid.ConvolutionCoster{KB: kb, MaxBuckets: 64}
+	for i, q := range queries[:2] {
+		exact, err := routing.PBR(g, coster, q.Source, q.Dest, routing.Options{Budget: budgets[i]})
+		if err != nil {
+			return nil, err
+		}
+		withALT, err := routing.PBR(g, coster, q.Source, q.Dest, routing.Options{Budget: budgets[i], Potentials: alt})
+		if err != nil {
+			return nil, err
+		}
+		if exact.Prob != withALT.Prob || len(exact.Path) != len(withALT.Path) {
+			return nil, fmt.Errorf("query %d: ALT diverges from exact potentials (prob %v vs %v)", i, exact.Prob, withALT.Prob)
+		}
+		for j := range exact.Path {
+			if exact.Path[j] != withALT.Path[j] {
+				return nil, fmt.Errorf("query %d: ALT path diverges at hop %d", i, j)
+			}
+		}
+	}
+	return &osmScaleFixture{g: g, kb: kb, alt: alt, queries: queries, budgets: budgets}, nil
+}
+
+// BenchmarkRoutingPBROSM is the tentpole scale proof: the same
+// budget-routing workload on the >1M-edge network, once with exact
+// per-query backward-Dijkstra potentials and once with the prebuilt ALT
+// tables. The exact variant pays a full |V|-heap sweep before every
+// search; ALT replaces it with memoised table lookups, which is where
+// the >=5x comes from. Answers are bit-identical (the fixture proves it
+// at build time).
+func BenchmarkRoutingPBROSM(b *testing.B) {
+	f := getOSMFixture(b)
+	run := func(b *testing.B, src routing.PotentialSource) {
+		coster := &hybrid.ConvolutionCoster{KB: f.kb, MaxBuckets: 64}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := i % len(f.queries)
+			if _, err := routing.PBR(f.g, coster, f.queries[k].Source, f.queries[k].Dest, routing.Options{
+				Budget:     f.budgets[k],
+				Potentials: src,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("exact-potentials", func(b *testing.B) { run(b, nil) })
+	b.Run("alt-potentials", func(b *testing.B) { run(b, f.alt) })
 }

@@ -361,6 +361,15 @@ func reportTraces(client *http.Client, addr string) {
 		fmt.Printf("  %-14s %6d spans  total %9.3fms  mean %8.3fms\n",
 			n, p.count, p.total, p.total/float64(p.count))
 	}
+	// The potentials phase is the per-query preprocessing ALT landmark
+	// tables amortise away (serve -landmarks); its share of search time
+	// is the headroom that switch would reclaim.
+	if pot, ok := phases["potentials"]; ok {
+		if search, ok := phases["search"]; ok && search.total > 0 {
+			fmt.Printf("  potentials phase: %.1f%% of search time (serve -landmarks trades it for precomputed ALT tables)\n",
+				100*pot.total/search.total)
+		}
+	}
 
 	sort.Slice(tr.Traces, func(i, j int) bool { return tr.Traces[i].DurationMS > tr.Traces[j].DurationMS })
 	top := 3

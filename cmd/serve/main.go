@@ -84,6 +84,7 @@ func main() {
 	modelPath := flag.String("model", "model.srhm", "trained model file (SRHM)")
 	width := flag.Float64("width", 2, "histogram grid width in seconds")
 	minObs := flag.Int("min-obs", 20, "minimum pair observations")
+	landmarks := flag.Int("landmarks", 0, "ALT landmarks: precompute this many landmark distance tables per model generation so queries skip the per-query backward Dijkstra (0 disables; 16 is a good OSM-scale default)")
 
 	synthetic := flag.Bool("synthetic", false, "generate a synthetic city and train in-process instead of loading artifacts")
 	rows := flag.Int("rows", 20, "synthetic grid rows")
@@ -159,6 +160,14 @@ func main() {
 	g := eng.Graph()
 	log.Printf("engine ready: %d vertices, %d edges (model epoch %d, %d time slice(s))",
 		g.NumVertices(), g.NumEdges(), eng.ModelEpoch(), eng.NumSlices())
+
+	if *landmarks > 0 {
+		t0 := time.Now()
+		if err := eng.SetLandmarks(*landmarks); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("alt: %d landmark tables built in %v; swaps rebuild them before publishing", eng.Landmarks(), time.Since(t0).Round(time.Millisecond))
+	}
 
 	// One registry spans all three layers: the engine's per-slice search
 	// telemetry, the ingestor's drift/swap series and the server's

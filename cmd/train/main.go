@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"stochroute/internal/graph"
 	"stochroute/internal/hybrid"
+	"stochroute/internal/routing"
 	"stochroute/internal/traj"
 )
 
@@ -37,6 +39,7 @@ func main() {
 	width := flag.Float64("width", 2, "histogram grid width in seconds")
 	epochs := flag.Int("epochs", 120, "estimator training epochs")
 	slices := flag.Int("slices", 1, "time-of-day slices: train one model per slice (1 = single time-homogeneous model)")
+	landmarks := flag.Int("landmarks", 0, "dry-run ALT landmark preprocessing after training and report its cost (what cmd/serve -landmarks=N will pay per model generation; 0 skips)")
 	verbose := flag.Bool("v", false, "log training progress")
 	flag.Parse()
 
@@ -92,6 +95,42 @@ func main() {
 		fmt.Printf("  KL(estimate-only) = %.4f\n", report.MeanKLEstimate)
 		fmt.Printf("  classifier accuracy %.3f, F1 %.3f, AUC %.3f\n",
 			report.ClassifierConfusion.Accuracy(), report.ClassifierConfusion.F1(), report.ClassifierAUC)
+	}
+
+	// ALT preprocessing dry run: build the same landmark tables
+	// cmd/serve -landmarks would build for this model set and report
+	// what each generation swap will cost in wall clock and memory. The
+	// tables themselves are serve-time state and are not written to the
+	// model file.
+	if *landmarks > 0 {
+		lms := routing.SelectLandmarks(g, nil, *landmarks)
+		total := time.Duration(0)
+		var bytes int64
+		for s := 0; s < set.K(); s++ {
+			t0 := time.Now()
+			alt, err := routing.BuildALT(g, set.At(s).MinEdgeTime, lms)
+			if err != nil {
+				log.Fatal(err)
+			}
+			d := time.Since(t0)
+			total += d
+			bytes += alt.TableBytes()
+			fmt.Printf("alt: slice %d tables: %d landmarks in %v (%.1f MB)\n",
+				s, len(lms), d.Round(time.Millisecond), float64(alt.TableBytes())/(1<<20))
+		}
+		if set.K() > 1 {
+			t0 := time.Now()
+			alt, err := routing.BuildALT(g, set.MinEdgeTimeAcrossSlices, lms)
+			if err != nil {
+				log.Fatal(err)
+			}
+			d := time.Since(t0)
+			total += d
+			bytes += alt.TableBytes()
+			fmt.Printf("alt: min-across-slices tables: %v (%.1f MB)\n", d.Round(time.Millisecond), float64(alt.TableBytes())/(1<<20))
+		}
+		fmt.Printf("alt: total preprocessing %v, %.1f MB resident — paid once per model generation at serve time\n",
+			total.Round(time.Millisecond), float64(bytes)/(1<<20))
 	}
 
 	of, err := os.Create(*out)

@@ -73,6 +73,32 @@
 // (see BenchmarkRoutingPBR with -benchmem), which is what lets one
 // engine serve batch traffic at scale.
 //
+// # The preprocessing layer: ALT landmark potentials
+//
+// The second per-query cost after label extension is the potentials
+// phase: an exact backward Dijkstra over the whole graph before every
+// search. At city scale it is noise; at OSM scale (>1M edges) it
+// dominates the query. Engine.SetLandmarks(L) (cmd/serve -landmarks)
+// moves that work to preprocessing: L landmarks are selected by
+// farthest-point traversal over the spatial grid, 2L Dijkstras per
+// slice model build landmark distance tables (routing.BuildALT), and
+// queries bound remaining cost by the triangle inequality instead of
+// running Dijkstra — identical answers (potentials prune, they never
+// price; equivalence is bit-exact and tested), ≥5x faster queries at
+// the million-edge scale (BenchmarkRoutingPBROSM).
+//
+// The tables are model-derived state, so they live in the epoch-tagged
+// snapshot and follow its lifecycle: every swap path — SwapModel,
+// SwapSliceModel (only the affected slice's tables plus the
+// min-across-slices tables rebuild), SwapModelSet, LoadModel — rebuilds
+// what the incoming models invalidate before publishing, on the swap
+// path rather than the query path. Time-expanded queries use tables
+// built on the pointwise-min-across-slices metric, which stays
+// admissible for every horizon; departure-slice queries use their
+// slice's own, tighter tables. Callers with custom preprocessing can
+// supply their own RouteOptions.Potentials (the routing.PotentialSource
+// contract).
+//
 // # Concurrency
 //
 // The engine's whole query surface is read-only and safe for any

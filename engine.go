@@ -43,12 +43,34 @@ type modelSnapshot struct {
 	sliceEpochs []uint64
 	swappedAt   time.Time
 
+	// alt holds the generation's ALT landmark preprocessing (nil when
+	// disabled, the default). Tables are derived from the snapshot's
+	// models, so they live and die with the snapshot: every swap path
+	// rebuilds the affected tables *before* publishing — preprocessing
+	// cost lands on the swap, never on the query path — and in-flight
+	// queries keep using the tables that match the models they started
+	// on.
+	alt *altTables
+
 	// baseConvolved/baseEstimated carry the decision totals of every
 	// retired generation, folded in at swap time, so DecisionCounts is
 	// one snapshot read — the fold and the publish are a single atomic
 	// pointer store, never transiently double-counted.
 	baseConvolved uint64
 	baseEstimated uint64
+}
+
+// altTables is one generation's ALT landmark preprocessing (see
+// routing.BuildALT): per-slice distance tables built on each slice
+// model's optimistic edge times, serving departure-slice queries, and
+// one table built on the min-across-slices metric, serving
+// time-expanded queries (whose potentials must stay admissible for
+// every slice the search can consult). For a 1-slice engine min aliases
+// slices[0] — one build, not two.
+type altTables struct {
+	landmarks []graph.VertexID
+	slices    []*routing.ALT
+	min       *routing.ALT
 }
 
 // model0 and kb0 are the slice-0 view: the whole model for 1-slice
@@ -368,6 +390,18 @@ func (e *Engine) swapSliceLocked(slice int, model *Model, obs *ObservationStore)
 		baseEstimated: prev.baseEstimated,
 	}
 	next.sliceEpochs[slice] = next.epoch
+	// With ALT enabled, rebuild only the swapped slice's tables (plus
+	// the min-metric table, which depends on every slice) against the
+	// incoming model — before the publish below, so no query ever sees
+	// new models with stale potentials. Untouched slices keep their
+	// tables.
+	if prev.alt != nil {
+		alt, err := e.rebuildAltSlice(prev.alt, set, slice)
+		if err != nil {
+			return 0, fmt.Errorf("stochroute: ALT rebuild for slice %d: %w", slice, err)
+		}
+		next.alt = alt
+	}
 	// Fold the retiring model's lifetime decision counters into the
 	// new snapshot's base so DecisionCounts keeps counting across
 	// swaps. (Queries still in flight on the old model may add a few
@@ -432,8 +466,122 @@ func (e *Engine) swapSetLocked(set *hybrid.ModelSet, obs *traj.SlicedObservation
 			set.At(s).ResetCounters()
 		}
 	}
+	// A whole-set swap invalidates every slice's tables: rebuild all of
+	// them (same landmarks — selection depends only on the graph) before
+	// publishing.
+	if prev.alt != nil {
+		alt, err := e.buildAltSet(set, prev.alt.landmarks)
+		if err != nil {
+			return 0, fmt.Errorf("stochroute: ALT rebuild: %w", err)
+		}
+		next.alt = alt
+	}
 	e.current.Store(next)
 	return next.epoch, nil
+}
+
+// SetLandmarks enables ALT landmark potentials for every subsequent
+// query: count landmarks are selected by farthest-point traversal over
+// the spatial grid's cell representatives, 2·count Dijkstras per slice
+// model (plus the min-across-slices tables on a multi-slice engine)
+// build the distance tables, and the result is published as a new
+// serving generation. From then on every swap path rebuilds the
+// affected tables before publishing, keeping potentials admissible
+// against whatever models are serving. count 0 disables ALT and returns
+// queries to exact per-query backward-Dijkstra potentials.
+//
+// Preprocessing runs under the swap lock — queries in flight keep
+// serving the previous generation and are never blocked. The epoch
+// bumps like any other swap, so result caches keyed on it revalidate.
+func (e *Engine) SetLandmarks(count int) error {
+	if count < 0 {
+		return fmt.Errorf("stochroute: SetLandmarks with negative count %d", count)
+	}
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	prev := e.current.Load()
+	var alt *altTables
+	if count > 0 {
+		lms := routing.SelectLandmarks(e.graph, e.index.CellRepresentatives(), count)
+		if len(lms) == 0 {
+			return errors.New("stochroute: SetLandmarks found no landmark candidates")
+		}
+		var err error
+		alt, err = e.buildAltSet(prev.set, lms)
+		if err != nil {
+			return err
+		}
+	}
+	next := &modelSnapshot{
+		set:           prev.set,
+		obs:           prev.obs,
+		epoch:         prev.epoch + 1,
+		sliceEpochs:   newSliceEpochs(prev.set.K(), prev.epoch+1),
+		swappedAt:     time.Now(),
+		alt:           alt,
+		baseConvolved: prev.baseConvolved,
+		baseEstimated: prev.baseEstimated,
+	}
+	e.current.Store(next)
+	return nil
+}
+
+// Landmarks reports the ALT landmark count of the serving generation
+// (0 when ALT is disabled).
+func (e *Engine) Landmarks() int {
+	if at := e.current.Load().alt; at != nil {
+		return len(at.landmarks)
+	}
+	return 0
+}
+
+// buildAltSet builds the full per-slice + min-metric table set for a
+// model set, reusing an existing landmark selection.
+func (e *Engine) buildAltSet(set *hybrid.ModelSet, lms []graph.VertexID) (*altTables, error) {
+	at := &altTables{landmarks: lms, slices: make([]*routing.ALT, set.K())}
+	for s := 0; s < set.K(); s++ {
+		t, err := routing.BuildALT(e.graph, set.At(s).MinEdgeTime, lms)
+		if err != nil {
+			return nil, fmt.Errorf("stochroute: ALT tables for slice %d: %w", s, err)
+		}
+		at.slices[s] = t
+	}
+	if set.K() == 1 {
+		at.min = at.slices[0]
+	} else {
+		t, err := routing.BuildALT(e.graph, set.MinEdgeTimeAcrossSlices, lms)
+		if err != nil {
+			return nil, fmt.Errorf("stochroute: min-metric ALT tables: %w", err)
+		}
+		at.min = t
+	}
+	return at, nil
+}
+
+// rebuildAltSlice is the per-slice-swap rebuild: only the swapped
+// slice's tables and the min-metric tables (which depend on every
+// slice) are rebuilt; the other slices share the previous generation's
+// tables.
+func (e *Engine) rebuildAltSlice(prev *altTables, set *hybrid.ModelSet, slice int) (*altTables, error) {
+	at := &altTables{
+		landmarks: prev.landmarks,
+		slices:    append([]*routing.ALT(nil), prev.slices...),
+	}
+	t, err := routing.BuildALT(e.graph, set.At(slice).MinEdgeTime, prev.landmarks)
+	if err != nil {
+		return nil, err
+	}
+	at.slices[slice] = t
+	if set.K() == 1 {
+		at.min = at.slices[0]
+	} else {
+		mt, err := routing.BuildALT(e.graph, set.MinEdgeTimeAcrossSlices, prev.landmarks)
+		if err != nil {
+			return nil, err
+		}
+		at.min = mt
+	}
+	return at, nil
 }
 
 // World returns the synthetic ground-truth world, or nil for engines
@@ -495,6 +643,17 @@ func (e *Engine) routeOnSnapshot(ctx context.Context, cur *modelSnapshot, source
 		coster = cur.set.TimeExpandedCoster(opts.Departure, &qs)
 	} else {
 		coster = cur.set.At(slice).WithStats(&qs)
+	}
+	// ALT injection: a departure-slice query prunes with its slice's
+	// tables, a time-expanded query with the min-across-slices tables
+	// (admissible for every slice the search can consult). Callers that
+	// pass their own PotentialSource keep it.
+	if opts.Potentials == nil && cur.alt != nil {
+		if opts.TimeExpanded {
+			opts.Potentials = cur.alt.min
+		} else {
+			opts.Potentials = cur.alt.slices[slice]
+		}
 	}
 	res, err := routing.PBRCtx(sctx, e.graph, coster, source, dest, opts)
 	if err != nil {

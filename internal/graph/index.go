@@ -167,6 +167,21 @@ func (idx *GridIndex) Within(p geo.Point, radiusMeters float64) []VertexID {
 	return out
 }
 
+// CellRepresentatives returns one vertex per non-empty grid cell (the
+// lowest-numbered vertex in each cell, so the result is deterministic).
+// It gives landmark selection and similar sampling passes a spatially
+// uniform candidate set whose size tracks the network's area rather than
+// its vertex count.
+func (idx *GridIndex) CellRepresentatives() []VertexID {
+	out := make([]VertexID, 0, len(idx.cellIdx)-1)
+	for c := 0; c+1 < len(idx.cellIdx); c++ {
+		if idx.cellIdx[c] < idx.cellIdx[c+1] {
+			out = append(out, idx.cellVtx[idx.cellIdx[c]])
+		}
+	}
+	return out
+}
+
 func (idx *GridIndex) clampRow(r int) int {
 	if r < 0 {
 		return 0

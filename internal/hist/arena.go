@@ -96,9 +96,7 @@ func (a *Arena) Alloc(n int) []float64 {
 // AllocZeroed is Alloc with the returned buffer cleared.
 func (a *Arena) AllocZeroed(n int) []float64 {
 	buf := a.Alloc(n)
-	for i := range buf {
-		buf[i] = 0
-	}
+	clear(buf)
 	return buf
 }
 
@@ -135,9 +133,7 @@ func (a *Arena) NewHist(min, width float64, n int) *Hist {
 // that accumulate into it.
 func (a *Arena) NewHistZeroed(min, width float64, n int) *Hist {
 	h := a.NewHist(min, width, n)
-	for i := range h.P {
-		h.P[i] = 0
-	}
+	clear(h.P)
 	return h
 }
 

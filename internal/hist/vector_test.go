@@ -1,0 +1,118 @@
+package hist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stochroute/internal/rng"
+)
+
+// convolveIntoScalarRef is the pre-vectorization kernel, kept verbatim
+// as the reference the unrolled ConvolveInto must match bit for bit:
+// per-source-bucket scaled accumulation in index order, zero rows
+// skipped.
+func convolveIntoScalarRef(dst, a, b *Hist) {
+	n := len(a.P) + len(b.P) - 1
+	if cap(dst.P) < n {
+		dst.P = make([]float64, n)
+	} else {
+		dst.P = dst.P[:n]
+		for i := range dst.P {
+			dst.P[i] = 0
+		}
+	}
+	p := dst.P
+	for i, pa := range a.P {
+		if pa == 0 {
+			continue
+		}
+		row := p[i : i+len(b.P)]
+		for j, pb := range b.P {
+			row[j] += pa * pb
+		}
+	}
+	dst.Min = a.Min + b.Min
+	dst.Width = a.Width
+}
+
+// randSparseHist builds a histogram of random length and density:
+// each bucket is zero with a per-histogram random probability, so the
+// generator covers everything from fully dense to fully zero mass.
+func randSparseHist(r *rng.RNG, w float64, maxLen int) *Hist {
+	n := 1 + r.Intn(maxLen)
+	zeroProb := r.Float64()
+	p := make([]float64, n)
+	for i := range p {
+		if r.Float64() >= zeroProb {
+			p[i] = r.Float64()
+		}
+	}
+	min := float64(r.Intn(50)) * w
+	return New(min, w, p)
+}
+
+// TestQuickConvolveIntoMatchesScalarKernel pins the vectorized kernel to
+// the scalar reference across random widths, lengths and densities —
+// including zero-mass histograms and single-bucket operands — requiring
+// float-for-float equality, not epsilon closeness: the dense path's
+// extra `+= 0·pb` rows and the unrolled accumulate must be exact no-ops
+// on the bit pattern.
+func TestQuickConvolveIntoMatchesScalarKernel(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		w := 0.5 + r.Float64()*4
+		a := randSparseHist(r, w, 64)
+		b := randSparseHist(r, w, 24)
+		got, want := &Hist{}, &Hist{}
+		if err := ConvolveInto(got, a, b); err != nil {
+			t.Logf("ConvolveInto: %v", err)
+			return false
+		}
+		convolveIntoScalarRef(want, a, b)
+		if got.Min != want.Min || got.Width != want.Width || len(got.P) != len(want.P) {
+			t.Logf("header mismatch: got (%v,%v,%d) want (%v,%v,%d)",
+				got.Min, got.Width, len(got.P), want.Min, want.Width, len(want.P))
+			return false
+		}
+		for i := range got.P {
+			if got.P[i] != want.P[i] {
+				t.Logf("bucket %d: got %x want %x", i, got.P[i], want.P[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConvolveIntoScalarKernelEdges covers the degenerate shapes the
+// random generator hits only occasionally: single-bucket operands on
+// both sides and fully zero mass.
+func TestConvolveIntoScalarKernelEdges(t *testing.T) {
+	cases := []struct{ a, b []float64 }{
+		{[]float64{1}, []float64{1}},
+		{[]float64{0.3}, []float64{0.2, 0, 0.8}},
+		{[]float64{0, 0, 0}, []float64{0.5, 0.5}},
+		{[]float64{0, 0, 0}, []float64{0}},
+		{[]float64{0.1, 0, 0, 0, 0.9}, []float64{1}},
+	}
+	for i, tc := range cases {
+		a := New(10, 2, tc.a)
+		b := New(4, 2, tc.b)
+		got, want := &Hist{}, &Hist{}
+		if err := ConvolveInto(got, a, b); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		convolveIntoScalarRef(want, a, b)
+		if got.Min != want.Min || got.Width != want.Width || len(got.P) != len(want.P) {
+			t.Fatalf("case %d: header mismatch", i)
+		}
+		for j := range got.P {
+			if got.P[j] != want.P[j] {
+				t.Fatalf("case %d bucket %d: got %v want %v", i, j, got.P[j], want.P[j])
+			}
+		}
+	}
+}

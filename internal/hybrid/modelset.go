@@ -92,6 +92,23 @@ func (ms *ModelSet) WithSlice(i int, m *Model) (*ModelSet, error) {
 	return &ModelSet{models: models}, nil
 }
 
+// MinEdgeTimeAcrossSlices returns the minimum optimistic time of edge e
+// across every slice's model — the pointwise-min metric over the whole
+// day. It lower-bounds MinEdgeTimeWithin for every horizon (the min over
+// the slices reachable in a horizon can only be at least the min over
+// all slices), so distance tables built on it (e.g. ALT landmark tables,
+// routing.BuildALT) stay admissible for time-expanded searches of any
+// budget. On a 1-slice set it is the model's MinEdgeTime verbatim.
+func (ms *ModelSet) MinEdgeTimeAcrossSlices(e graph.EdgeID) float64 {
+	min := ms.models[0].MinEdgeTime(e)
+	for _, m := range ms.models[1:] {
+		if t := m.MinEdgeTime(e); t < min {
+			min = t
+		}
+	}
+	return min
+}
+
 // DecisionCounts sums the lifetime convolve/estimate decision totals
 // across every slice's model.
 func (ms *ModelSet) DecisionCounts() (convolved, estimated uint64) {

@@ -31,7 +31,12 @@ type Target interface {
 	SliceKnowledgeBase(slice int) *hybrid.KnowledgeBase
 	ModelEpoch() uint64
 	// SwapSliceModel publishes model as slice's next serving
-	// generation, leaving the other slices untouched.
+	// generation, leaving the other slices untouched. Implementations
+	// owning derived query-time state (e.g. the engine's ALT landmark
+	// tables) rebuild whatever the new model invalidates inside this
+	// call, before publishing — the swap returning means the generation
+	// is fully consistent, so a slow rebuild shows up here as swap
+	// latency rather than as queries racing stale preprocessing.
 	SwapSliceModel(slice int, model *hybrid.Model, obs *traj.ObservationStore) (uint64, error)
 }
 

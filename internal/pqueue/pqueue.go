@@ -107,6 +107,23 @@ func NewIndexedHeap(n int) *IndexedHeap {
 // Len returns the number of queued keys.
 func (h *IndexedHeap) Len() int { return len(h.keys) }
 
+// Reset re-initialises the heap for keys [0, n), retaining storage when
+// capacity allows. It lets Dijkstra-style callers pool one heap across
+// many runs instead of paying NewIndexedHeap's allocations per run.
+func (h *IndexedHeap) Reset(n int) {
+	h.keys = h.keys[:0]
+	if cap(h.pos) < n {
+		h.pos = make([]int32, n)
+		h.prio = make([]float64, n)
+	} else {
+		h.pos = h.pos[:n]
+		h.prio = h.prio[:n]
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+}
+
 // Contains reports whether key is currently queued.
 func (h *IndexedHeap) Contains(key int) bool { return h.pos[key] >= 0 }
 

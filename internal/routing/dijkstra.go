@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"stochroute/internal/graph"
 	"stochroute/internal/pqueue"
@@ -96,13 +97,22 @@ func dijkstraForward(g *graph.Graph, w WeightFunc, source, dest graph.VertexID) 
 // cost model whose edge times are bounded below by w, which is the
 // paper's pruning (a).
 func ReversePotentials(g *graph.Graph, w WeightFunc, dest graph.VertexID) []float64 {
-	n := g.NumVertices()
-	h := make([]float64, n)
+	h := make([]float64, g.NumVertices())
+	reversePotentialsInto(g, w, dest, h, &pqueue.IndexedHeap{})
+	return h
+}
+
+// reversePotentialsInto is ReversePotentials on caller-owned scratch: h
+// must have length NumVertices and is overwritten; pq is Reset and
+// reused. PBR routes every query through this via a sync.Pool so the
+// per-query |V| slice and heap allocations of the public function never
+// hit the hot path.
+func reversePotentialsInto(g *graph.Graph, w WeightFunc, dest graph.VertexID, h []float64, pq *pqueue.IndexedHeap) {
 	for i := range h {
 		h[i] = math.Inf(1)
 	}
 	h[dest] = 0
-	pq := pqueue.NewIndexedHeap(n)
+	pq.Reset(len(h))
 	pq.PushOrDecrease(int(dest), 0)
 	for pq.Len() > 0 {
 		vi, d, _ := pq.Pop()
@@ -119,8 +129,23 @@ func ReversePotentials(g *graph.Graph, w WeightFunc, dest graph.VertexID) []floa
 			}
 		}
 	}
-	return h
 }
+
+// potentialsScratch is the pooled per-query state of the exact
+// (backward-Dijkstra) potentials path: the |V| bound slice, the Dijkstra
+// heap, and a pre-built PotentialFunc closure over the slice so checking
+// a scratch out of the pool allocates nothing.
+type potentialsScratch struct {
+	h  []float64
+	pq *pqueue.IndexedHeap
+	fn PotentialFunc
+}
+
+var potentialsPool = sync.Pool{New: func() any {
+	ps := &potentialsScratch{pq: &pqueue.IndexedHeap{}}
+	ps.fn = func(v graph.VertexID) float64 { return ps.h[v] }
+	return ps
+}}
 
 // PathVertices expands an edge path into the visited vertex sequence
 // (source first). An empty path yields nil.

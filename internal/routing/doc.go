@@ -87,4 +87,41 @@
 // whose whole horizon fits inside its slice — all three clauses
 // degenerate to the classic search, bit for bit; equivalence tests at
 // the engine layer enforce exactly that.
+//
+// # ALT landmark potentials
+//
+// The potentials h above are exact by default: a full backward Dijkstra
+// from the destination under the optimistic edge weights, paid once per
+// query. On a metropolitan-scale graph that sweep costs more than the
+// search it is meant to prune, so PBR accepts precomputed potentials
+// through Options.Potentials (the PotentialSource contract); the
+// built-in implementation is ALT (A*, Landmarks, Triangle inequality —
+// Goldberg & Harrelson, SODA'05):
+//
+//   - SelectLandmarks picks L landmarks by deterministic farthest-point
+//     traversal over vertex coordinates (candidates typically one per
+//     spatial-grid cell), pushing them to the periphery where the
+//     bounds are tightest.
+//   - BuildALT runs 2L Dijkstras — forward from and backward to each
+//     landmark ℓ — and stores dist(ℓ→v) and dist(v→ℓ) for every vertex
+//     in flat transposed tables. This is preprocessing: once per model
+//     generation, never per query.
+//   - A query's potential is the triangle-inequality bound
+//     max(dist(v→ℓ) − dist(t→ℓ), dist(ℓ→t) − dist(ℓ→v)) maximised over
+//     landmarks and clamped at zero, memoised per vertex. Every path
+//     v→t costs at least dist(v→ℓ) − dist(t→ℓ) under the metric the
+//     tables were built on, so the bound is admissible whenever that
+//     metric lower-bounds every model the search consults — for
+//     time-expanded searches the tables are built on the
+//     pointwise-min-across-slices metric, which lower-bounds
+//     MinEdgeTimeWithin for every horizon.
+//
+// ALT bounds are weaker than exact potentials (more labels survive
+// pruning (a)), but the search result is identical — potentials only
+// order and prune, they never price — so routes, probabilities and
+// distributions stay bit-identical while the per-query |V|-heap sweep
+// disappears. One subtlety: exact potentials prove unreachability up
+// front (h(source) = +Inf); an ALT bound may not, in which case the
+// search itself proves it by draining a complete queue without ever
+// producing a pivot. Both paths return ErrUnreachable.
 package routing

@@ -89,6 +89,19 @@ type Options struct {
 	// advantage trades a reliable known answer for noise. 0 (the pure
 	// paper behaviour) switches on any improvement.
 	SwitchMargin float64
+
+	// Potentials optionally supplies precomputed admissible potentials
+	// (e.g. ALT landmark tables, see BuildALT) in place of the exact
+	// backward Dijkstra the search otherwise runs per query — the
+	// amortisation that makes OSM-scale graphs affordable. The source
+	// must be built over the same graph and an optimistic metric that
+	// lower-bounds every cost model the search consults; for
+	// time-expanded searches that means a metric no larger than
+	// MinEdgeTimeWithin over the whole horizon (the min-across-slices
+	// tables the engine builds qualify). nil, the default, computes
+	// exact potentials per query — bit-identical to the historical
+	// behaviour.
+	Potentials PotentialSource
 }
 
 // Result is the outcome of a PBR query.
@@ -305,10 +318,35 @@ func PBRCtx(ctx context.Context, g *graph.Graph, c hybrid.Coster, source, dest g
 	if useTemporal {
 		minEdge = func(e graph.EdgeID) float64 { return tc.MinEdgeTimeWithin(e, hlim) }
 	}
+	// hAt(v) reads the potential of v. With opts.Potentials set, the
+	// bound comes from precomputed tables (one memoised evaluation per
+	// visited vertex); otherwise an exact backward Dijkstra runs here,
+	// on scratch pooled across queries so the per-query |V| slice and
+	// heap are amortised away.
 	_, psp := obs.StartSpan(ctx, "potentials")
-	h := ReversePotentials(g, minEdge, dest)
+	var hAt PotentialFunc
+	if opts.Potentials != nil {
+		fn, release := opts.Potentials.Potentials(dest)
+		hAt = fn
+		if release != nil {
+			defer release()
+		}
+	} else {
+		ps := potentialsPool.Get().(*potentialsScratch)
+		if n := g.NumVertices(); cap(ps.h) < n {
+			ps.h = make([]float64, n)
+		} else {
+			ps.h = ps.h[:n]
+		}
+		reversePotentialsInto(g, minEdge, dest, ps.h, ps.pq)
+		hAt = ps.fn
+		defer potentialsPool.Put(ps)
+	}
 	psp.End()
-	if math.IsInf(h[source], 1) {
+	// Exact potentials prove unreachability up front. Table-backed
+	// potentials only lower-bound the distance (a finite bound does not
+	// imply a path), so their unreachable case is caught after the loop.
+	if math.IsInf(hAt(source), 1) {
 		return nil, ErrUnreachable
 	}
 
@@ -421,22 +459,23 @@ func PBRCtx(ctx context.Context, g *graph.Graph, c hybrid.Coster, source, dest g
 	seedProb, seedDist, seedSliceSeq := pivotProb, pivotDist, pivotSlices
 
 	// push appends a label; costSlice is the slice whose model costed
-	// last (the label's Result.SliceSeq entry) and elapsed the
-	// accumulated mean selecting its next extension's slice — both zero
-	// for classic searches.
-	push := func(v graph.VertexID, last graph.EdgeID, d *hist.Hist, parent int32, costSlice int32, elapsed float64) {
+	// last (the label's Result.SliceSeq entry), elapsed the accumulated
+	// mean selecting its next extension's slice — both zero for classic
+	// searches — and hv the already-evaluated potential of v.
+	push := func(v graph.VertexID, last graph.EdgeID, d *hist.Hist, parent int32, costSlice int32, elapsed, hv float64) {
 		labels = append(labels, label{vertex: v, lastEdge: last, dist: d, parent: parent, slice: costSlice, elapsed: elapsed})
 		idx := int32(len(labels) - 1)
-		pq.Push(d.Min+h[v], idx)
+		pq.Push(d.Min+hv, idx)
 		res.GeneratedLabels++
 	}
 
 	// Upper bound on the achievable arrival probability of a partial
 	// path at v: shift the distribution by the optimistic remaining
-	// cost h(v) and read the budget CDF — the paper's cost shifting (c),
-	// evaluated by CDFShifted without materialising the shifted copy.
-	upperBound := func(d *hist.Hist, v graph.VertexID) float64 {
-		return d.CDFShifted(opts.Budget, h[v])
+	// cost hv = hAt(v) and read the budget CDF — the paper's cost
+	// shifting (c), evaluated by CDFShifted without materialising the
+	// shifted copy.
+	upperBound := func(d *hist.Hist, hv float64) float64 {
+		return d.CDFShifted(opts.Budget, hv)
 	}
 
 	// Seed with the out-edges of the source: first edges are costed by
@@ -444,7 +483,8 @@ func PBRCtx(ctx context.Context, g *graph.Graph, c hybrid.Coster, source, dest g
 	departSlice := int32(sliceAt(0))
 	for _, e := range g.Out(source) {
 		to := g.Edge(e).To
-		if math.IsInf(h[to], 1) {
+		hTo := hAt(to)
+		if math.IsInf(hTo, 1) {
 			continue
 		}
 		d := initialHist(e)
@@ -452,7 +492,7 @@ func PBRCtx(ctx context.Context, g *graph.Graph, c hybrid.Coster, source, dest g
 		if useTemporal {
 			elapsed = d.Mean()
 		}
-		push(to, e, d, -1, departSlice, elapsed)
+		push(to, e, d, -1, departSlice, elapsed, hTo)
 	}
 
 	deadline := time.Time{}
@@ -529,7 +569,8 @@ func PBRCtx(ctx context.Context, g *graph.Graph, c hybrid.Coster, source, dest g
 			if ne.To == parentVertex {
 				continue // immediate U-turn
 			}
-			if math.IsInf(h[ne.To], 1) {
+			hTo := hAt(ne.To)
+			if math.IsInf(hTo, 1) {
 				continue
 			}
 			nd := extend(lb.elapsed, lb.dist, lb.lastEdge, next)
@@ -537,13 +578,13 @@ func PBRCtx(ctx context.Context, g *graph.Graph, c hybrid.Coster, source, dest g
 			// (a) optimistic-arrival pruning: a label whose best
 			// possible arrival misses the budget contributes zero
 			// probability; prune once some pivot exists.
-			if !opts.DisablePotentialPruning && havePivot && nd.Min+h[ne.To] > opts.Budget {
+			if !opts.DisablePotentialPruning && havePivot && nd.Min+hTo > opts.Budget {
 				res.PrunedPotential++
 				recycle(nd)
 				continue
 			}
 
-			ub := upperBound(nd, ne.To)
+			ub := upperBound(nd, hTo)
 
 			// (b)+(c) pivot pruning with cost shifting: even with the
 			// optimistic remainder the label cannot beat the pivot.
@@ -627,10 +668,10 @@ func PBRCtx(ctx context.Context, g *graph.Graph, c hybrid.Coster, source, dest g
 					keep = keep[:len(keep)-1]
 					res.PrunedDominance++
 				}
-				push(ne.To, next, nd, idx, expSlice, newElapsed)
+				push(ne.To, next, nd, idx, expSlice, newElapsed, hTo)
 				frontiers[key] = append(keep, frontierEntry{labelIdx: int32(len(labels) - 1), ub: ub})
 			} else {
-				push(ne.To, next, nd, idx, expSlice, newElapsed)
+				push(ne.To, next, nd, idx, expSlice, newElapsed, hTo)
 			}
 		}
 	}
@@ -657,6 +698,17 @@ func PBRCtx(ctx context.Context, g *graph.Graph, c hybrid.Coster, source, dest g
 
 	res.Runtime = time.Since(start)
 	if !havePivot {
+		// A complete search that never reached dest proves dest is not
+		// reachable from source: no pruning fires before a pivot exists
+		// except dominance, and dominance (including frontier eviction)
+		// always keeps a label at the same vertex alive, so a drained
+		// queue means the whole reachable component was expanded. Exact
+		// potentials catch this case up front; table-backed potentials
+		// (Options.Potentials) reach it here, keeping the two modes'
+		// observable behaviour identical.
+		if res.Complete {
+			return nil, ErrUnreachable
+		}
 		res.Found = false
 		return res, nil
 	}

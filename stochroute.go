@@ -37,6 +37,12 @@ type (
 	BatchQuery = routing.BatchQuery
 	// BatchItem is one per-query outcome of an Engine.RouteBatch answer.
 	BatchItem = routing.BatchItem
+	// PotentialSource supplies precomputed admissible potentials to the
+	// search (RouteOptions.Potentials); Engine.SetLandmarks wires the
+	// built-in ALT implementation up automatically.
+	PotentialSource = routing.PotentialSource
+	// PotentialFunc is a per-query admissible potential function.
+	PotentialFunc = routing.PotentialFunc
 	// Trajectory is a simulated vehicle trip.
 	Trajectory = traj.Trajectory
 	// ObservationStore is the trajectory-derived training data.
