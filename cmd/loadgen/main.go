@@ -33,6 +33,21 @@
 // X-Request-ID (loadgen-<i>), so a slow request in the client report
 // joins to the server's slow-query log line exactly.
 //
+// The scrape target is -addr by default, which assumes the address
+// being load-tested is the one carrying the route_latency_seconds
+// histogram — true for a single serve instance, false behind
+// cmd/gateway (the gateway's exposition has per-replica dispatch
+// series, not the replicas' route histograms). Use -scrape-url to
+// point the scrape elsewhere, e.g. at one replica:
+//
+//	loadgen -addr http://gateway:8080 -scrape-url http://replica1:8081
+//
+// When responses carry replica attribution (the X-Replica header a
+// serve -replica-id instance stamps and cmd/gateway relays, or the
+// per-item "replica" field in gateway batch answers), the report adds
+// a per-replica split of where the requests landed — the consistent-
+// hash balance over this run's key set.
+//
 // With -expand every request (single or batch item) asks for
 // time-expanded routing (time_expanded=true): the server re-selects
 // the slice model per edge from departure + accumulated mean cost.
@@ -89,7 +104,11 @@ type outcome struct {
 	items     int
 	itemHits  int
 	departIdx int
-	err       error
+	// replicas counts this request's items by answering replica
+	// (X-Replica header, or the per-item attribution in gateway batch
+	// answers); empty when the backend reports no identity.
+	replicas map[string]int
+	err      error
 }
 
 // parseDeparts parses the -departs sweep list.
@@ -123,6 +142,7 @@ func main() {
 	log.SetPrefix("loadgen: ")
 
 	addr := flag.String("addr", "http://localhost:8080", "server base URL")
+	scrapeURL := flag.String("scrape-url", "", "base URL for the before/after /metrics scrape (default -addr); behind cmd/gateway point this at one replica, whose exposition carries route_latency_seconds")
 	n := flag.Int("n", 1000, "total requests to send")
 	c := flag.Int("c", 16, "concurrent workers")
 	numQueries := flag.Int("queries", 64, "distinct queries to sample (reuse drives cache hits)")
@@ -167,7 +187,11 @@ func main() {
 	// server-observed quantiles (handler wall clock, no network) next to
 	// the client-observed ones. A failed scrape (e.g. -metrics=false)
 	// just drops that section.
-	before, scrapeErr := scrapeMetrics(client, *addr)
+	scrapeBase := *scrapeURL
+	if scrapeBase == "" {
+		scrapeBase = *addr
+	}
+	before, scrapeErr := scrapeMetrics(client, scrapeBase)
 
 	results := make([]outcome, *n)
 	var next atomic.Int64
@@ -201,8 +225,8 @@ func main() {
 				tp := obs.FormatTraceparent(obs.NewTraceID(), fmt.Sprintf("%016x", uint64(i)+1), sampled)
 				if *batch > 0 {
 					t0 := time.Now()
-					items, itemHits, err := fireBatch(client, *addr, queries, rng, *batch, *factor, depart, *expand, rid, tp)
-					results[i] = outcome{latency: time.Since(t0), items: items, itemHits: itemHits, departIdx: departIdx, err: err}
+					items, itemHits, reps, err := fireBatch(client, *addr, queries, rng, *batch, *factor, depart, *expand, rid, tp)
+					results[i] = outcome{latency: time.Since(t0), items: items, itemHits: itemHits, departIdx: departIdx, replicas: reps, err: err}
 					continue
 				}
 				q := queries[rng.Intn(len(queries))]
@@ -219,8 +243,12 @@ func main() {
 					url += "&time_expanded=true"
 				}
 				t0 := time.Now()
-				hit, err := fire(client, url, rid, tp)
-				results[i] = outcome{latency: time.Since(t0), hit: hit, items: 1, departIdx: departIdx, err: err}
+				hit, replica, err := fire(client, url, rid, tp)
+				var reps map[string]int
+				if replica != "" {
+					reps = map[string]int{replica: 1}
+				}
+				results[i] = outcome{latency: time.Since(t0), hit: hit, items: 1, departIdx: departIdx, replicas: reps, err: err}
 			}
 		}(w)
 	}
@@ -262,7 +290,8 @@ func main() {
 		percentile(latencies, 0.90).Round(time.Microsecond),
 		percentile(latencies, 0.99).Round(time.Microsecond),
 		latencies[ok-1].Round(time.Microsecond))
-	reportServerLatency(client, *addr, before, scrapeErr)
+	reportReplicaSplit(results)
+	reportServerLatency(client, scrapeBase, before, scrapeErr)
 	if len(departs) > 0 {
 		reportDepartSweep(departs, results)
 	}
@@ -399,6 +428,38 @@ func printSpanTree(s *traceSpan, indent string) {
 	}
 }
 
+// reportReplicaSplit prints where this run's queries landed, by
+// replica identity, when the backend attributed its answers — the
+// observed consistent-hash balance behind cmd/gateway, or a single
+// line for a lone serve -replica-id instance. Silent when no response
+// carried an identity.
+func reportReplicaSplit(results []outcome) {
+	split := map[string]int{}
+	total := 0
+	for _, r := range results {
+		if r.err != nil {
+			continue
+		}
+		for id, n := range r.replicas {
+			split[id] += n
+			total += n
+		}
+	}
+	if total == 0 {
+		return
+	}
+	ids := make([]string, 0, len(split))
+	for id := range split {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%s=%d (%.1f%%)", id, split[id], 100*float64(split[id])/float64(total))
+	}
+	fmt.Printf("replica split %s over %d attributed queries\n", strings.Join(parts, ", "), total)
+}
+
 // reportDepartSweep prints the per-departure breakdown: p50/p99
 // latency and cache hit rate per swept departure — one line per
 // time-of-day slice the server partitions the day into.
@@ -488,8 +549,10 @@ type batchQuery struct {
 
 // fireBatch POSTs k randomly drawn queries to /route/batch (all
 // departing at depart, time-expanded when expand is set) and reports
-// the item count and per-item cache hits.
-func fireBatch(client *http.Client, addr string, queries []sampleQuery, rng *rand.Rand, k int, factor, depart float64, expand bool, rid, tp string) (items, itemHits int, err error) {
+// the item count, per-item cache hits and the per-replica attribution
+// of the items (gateway answers carry it; a plain serve instance's
+// items have none).
+func fireBatch(client *http.Client, addr string, queries []sampleQuery, rng *rand.Rand, k int, factor, depart float64, expand bool, rid, tp string) (items, itemHits int, replicas map[string]int, err error) {
 	req := struct {
 		Queries []batchQuery `json:"queries"`
 	}{Queries: make([]batchQuery, k)}
@@ -499,35 +562,46 @@ func fireBatch(client *http.Client, addr string, queries []sampleQuery, rng *ran
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	httpReq, err := http.NewRequest(http.MethodPost, addr+"/route/batch", bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
 	httpReq.Header.Set("X-Request-ID", rid)
 	httpReq.Header.Set("traceparent", tp)
 	resp, err := client.Do(httpReq)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, 0, fmt.Errorf("/route/batch: %s: %s", resp.Status, payload)
+		return 0, 0, nil, fmt.Errorf("/route/batch: %s: %s", resp.Status, payload)
 	}
 	var br struct {
-		Results   []json.RawMessage `json:"results"`
-		CacheHits int               `json:"cache_hits"`
+		Results []struct {
+			Replica string `json:"replica"`
+		} `json:"results"`
+		CacheHits int `json:"cache_hits"`
 	}
 	if err := json.Unmarshal(payload, &br); err != nil {
-		return 0, 0, fmt.Errorf("/route/batch: %w", err)
+		return 0, 0, nil, fmt.Errorf("/route/batch: %w", err)
 	}
-	return len(br.Results), br.CacheHits, nil
+	for _, r := range br.Results {
+		if r.Replica == "" {
+			continue
+		}
+		if replicas == nil {
+			replicas = make(map[string]int)
+		}
+		replicas[r.Replica]++
+	}
+	return len(br.Results), br.CacheHits, replicas, nil
 }
 
 func fetchQueries(client *http.Client, addr string, n int, loKm, hiKm float64, seed int64) ([]sampleQuery, error) {
@@ -552,26 +626,27 @@ func fetchQueries(client *http.Client, addr string, n int, loKm, hiKm float64, s
 }
 
 // fire issues one request, fully draining the body so connections are
-// reused, and reports whether the answer came from the server cache.
-func fire(client *http.Client, url, rid, tp string) (hit bool, err error) {
+// reused, and reports whether the answer came from the server cache
+// and which replica answered (empty without fleet identity).
+func fire(client *http.Client, url, rid, tp string) (hit bool, replica string, err error) {
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
-		return false, err
+		return false, "", err
 	}
 	req.Header.Set("X-Request-ID", rid)
 	req.Header.Set("traceparent", tp)
 	resp, err := client.Do(req)
 	if err != nil {
-		return false, err
+		return false, "", err
 	}
 	defer resp.Body.Close()
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return false, err
+		return false, "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("%s: %s", url, resp.Status)
+		return false, "", fmt.Errorf("%s: %s", url, resp.Status)
 	}
-	return resp.Header.Get("X-Cache") == "hit", nil
+	return resp.Header.Get("X-Cache") == "hit", resp.Header.Get("X-Replica"), nil
 }
 
 func percentile(sorted []time.Duration, q float64) time.Duration {

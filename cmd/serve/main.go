@@ -119,6 +119,7 @@ func main() {
 	traceSample := flag.Int("trace-sample", 0, "additionally trace 1 in N route requests as query_trace lines (0 disables)")
 	spanSample := flag.Int("span-sample", 0, "record a span tree for 1 in N requests on GET /debug/traces (0 disables span tracing; sampled traceparent headers always trace)")
 	traceStore := flag.Int("trace-store", 256, "completed traces retained for /debug/traces (plus a slow/error annex)")
+	replicaID := flag.String("replica-id", "", "fleet identity: stamp every response with this X-Replica header and report it in /healthz, so cmd/gateway can attribute and verify this replica (empty = standalone)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -239,7 +240,11 @@ func main() {
 		TraceSample:         *traceSample,
 		TraceLogger:         slog.New(slog.NewJSONHandler(os.Stderr, nil)),
 		Tracer:              tracer,
+		ReplicaID:           *replicaID,
 	})
+	if *replicaID != "" {
+		log.Printf("fleet: serving as replica %q (X-Replica stamped, /healthz reports identity)", *replicaID)
+	}
 	if *metricsOn {
 		log.Print("metrics: GET /metrics enabled (Prometheus text exposition)")
 	}

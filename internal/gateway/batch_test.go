@@ -1,0 +1,96 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestRequest(t *testing.T, path, query string) *http.Request {
+	t.Helper()
+	return httptest.NewRequest(http.MethodGet, path+"?"+query, nil)
+}
+
+// TestAttributeReplica: the injection adds exactly one field and leaves
+// every original byte in place — the mechanism behind the gateway's
+// bit-identity guarantee for batch results.
+func TestAttributeReplica(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{`{"found":true,"prob":0.75}`, `{"replica":"r1","found":true,"prob":0.75}`},
+		{`{}`, `{"replica":"r1"}`},
+		{` {"a":1}`, ` {"replica":"r1","a":1}`},
+		{`null`, `null`}, // non-object passes through untouched
+	}
+	for _, c := range cases {
+		got := attributeReplica(json.RawMessage(c.in), "r1")
+		if string(got) != c.want {
+			t.Errorf("attributeReplica(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if !json.Valid(got) && json.Valid([]byte(c.in)) {
+			t.Errorf("attributeReplica(%q) produced invalid JSON %q", c.in, got)
+		}
+	}
+	// Byte preservation: stripping the injected prefix restores the
+	// original exactly.
+	orig := `{"found":true,"path":[3,1,4],"prob":0.875,"model_epoch":2}`
+	got := attributeReplica(json.RawMessage(orig), "replica-2")
+	restored := bytes.Replace(got, []byte(`"replica":"replica-2",`), nil, 1)
+	if string(restored) != orig {
+		t.Errorf("attribution rewrote replica bytes: %q -> %q", orig, got)
+	}
+}
+
+// TestRemapQueryIndices: replica-local validation indices translate to
+// the client's original batch positions, so a scattered batch fails
+// with the same error a single replica would have produced.
+func TestRemapQueryIndices(t *testing.T) {
+	orig := []int{4, 17, 31}
+	cases := []struct {
+		in, want string
+	}{
+		{"queries[0].source: vertex -1 out of range", "queries[4].source: vertex -1 out of range"},
+		{"queries[2].budget_s: must be positive", "queries[31].budget_s: must be positive"},
+		{"queries[9].dest: whatever", "queries[9].dest: whatever"}, // out of range: untouched
+		{"no index here", "no index here"},
+	}
+	for _, c := range cases {
+		if got := remapQueryIndices(c.in, orig); got != c.want {
+			t.Errorf("remapQueryIndices(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseRoutingKey: equivalent requests key identically and
+// malformed ones are rejected at the gateway edge.
+func TestRoutingKeyShapes(t *testing.T) {
+	mk := func(path, query string) uint64 {
+		t.Helper()
+		r := newTestRequest(t, path, query)
+		k, err := routingKey(r)
+		if err != nil {
+			t.Fatalf("routingKey(%s?%s): %v", path, query, err)
+		}
+		return k
+	}
+	if mk("/route", "source=3&dest=9&budget=100") != mk("/route/anytime", "source=3&dest=9&budget=50&limit_ms=20") {
+		t.Error("same (source, dest) pair keyed differently across route endpoints")
+	}
+	if mk("/route", "source=3&dest=9") == mk("/route", "source=9&dest=3") {
+		t.Error("reversed pair should key differently")
+	}
+	if mk("/route", "source=3&dest=9") != KeyForPair(3, 9) {
+		t.Error("HTTP routing key disagrees with KeyForPair — batch items and single queries would land on different replicas")
+	}
+	r := newTestRequest(t, "/route", "source=3")
+	if _, err := routingKey(r); err == nil {
+		t.Error("missing dest accepted")
+	}
+	r = newTestRequest(t, "/pairsum", "first=e1")
+	if _, err := routingKey(r); err == nil {
+		t.Error("missing second edge accepted")
+	}
+}

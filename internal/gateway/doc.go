@@ -1,0 +1,54 @@
+// Package gateway is the replica-fleet coordinator: one HTTP front
+// door over N identical serving replicas (cmd/serve processes built
+// from the same model set), combining consistent-hash query routing,
+// health-aware failover, ingest fan-out and scatter/gather batching.
+//
+// # Routing
+//
+// Query endpoints (/route, /route/anytime, /alternatives, /pairsum,
+// /sample) are routed on a consistent-hash ring keyed by the request's
+// (source, dest) identity, so every repetition of a query lands on the
+// same replica and that replica's epoch-validated route cache stays
+// hot for its key range. The ring is immutable — virtual nodes hash
+// replica IDs, not addresses — and health enters as a lookup predicate:
+// a down replica's points are skipped (its range spreads across the
+// survivors vnode by vnode) and consulted again the moment it
+// recovers, which reclaims exactly its old range with zero movement of
+// anyone else's keys.
+//
+// # Health
+//
+// Each replica is tracked in three states. Healthy and degraded (the
+// replica's own /healthz reports drift with no model swap yet) are
+// both routable; down is not. Detection is two-path: an active prober
+// polls every replica's /healthz on a fixed interval and marks a
+// replica down after DownAfter consecutive failures, while the request
+// path marks a replica down immediately on a transport-level dispatch
+// failure and retries the request on the next live owner — in-flight
+// load fails over without waiting for a probe tick.
+//
+// # Ingest
+//
+// POST /ingest fans out to every replica so each drift monitor sees
+// the full trajectory stream. The handler only enqueues the raw body
+// into per-replica bounded queues; per-replica workers deliver in
+// order with capped-exponential-backoff retry. One slow or briefly
+// down replica never stalls ingestion — it catches up from its queue —
+// and a full queue drops batches for that replica alone.
+//
+// # Batching
+//
+// POST /route/batch is scatter/gather: items split by hash owner,
+// sub-batches dispatch concurrently, per-item results reassemble at
+// their original positions with the owning replica injected as a
+// "replica" field — every byte the replica computed is preserved, so a
+// gateway batch answer is bit-identical to the same batch against a
+// single replica.
+//
+// Telemetry reuses internal/obs end to end: per-replica request,
+// error, latency, failover and ingest-delivery series plus
+// gateway_replica_healthy/degraded gauges on /metrics, and traceparent
+// propagation so a sampled gateway trace and the replica's span tree
+// for the same request share one trace ID across /debug/traces on
+// both processes.
+package gateway

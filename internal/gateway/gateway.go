@@ -1,0 +1,618 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stochroute/internal/obs"
+)
+
+// Replica names one backend of the fleet: a stable identity (the label
+// every per-replica metric series carries, and the value expected in
+// the replica's X-Replica header / healthz replica field) and its base
+// URL.
+type Replica struct {
+	ID  string
+	URL string
+}
+
+// Config tunes the gateway. The zero value of every field means
+// "default"; Replicas is required.
+type Config struct {
+	// Replicas is the fleet, in a stable order: ring points, metric
+	// labels and /stats entries are all keyed by these IDs.
+	Replicas []Replica
+	// VNodes is the per-replica virtual-node count of the consistent-
+	// hash ring (default DefaultVNodes).
+	VNodes int
+	// ProbeInterval is the health-probe period (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout caps one /healthz probe (default 1s).
+	ProbeTimeout time.Duration
+	// DownAfter is the consecutive probe-failure count that marks a
+	// replica down (default 2). Request-path transport failures mark it
+	// down immediately regardless.
+	DownAfter int
+	// RequestTimeout caps one proxied dispatch (default 15s).
+	RequestTimeout time.Duration
+	// MaxBatchBytes caps one /route/batch request body (default 1 MiB).
+	MaxBatchBytes int64
+	// MaxIngestBytes caps one /ingest request body (default 8 MiB).
+	MaxIngestBytes int64
+	// IngestQueue is each replica's fan-out queue depth in batches
+	// (default 256). A full queue drops the batch for that replica only
+	// — one slow replica never stalls ingestion for the fleet.
+	IngestQueue int
+	// IngestAttempts bounds delivery attempts per batch (default 10);
+	// IngestBackoff is the initial retry backoff (default 50ms),
+	// doubling up to IngestBackoffCap (default 2s).
+	IngestAttempts   int
+	IngestBackoff    time.Duration
+	IngestBackoffCap time.Duration
+	// Metrics is the registry GET /metrics serves; nil makes the
+	// gateway create its own.
+	Metrics *obs.Registry
+	// DisableMetrics leaves GET /metrics unregistered.
+	DisableMetrics bool
+	// Tracer enables span-based tracing of gateway requests; sampled
+	// requests propagate a traceparent naming the gateway's trace to
+	// the chosen replica, so the replica's own span tree joins the
+	// gateway's root span. Nil leaves tracing off.
+	Tracer *obs.Tracer
+	// Client optionally overrides the dispatch HTTP client.
+	Client *http.Client
+	// LogW receives state-transition and delivery-failure lines (nil
+	// silences them).
+	LogW io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 2
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 1 << 20
+	}
+	if c.MaxIngestBytes <= 0 {
+		c.MaxIngestBytes = 8 << 20
+	}
+	if c.IngestQueue <= 0 {
+		c.IngestQueue = 256
+	}
+	if c.IngestAttempts <= 0 {
+		c.IngestAttempts = 10
+	}
+	if c.IngestBackoff <= 0 {
+		c.IngestBackoff = 50 * time.Millisecond
+	}
+	if c.IngestBackoffCap <= 0 {
+		c.IngestBackoffCap = 2 * time.Second
+	}
+	return c
+}
+
+// Gateway is the replica-fleet coordinator: an http.Handler exposing
+// the serving API of a fleet of cmd/serve replicas behind one address,
+// with consistent-hash query routing, health-aware failover, ingest
+// fan-out and scatter/gather batching. See the package documentation
+// for the routing and failover protocol.
+type Gateway struct {
+	cfg   Config
+	reps  []*replica
+	index map[string]int // replica ID -> position
+	ring  *Ring
+	mux   *http.ServeMux
+
+	client      *http.Client
+	probeClient *http.Client
+
+	reg    *obs.Registry
+	gm     *obs.GatewayMetrics
+	tracer *obs.Tracer
+	stats  map[string]*endpointMetrics
+
+	started   time.Time
+	inflight  atomic.Int64
+	downSince []atomic.Int64 // unix ms of last down transition, 0 = never
+
+	startOnce sync.Once
+	logMu     sync.Mutex
+}
+
+// New assembles a Gateway over the configured fleet. Background work
+// (health probing, ingest delivery) starts with Start.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("gateway: no replicas configured")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	ids := make([]string, len(cfg.Replicas))
+	g := &Gateway{
+		cfg:       cfg,
+		index:     make(map[string]int, len(cfg.Replicas)),
+		mux:       http.NewServeMux(),
+		reg:       cfg.Metrics,
+		tracer:    cfg.Tracer,
+		stats:     make(map[string]*endpointMetrics),
+		started:   time.Now(),
+		downSince: make([]atomic.Int64, len(cfg.Replicas)),
+	}
+	for i, rc := range cfg.Replicas {
+		if rc.ID == "" || rc.URL == "" {
+			return nil, fmt.Errorf("gateway: replica %d: ID and URL are required", i)
+		}
+		if _, dup := g.index[rc.ID]; dup {
+			return nil, fmt.Errorf("gateway: duplicate replica ID %q", rc.ID)
+		}
+		g.index[rc.ID] = i
+		ids[i] = rc.ID
+		g.reps = append(g.reps, &replica{
+			id:    rc.ID,
+			url:   strings.TrimRight(rc.URL, "/"),
+			queue: make(chan []byte, cfg.IngestQueue),
+		})
+	}
+	g.ring = NewRing(ids, cfg.VNodes)
+	g.client = cfg.Client
+	if g.client == nil {
+		g.client = &http.Client{Timeout: cfg.RequestTimeout}
+	}
+	g.probeClient = &http.Client{Timeout: cfg.ProbeTimeout}
+	g.gm = obs.NewGatewayMetrics(g.reg, ids)
+	for i := range g.reps {
+		// Optimistic until the first probe round corrects it: Start
+		// probes synchronously before the listener opens.
+		g.gm.SetHealth(i, true, false)
+		rep := g.reps[i]
+		g.reg.GaugeFunc("gateway_ingest_queue_depth",
+			"Ingest batches waiting in the replica's fan-out queue.",
+			func() float64 { return float64(len(rep.queue)) }, obs.L("replica", rep.id))
+	}
+	g.reg.GaugeFunc("gateway_replicas",
+		"Configured fleet size.", func() float64 { return float64(len(g.reps)) })
+	g.reg.GaugeFunc("uptime_seconds", "Seconds since the gateway started.",
+		func() float64 { return time.Since(g.started).Seconds() })
+	g.reg.GaugeFunc("inflight_requests", "Requests currently being served.",
+		func() float64 { return float64(g.inflight.Load()) })
+
+	g.handle("/route", http.MethodGet, g.handleKeyed)
+	g.handle("/route/anytime", http.MethodGet, g.handleKeyed)
+	g.handle("/alternatives", http.MethodGet, g.handleKeyed)
+	g.handle("/pairsum", http.MethodGet, g.handleKeyed)
+	g.handle("/sample", http.MethodGet, g.handleKeyed)
+	g.handle("/route/batch", http.MethodPost, g.handleRouteBatch)
+	g.handle("/ingest", http.MethodPost, g.handleIngest)
+	g.handle("/healthz", http.MethodGet, g.handleHealthz)
+	g.handle("/stats", http.MethodGet, g.handleStats)
+	if !cfg.DisableMetrics {
+		g.handle("/metrics", http.MethodGet, g.handleMetrics)
+	}
+	if g.tracer.Enabled() {
+		g.handle("/debug/traces", http.MethodGet, g.handleDebugTraces)
+	}
+	return g, nil
+}
+
+// Start runs one synchronous probe round (so routing never begins on
+// an unverified fleet view) and launches the background prober and the
+// per-replica ingest delivery workers. All of them stop when ctx is
+// cancelled. Start is idempotent.
+func (g *Gateway) Start(ctx context.Context) {
+	g.startOnce.Do(func() {
+		g.probeAll()
+		go g.probeLoop(ctx)
+		for _, rep := range g.reps {
+			go g.ingestWorker(ctx, rep)
+		}
+	})
+}
+
+// probeLoop re-probes the fleet every ProbeInterval until ctx ends.
+func (g *Gateway) probeLoop(ctx context.Context) {
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			g.probeAll()
+		}
+	}
+}
+
+// Handler returns the HTTP handler serving the gateway API.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Serve starts the background workers and runs the gateway on addr
+// until ctx is cancelled, then shuts down gracefully.
+func (g *Gateway) Serve(ctx context.Context, addr string) error {
+	g.Start(ctx)
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           g.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		<-errc
+		return nil
+	}
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.LogW == nil {
+		return
+	}
+	g.logMu.Lock()
+	defer g.logMu.Unlock()
+	fmt.Fprintf(g.cfg.LogW, "gateway: "+format+"\n", args...)
+}
+
+// endpointMetrics mirrors internal/server's per-endpoint accounting
+// (same family names, the gateway's own registry) so fleet dashboards
+// read gateway and replica traffic through one set of series names.
+type endpointMetrics struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+// handle registers an endpoint with request accounting, an X-Request-ID
+// echo, and root-span sampling — the same wrapper protocol
+// internal/server applies, so a request traced at the gateway carries
+// one trace ID across both processes.
+func (g *Gateway) handle(pattern, method string, h func(http.ResponseWriter, *http.Request) error) {
+	l := obs.L("endpoint", pattern)
+	em := &endpointMetrics{
+		requests: g.reg.Counter("http_requests_total", "HTTP requests served, by endpoint.", l),
+		errors:   g.reg.Counter("http_request_errors_total", "HTTP requests answered with an error status, by endpoint.", l),
+		latency:  g.reg.Histogram("http_request_duration_seconds", "Wall-clock request latency, by endpoint.", obs.LatencyBuckets(), l),
+	}
+	g.stats[pattern] = em
+	traceable := pattern != "/debug/traces" && pattern != "/metrics"
+	g.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		start := time.Now()
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		var root *obs.Span
+		if traceable {
+			tp, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+			if g.tracer.ShouldSample(ok && tp.Sampled) {
+				var ctx context.Context
+				ctx, root = g.tracer.StartRequest(r.Context(), pattern, rid, tp)
+				r = r.WithContext(ctx)
+				w.Header().Set("Traceparent", obs.FormatTraceparent(root.TraceID(), root.WireID(), true))
+			}
+		}
+		em.requests.Inc()
+		g.inflight.Add(1)
+		defer g.inflight.Add(-1)
+		err := h(w, r)
+		em.latency.Observe(time.Since(start).Seconds())
+		if err != nil {
+			em.errors.Inc()
+			root.SetError(err)
+			var he *httpError
+			if errors.As(err, &he) {
+				writeError(w, he.code, he.msg)
+			} else {
+				writeError(w, http.StatusBadGateway, err.Error())
+			}
+		}
+		g.tracer.Finish(root)
+	})
+}
+
+// httpError carries a client-visible status through a handler return.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// --- consistent-hash routed endpoints --------------------------------
+
+// routingKey derives the ring key of one request. /route-shaped
+// endpoints key on the (source, dest) pair — in whichever form the
+// client supplied it (IDs or coordinates), so the same client query
+// always lands on the same replica and its route cache stays hot for
+// that key range. /pairsum keys on the edge pair, /sample on its full
+// parameter set (same sample workload -> same replica -> one snap of
+// the RNG stream).
+func routingKey(r *http.Request) (uint64, error) {
+	q := r.URL.Query()
+	switch r.URL.Path {
+	case "/pairsum":
+		first, second := q.Get("first"), q.Get("second")
+		if first == "" || second == "" {
+			return 0, badRequest("first/second: both edge IDs are required")
+		}
+		return KeyForString(first + ">" + second), nil
+	case "/sample":
+		return KeyForString(r.URL.RawQuery), nil
+	default:
+		src := q.Get("source")
+		if src == "" {
+			src = q.Get("from")
+		}
+		dst := q.Get("dest")
+		if dst == "" {
+			dst = q.Get("to")
+		}
+		if src == "" || dst == "" {
+			return 0, badRequest("missing source/from and dest/to")
+		}
+		return KeyForString(src + ">" + dst), nil
+	}
+}
+
+// handleKeyed answers one consistent-hash routed GET: resolve the
+// ring owner among live replicas, dispatch, and on a transport failure
+// mark the replica down and fail over to the next live owner — the
+// client sees one answer or one error, never a partial.
+func (g *Gateway) handleKeyed(w http.ResponseWriter, r *http.Request) error {
+	key, err := routingKey(r)
+	if err != nil {
+		return err
+	}
+	ctx := r.Context()
+	for attempt := 0; attempt <= len(g.reps); attempt++ {
+		idx := g.ring.OwnerAlive(key, g.routable)
+		if idx < 0 {
+			return &httpError{code: http.StatusServiceUnavailable, msg: "no live replicas"}
+		}
+		rep := g.reps[idx]
+		resp, err := g.dispatch(ctx, rep, r)
+		if err != nil {
+			g.markFailed(rep, err)
+			continue
+		}
+		return relay(w, resp, rep.id)
+	}
+	return &httpError{code: http.StatusBadGateway, msg: "all replicas failed"}
+}
+
+// dispatch forwards one GET to rep, carrying the request identity
+// (X-Request-ID, Accept) and the trace context: when the gateway
+// sampled this request, the replica receives a traceparent naming the
+// gateway's trace with a fresh proxy span as parent, so the replica's
+// span tree joins the gateway's waterfall in /debug/traces.
+func (g *Gateway) dispatch(ctx context.Context, rep *replica, r *http.Request) (*http.Response, error) {
+	u := rep.url + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	copyRequestHeaders(req, r)
+	_, psp := obs.StartSpan(ctx, "proxy")
+	if psp != nil {
+		psp.SetStr("replica", rep.id)
+		req.Header.Set("traceparent", obs.FormatTraceparent(psp.TraceID(), psp.WireID(), true))
+	}
+	t0 := time.Now()
+	resp, err := g.client.Do(req)
+	g.gm.Request(g.index[rep.id], time.Since(t0), err != nil)
+	if psp != nil {
+		psp.SetError(err)
+		psp.End()
+	}
+	return resp, err
+}
+
+// copyRequestHeaders forwards the identity headers a replica should
+// see; the inbound traceparent passes through unless the gateway's own
+// sampling replaces it in dispatch.
+func copyRequestHeaders(dst *http.Request, src *http.Request) {
+	for _, h := range [...]string{"X-Request-ID", "Accept", "Content-Type", "traceparent"} {
+		if v := src.Header.Get(h); v != "" {
+			dst.Header.Set(h, v)
+		}
+	}
+}
+
+// relay copies a replica response to the client, stamping X-Replica
+// with the gateway's identity for the backend when the replica did not
+// identify itself.
+func relay(w http.ResponseWriter, resp *http.Response, replicaID string) error {
+	defer resp.Body.Close()
+	for _, h := range [...]string{"Content-Type", "X-Cache", "X-Replica"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	if w.Header().Get("X-Replica") == "" {
+		w.Header().Set("X-Replica", replicaID)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, err := io.Copy(w, resp.Body)
+	return err
+}
+
+// --- gateway health and stats ----------------------------------------
+
+// replicaHealth is one replica's entry in the gateway's /healthz.
+type replicaHealth struct {
+	ID    string `json:"id"`
+	URL   string `json:"url"`
+	State string `json:"state"`
+	// ModelEpoch is the replica's serving epoch from its last
+	// successful probe.
+	ModelEpoch uint64 `json:"model_epoch"`
+	// QueueDepth is the replica's pending ingest fan-out backlog.
+	QueueDepth int `json:"queue_depth"`
+	// DownSinceUnixMS is the last down transition (0 = never).
+	DownSinceUnixMS int64 `json:"down_since_unix_ms,omitempty"`
+}
+
+// gatewayHealth is the fleet view: status is "ok" when every replica
+// is healthy, "degraded" while any replica is degraded or down but at
+// least one is routable, and "down" (with HTTP 503) when none is.
+type gatewayHealth struct {
+	Status   string          `json:"status"`
+	Healthy  int             `json:"healthy"`
+	Degraded int             `json:"degraded"`
+	Down     int             `json:"down"`
+	Replicas []replicaHealth `json:"replicas"`
+	UptimeS  float64         `json:"uptime_s"`
+}
+
+func (g *Gateway) fleetHealth() *gatewayHealth {
+	out := &gatewayHealth{
+		Replicas: make([]replicaHealth, len(g.reps)),
+		UptimeS:  time.Since(g.started).Seconds(),
+	}
+	for i, rep := range g.reps {
+		st := rep.State()
+		out.Replicas[i] = replicaHealth{
+			ID:              rep.id,
+			URL:             rep.url,
+			State:           st.String(),
+			ModelEpoch:      rep.epoch.Load(),
+			QueueDepth:      len(rep.queue),
+			DownSinceUnixMS: g.downSince[i].Load(),
+		}
+		switch st {
+		case StateHealthy:
+			out.Healthy++
+		case StateDegraded:
+			out.Degraded++
+		case StateDown:
+			out.Down++
+		}
+	}
+	switch {
+	case out.Down == 0 && out.Degraded == 0:
+		out.Status = "ok"
+	case out.Healthy+out.Degraded > 0:
+		out.Status = "degraded"
+	default:
+		out.Status = "down"
+	}
+	return out
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	h := g.fleetHealth()
+	if h.Status == "down" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return json.NewEncoder(w).Encode(h)
+	}
+	return writeJSON(w, h)
+}
+
+// replicaStatsEntry joins a replica's health view with its counter
+// snapshot for /stats.
+type replicaStatsEntry struct {
+	replicaHealth
+	obs.GatewayReplicaStats
+}
+
+type endpointStatsEntry struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+}
+
+type gatewayStats struct {
+	UptimeS   float64                       `json:"uptime_s"`
+	Inflight  int64                         `json:"inflight"`
+	Status    string                        `json:"status"`
+	Replicas  []replicaStatsEntry           `json:"replicas"`
+	Endpoints map[string]endpointStatsEntry `json:"endpoints"`
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) error {
+	h := g.fleetHealth()
+	out := &gatewayStats{
+		UptimeS:   h.UptimeS,
+		Inflight:  g.inflight.Load(),
+		Status:    h.Status,
+		Replicas:  make([]replicaStatsEntry, len(g.reps)),
+		Endpoints: make(map[string]endpointStatsEntry, len(g.stats)),
+	}
+	for i := range g.reps {
+		out.Replicas[i] = replicaStatsEntry{
+			replicaHealth:       h.Replicas[i],
+			GatewayReplicaStats: g.gm.ReplicaStats(i),
+		}
+	}
+	for pattern, em := range g.stats {
+		out.Endpoints[pattern] = endpointStatsEntry{
+			Requests: em.requests.Value(),
+			Errors:   em.errors.Value(),
+		}
+	}
+	return writeJSON(w, out)
+}
+
+// handleMetrics serves the gateway registry's Prometheus exposition
+// (OpenMetrics with exemplars under the matching Accept header, like
+// the replicas' /metrics).
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		return g.reg.WriteOpenMetrics(w)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	return g.reg.WriteText(w)
+}

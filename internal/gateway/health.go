@@ -1,0 +1,154 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReplicaState is the balancer's three-state view of one replica.
+type ReplicaState int32
+
+// The three states. Healthy and Degraded replicas are both routable —
+// a degraded replica still answers correctly, knowingly on a stale
+// model (its drift monitor fired with no swap since) — while a Down
+// replica's hash range fails over to the survivors until its probes
+// recover.
+const (
+	StateHealthy ReplicaState = iota
+	StateDegraded
+	StateDown
+)
+
+// String renders the state for health endpoints and logs.
+func (s ReplicaState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateDown:
+		return "down"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// replica is one backend's runtime record: identity, health state, the
+// ingest fan-out queue, and the probe bookkeeping. State is written by
+// the prober goroutine and by request-path failure marking, and read
+// by every request — all through atomics.
+type replica struct {
+	id  string
+	url string // normalized base URL, no trailing slash
+
+	state atomic.Int32  // ReplicaState
+	fails atomic.Int32  // consecutive probe failures
+	epoch atomic.Uint64 // model_epoch from the last successful probe
+
+	// queue holds raw /ingest bodies awaiting delivery; one worker
+	// drains it in order (see ingest.go).
+	queue chan []byte
+}
+
+// State reads the replica's current state.
+func (r *replica) State() ReplicaState { return ReplicaState(r.state.Load()) }
+
+// routable reports whether requests may be dispatched to replica i.
+func (g *Gateway) routable(i int) bool {
+	return g.reps[i].State() != StateDown
+}
+
+// setState publishes a state transition, updating the health gauges
+// and logging the change exactly once per transition.
+func (g *Gateway) setState(rep *replica, next ReplicaState, reason string) {
+	prev := ReplicaState(rep.state.Swap(int32(next)))
+	if prev == next {
+		return
+	}
+	idx := g.index[rep.id]
+	g.gm.SetHealth(idx, next != StateDown, next == StateDegraded)
+	g.logf("replica %s: %s -> %s (%s)", rep.id, prev, next, reason)
+	if next == StateDown {
+		g.downSince[idx].Store(time.Now().UnixMilli())
+	}
+}
+
+// markFailed is the request path's passive failure detector: a
+// transport-level dispatch failure marks the replica down immediately
+// — waiting for the next probe tick would fail every request in the
+// replica's hash range in the meantime — and counts one failover. The
+// prober brings it back the moment /healthz answers again.
+func (g *Gateway) markFailed(rep *replica, err error) {
+	g.gm.Failover(g.index[rep.id])
+	g.setState(rep, StateDown, fmt.Sprintf("dispatch failed: %v", err))
+}
+
+// healthzView is the subset of a replica's /healthz answer the
+// balancer consumes: the serving epoch, the degraded flag, and the
+// replica's self-reported identity (see internal/server Config
+// ReplicaID), which is checked against the gateway's fleet config so a
+// mis-wired address list is caught by the first probe round.
+type healthzView struct {
+	Status     string `json:"status"`
+	Degraded   bool   `json:"degraded"`
+	ModelEpoch uint64 `json:"model_epoch"`
+	Replica    string `json:"replica"`
+}
+
+// probe performs one health check of rep and applies the outcome to
+// the three-state view.
+func (g *Gateway) probe(rep *replica) {
+	resp, err := g.probeClient.Get(rep.url + "/healthz")
+	if err != nil {
+		g.probeFailed(rep, err)
+		return
+	}
+	defer resp.Body.Close()
+	var hv healthzView
+	if derr := json.NewDecoder(resp.Body).Decode(&hv); derr != nil || resp.StatusCode != http.StatusOK {
+		if derr == nil {
+			derr = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		g.probeFailed(rep, derr)
+		return
+	}
+	rep.fails.Store(0)
+	rep.epoch.Store(hv.ModelEpoch)
+	if hv.Replica != "" && hv.Replica != rep.id {
+		g.logf("replica %s: /healthz reports identity %q — fleet config and serve -replica-id disagree", rep.id, hv.Replica)
+	}
+	next := StateHealthy
+	reason := "probe ok"
+	if hv.Degraded {
+		next = StateDegraded
+		reason = "replica reports degraded"
+	}
+	g.setState(rep, next, reason)
+}
+
+// probeFailed counts one failed probe and marks the replica down once
+// DownAfter consecutive probes have failed.
+func (g *Gateway) probeFailed(rep *replica, err error) {
+	if int(rep.fails.Add(1)) >= g.cfg.DownAfter {
+		g.setState(rep, StateDown, fmt.Sprintf("probe failed: %v", err))
+	}
+}
+
+// probeAll probes every replica concurrently and waits for the round
+// to finish — used for the synchronous round at Start so the gateway
+// never begins routing on an unverified fleet view.
+func (g *Gateway) probeAll() {
+	var wg sync.WaitGroup
+	for _, rep := range g.reps {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			g.probe(rep)
+		}(rep)
+	}
+	wg.Wait()
+}

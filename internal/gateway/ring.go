@@ -1,0 +1,159 @@
+package gateway
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over a fixed replica fleet. Each
+// replica owns VNodes points on the ring (hashes of "id#v"), so key
+// ranges interleave finely and a down replica's load spreads across
+// every survivor instead of dumping onto one neighbour.
+//
+// The ring itself is immutable after construction: health is an input
+// to lookup (OwnerAlive's alive predicate), not ring state. That is
+// what makes failover minimally disruptive by construction — marking a
+// replica down does not move any other replica's points, so every key
+// owned by a live replica keeps its owner, and when the down replica
+// recovers its points are simply consulted again, reclaiming exactly
+// its old range.
+type Ring struct {
+	points   []ringPoint
+	replicas int
+}
+
+// ringPoint is one virtual node: a position on the ring and the
+// replica that owns it.
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// DefaultVNodes is the per-replica virtual-node count used when a
+// Config leaves VNodes zero: high enough that the key split across a
+// small fleet stays within a few percent of uniform.
+const DefaultVNodes = 256
+
+// NewRing builds the ring for the given replica IDs. vnodes <= 0 uses
+// DefaultVNodes. Replica identity is positional: lookup results index
+// into ids.
+func NewRing(ids []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		points:   make([]ringPoint, 0, len(ids)*vnodes),
+		replicas: len(ids),
+	}
+	for i, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			h := hashString(id + "#" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r
+}
+
+// Replicas returns the fleet size the ring was built for.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Owner returns the replica owning key: the replica of the first ring
+// point at or after key, wrapping at the top. -1 on an empty ring.
+func (r *Ring) Owner(key uint64) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].replica
+}
+
+// OwnerAlive returns the owner of key among replicas for which alive
+// reports true: the ring is walked clockwise from the key's position
+// and the first point belonging to a live replica wins. Keys whose
+// Owner is alive always resolve to that owner (minimal disruption);
+// keys of a dead replica resolve to the next live point, which spreads
+// the dead replica's range across the survivors vnode by vnode.
+// Returns -1 when no replica is alive.
+func (r *Ring) OwnerAlive(key uint64, alive func(int) bool) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	for k := 0; k < len(r.points); k++ {
+		p := r.points[(start+k)%len(r.points)]
+		if alive(p.replica) {
+			return p.replica
+		}
+	}
+	return -1
+}
+
+// hashString is 64-bit FNV-1a with a splitmix64 finalizer —
+// deterministic across processes, so a restarted gateway (or a second
+// gateway instance in front of the same fleet) routes every key
+// identically. The finalizer matters: raw FNV-1a of short, similar
+// strings (replica vnode labels, "src>dst" pairs) has weak avalanche
+// in its upper bits, and ring ordering is dominated by exactly those
+// bits — without mixing, vnode positions cluster and the key split
+// drifts tens of percent from uniform.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return mix64(h)
+}
+
+// hashBytes is hashString over a byte slice.
+func hashBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalization step: full-avalanche mixing so
+// every input bit diffuses into the ordering-critical upper bits.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// KeyForPair is the routing key of a (source, dest) query: every
+// request for the same vertex pair lands on the same replica, so that
+// replica's epoch-validated route cache stays hot for its key range.
+func KeyForPair(source, dest int) uint64 {
+	var buf [2 * 10]byte
+	b := strconv.AppendInt(buf[:0], int64(source), 10)
+	b = append(b, '>')
+	b = strconv.AppendInt(b, int64(dest), 10)
+	return hashBytes(b)
+}
+
+// KeyForString hashes an arbitrary request identity (e.g. a /pairsum
+// edge pair or a /sample parameter set) onto the ring's key space.
+func KeyForString(s string) uint64 { return hashString(s) }

@@ -1,0 +1,161 @@
+package gateway
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("replica-%d", i+1)
+	}
+	return ids
+}
+
+// TestRingUniformity is the load-balance property: over a large set of
+// randomized keys, every replica's share of the key space stays within
+// 15% of uniform — the guarantee the default vnode count is sized for.
+func TestRingUniformity(t *testing.T) {
+	const keys = 200000
+	for _, n := range []int{2, 3, 5, 8} {
+		t.Run(fmt.Sprintf("replicas=%d", n), func(t *testing.T) {
+			r := NewRing(ringIDs(n), DefaultVNodes)
+			rng := rand.New(rand.NewSource(42))
+			counts := make([]int, n)
+			for i := 0; i < keys; i++ {
+				counts[r.Owner(rng.Uint64())]++
+			}
+			want := float64(keys) / float64(n)
+			for i, c := range counts {
+				dev := math.Abs(float64(c)-want) / want
+				if dev > 0.15 {
+					t.Errorf("replica %d owns %d of %d keys (%.1f%% from uniform, limit 15%%)",
+						i, c, keys, 100*dev)
+				}
+			}
+		})
+	}
+}
+
+// TestRingKeyedUniformity repeats the distribution check with the keys
+// the gateway actually routes on — hashed (source, dest) pairs — since
+// structured inputs are exactly where a weak hash would cluster.
+func TestRingKeyedUniformity(t *testing.T) {
+	const n = 3
+	r := NewRing(ringIDs(n), DefaultVNodes)
+	counts := make([]int, n)
+	total := 0
+	for src := 0; src < 400; src++ {
+		for dst := 0; dst < 400; dst++ {
+			if src == dst {
+				continue
+			}
+			counts[r.Owner(KeyForPair(src, dst))]++
+			total++
+		}
+	}
+	want := float64(total) / float64(n)
+	for i, c := range counts {
+		dev := math.Abs(float64(c)-want) / want
+		if dev > 0.15 {
+			t.Errorf("replica %d owns %d of %d pair keys (%.1f%% from uniform, limit 15%%)",
+				i, c, total, 100*dev)
+		}
+	}
+}
+
+// TestRingMinimalDisruption is the failover invariant: marking one
+// replica dead remaps only that replica's keys. Every key owned by a
+// survivor keeps its owner, and the dead replica's keys spread across
+// multiple survivors rather than dumping onto one neighbour.
+func TestRingMinimalDisruption(t *testing.T) {
+	const n, keys = 5, 100000
+	r := NewRing(ringIDs(n), DefaultVNodes)
+	rng := rand.New(rand.NewSource(7))
+	ks := make([]uint64, keys)
+	base := make([]int, keys)
+	for i := range ks {
+		ks[i] = rng.Uint64()
+		base[i] = r.Owner(ks[i])
+	}
+	for dead := 0; dead < n; dead++ {
+		alive := func(i int) bool { return i != dead }
+		inherited := make(map[int]int)
+		for i, k := range ks {
+			got := r.OwnerAlive(k, alive)
+			if got == dead {
+				t.Fatalf("key %#x still routed to dead replica %d", k, dead)
+			}
+			if base[i] != dead {
+				if got != base[i] {
+					t.Fatalf("key %#x owned by live replica %d remapped to %d when replica %d died",
+						k, base[i], got, dead)
+				}
+				continue
+			}
+			inherited[got]++
+		}
+		if len(inherited) < 2 {
+			t.Errorf("replica %d's range fell entirely onto %v — vnodes should spread it over several survivors", dead, inherited)
+		}
+	}
+}
+
+// TestRingReclamation: a recovered replica's keys return to it exactly
+// — lookup with everyone alive equals the Owner baseline, no residue
+// from the outage.
+func TestRingReclamation(t *testing.T) {
+	const n, keys = 3, 50000
+	r := NewRing(ringIDs(n), DefaultVNodes)
+	rng := rand.New(rand.NewSource(11))
+	everyone := func(int) bool { return true }
+	for i := 0; i < keys; i++ {
+		k := rng.Uint64()
+		if got, want := r.OwnerAlive(k, everyone), r.Owner(k); got != want {
+			t.Fatalf("key %#x: OwnerAlive(all alive) = %d, Owner = %d", k, got, want)
+		}
+	}
+}
+
+// TestRingCascadingFailure: lookups keep resolving as replicas die one
+// by one, and return -1 only when the whole fleet is gone.
+func TestRingCascadingFailure(t *testing.T) {
+	const n = 4
+	r := NewRing(ringIDs(n), 64)
+	deadBelow := 0
+	alive := func(i int) bool { return i >= deadBelow }
+	rng := rand.New(rand.NewSource(3))
+	for deadBelow = 0; deadBelow < n; deadBelow++ {
+		for i := 0; i < 1000; i++ {
+			got := r.OwnerAlive(rng.Uint64(), alive)
+			if got < deadBelow {
+				t.Fatalf("with replicas [0,%d) dead, lookup returned %d", deadBelow, got)
+			}
+		}
+	}
+	deadBelow = n
+	if got := r.OwnerAlive(123, alive); got != -1 {
+		t.Fatalf("empty fleet lookup = %d, want -1", got)
+	}
+}
+
+// TestRingDeterminism: two rings built from the same IDs route every
+// key identically — the property that lets a restarted gateway (or a
+// second gateway) preserve cache locality.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing(ringIDs(3), DefaultVNodes)
+	b := NewRing(ringIDs(3), DefaultVNodes)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 10000; i++ {
+		k := rng.Uint64()
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on key %#x", k)
+		}
+	}
+	if KeyForPair(12, 345) != KeyForString("12>345") {
+		t.Fatal("KeyForPair and KeyForString disagree on the same identity")
+	}
+}

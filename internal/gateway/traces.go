@@ -1,0 +1,91 @@
+package gateway
+
+import (
+	"net/http"
+	"strconv"
+
+	"stochroute/internal/obs"
+)
+
+// gwSpan is one node of a rendered span tree.
+type gwSpan struct {
+	Name       string     `json:"name"`
+	DurationMS float64    `json:"duration_ms"`
+	Error      string     `json:"error,omitempty"`
+	Attrs      []obs.Attr `json:"attrs,omitempty"`
+	Children   []gwSpan   `json:"children,omitempty"`
+}
+
+// gwTrace is one gateway-side trace in /debug/traces. The proxy spans
+// carry the replica each hop dispatched to; the replica's own span tree
+// for the same request lives in the replica's /debug/traces under the
+// same trace_id (the gateway's traceparent propagation joins them).
+type gwTrace struct {
+	TraceID    string  `json:"trace_id"`
+	RequestID  string  `json:"request_id"`
+	Endpoint   string  `json:"endpoint"`
+	DurationMS float64 `json:"duration_ms"`
+	Error      bool    `json:"error,omitempty"`
+	Root       *gwSpan `json:"root,omitempty"`
+}
+
+func renderSpanTree(n *obs.SpanNode) *gwSpan {
+	if n == nil || n.Span == nil {
+		return nil
+	}
+	out := &gwSpan{
+		Name:       n.Span.Name(),
+		DurationMS: float64(n.Span.Duration().Microseconds()) / 1000.0,
+		Error:      n.Span.Err(),
+		Attrs:      n.Span.Attrs(),
+	}
+	for _, c := range n.Children {
+		if cs := renderSpanTree(c); cs != nil {
+			out.Children = append(out.Children, *cs)
+		}
+	}
+	return out
+}
+
+// handleDebugTraces serves the gateway's retained traces, newest first.
+// Filters: n (count cap, default 20), trace_id (exact), endpoint
+// (exact). Replica-side detail for any trace here is one hop away: ask
+// the replica's /debug/traces for the same trace_id.
+func (g *Gateway) handleDebugTraces(w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	n := 20
+	if v := q.Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p <= 0 {
+			return badRequest("n: positive integer required")
+		}
+		n = p
+	}
+	wantTrace, wantEndpoint := q.Get("trace_id"), q.Get("endpoint")
+	var traces []*obs.Trace
+	if wantTrace != "" {
+		if t := g.tracer.Store().Find(wantTrace); t != nil {
+			traces = []*obs.Trace{t}
+		}
+	} else {
+		traces = g.tracer.Store().Snapshot()
+	}
+	out := make([]gwTrace, 0, n)
+	for _, t := range traces {
+		if wantEndpoint != "" && t.Endpoint != wantEndpoint {
+			continue
+		}
+		out = append(out, gwTrace{
+			TraceID:    t.ID,
+			RequestID:  t.RequestID,
+			Endpoint:   t.Endpoint,
+			DurationMS: float64(t.Duration().Microseconds()) / 1000.0,
+			Error:      t.Err(),
+			Root:       renderSpanTree(t.Tree()),
+		})
+		if len(out) >= n {
+			break
+		}
+	}
+	return writeJSON(w, map[string]any{"traces": out})
+}

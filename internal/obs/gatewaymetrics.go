@@ -1,0 +1,178 @@
+package obs
+
+import "time"
+
+// GatewayMetrics holds the replica-fleet gateway's per-replica
+// telemetry: the three-state health view as gauges, request/error
+// counters and a latency histogram per replica, failover counters, and
+// the ingest fan-out's delivery accounting. All children are
+// pre-registered and indexed by replica, matching the SearchMetrics /
+// IngestMetrics idiom: recording is pure atomics.
+//
+// A nil *GatewayMetrics records nothing.
+type GatewayMetrics struct {
+	healthy  []*Gauge
+	degraded []*Gauge
+
+	requests  []*Counter
+	errors    []*Counter
+	latency   []*Histogram
+	failovers []*Counter
+
+	ingestEnqueued  []*Counter
+	ingestDelivered []*Counter
+	ingestRetries   []*Counter
+	ingestDropped   []*Counter
+
+	batchItems []*Counter
+}
+
+// NewGatewayMetrics registers the gateway telemetry families on r, one
+// child per replica ID, and returns the recorder.
+func NewGatewayMetrics(r *Registry, replicas []string) *GatewayMetrics {
+	m := &GatewayMetrics{}
+	n := len(replicas)
+	m.healthy = make([]*Gauge, n)
+	m.degraded = make([]*Gauge, n)
+	m.requests = make([]*Counter, n)
+	m.errors = make([]*Counter, n)
+	m.latency = make([]*Histogram, n)
+	m.failovers = make([]*Counter, n)
+	m.ingestEnqueued = make([]*Counter, n)
+	m.ingestDelivered = make([]*Counter, n)
+	m.ingestRetries = make([]*Counter, n)
+	m.ingestDropped = make([]*Counter, n)
+	m.batchItems = make([]*Counter, n)
+	for i, id := range replicas {
+		l := L("replica", id)
+		m.healthy[i] = r.Gauge("gateway_replica_healthy",
+			"1 while the replica is routable (healthy or degraded), 0 while it is down.", l)
+		m.degraded[i] = r.Gauge("gateway_replica_degraded",
+			"1 while the replica reports itself degraded (drift fired, no swap since).", l)
+		m.requests[i] = r.Counter("gateway_replica_requests_total",
+			"Requests the gateway dispatched to the replica.", l)
+		m.errors[i] = r.Counter("gateway_replica_errors_total",
+			"Dispatches to the replica that failed at the transport layer.", l)
+		m.latency[i] = r.Histogram("gateway_replica_latency_seconds",
+			"Wall-clock latency of replica dispatches, by replica.", LatencyBuckets(), l)
+		m.failovers[i] = r.Counter("gateway_failovers_total",
+			"Requests re-routed away from the replica after a dispatch failure or down mark.", l)
+		m.ingestEnqueued[i] = r.Counter("gateway_ingest_enqueued_total",
+			"Ingest batches enqueued for delivery to the replica.", l)
+		m.ingestDelivered[i] = r.Counter("gateway_ingest_delivered_total",
+			"Ingest batches delivered to the replica (including after retries).", l)
+		m.ingestRetries[i] = r.Counter("gateway_ingest_retries_total",
+			"Ingest delivery attempts that failed and were retried with backoff.", l)
+		m.ingestDropped[i] = r.Counter("gateway_ingest_dropped_total",
+			"Ingest batches abandoned: queue full at enqueue or retry budget exhausted.", l)
+		m.batchItems[i] = r.Counter("gateway_batch_items_total",
+			"Scatter/gather batch items dispatched to the replica.", l)
+	}
+	return m
+}
+
+// SetHealth publishes one replica's health view: routable is false only
+// for a down replica; degraded mirrors the replica's own /healthz flag.
+func (m *GatewayMetrics) SetHealth(i int, routable, degraded bool) {
+	if m == nil {
+		return
+	}
+	i = clampSlice(i, len(m.healthy))
+	v := 0.0
+	if routable {
+		v = 1
+	}
+	m.healthy[i].Set(v)
+	v = 0.0
+	if degraded {
+		v = 1
+	}
+	m.degraded[i].Set(v)
+}
+
+// Request records one dispatch to replica i and its outcome.
+func (m *GatewayMetrics) Request(i int, d time.Duration, failed bool) {
+	if m == nil {
+		return
+	}
+	i = clampSlice(i, len(m.requests))
+	m.requests[i].Inc()
+	m.latency[i].Observe(d.Seconds())
+	if failed {
+		m.errors[i].Inc()
+	}
+}
+
+// Failover counts one request re-routed away from replica i.
+func (m *GatewayMetrics) Failover(i int) {
+	if m != nil {
+		m.failovers[clampSlice(i, len(m.failovers))].Inc()
+	}
+}
+
+// IngestEnqueued counts one batch enqueued for replica i.
+func (m *GatewayMetrics) IngestEnqueued(i int) {
+	if m != nil {
+		m.ingestEnqueued[clampSlice(i, len(m.ingestEnqueued))].Inc()
+	}
+}
+
+// IngestDelivered counts one batch delivered to replica i.
+func (m *GatewayMetrics) IngestDelivered(i int) {
+	if m != nil {
+		m.ingestDelivered[clampSlice(i, len(m.ingestDelivered))].Inc()
+	}
+}
+
+// IngestRetry counts one failed delivery attempt to replica i that
+// will be retried.
+func (m *GatewayMetrics) IngestRetry(i int) {
+	if m != nil {
+		m.ingestRetries[clampSlice(i, len(m.ingestRetries))].Inc()
+	}
+}
+
+// IngestDropped counts one batch abandoned for replica i.
+func (m *GatewayMetrics) IngestDropped(i int) {
+	if m != nil {
+		m.ingestDropped[clampSlice(i, len(m.ingestDropped))].Inc()
+	}
+}
+
+// BatchItems counts n scatter/gather items dispatched to replica i.
+func (m *GatewayMetrics) BatchItems(i, n int) {
+	if m != nil {
+		m.batchItems[clampSlice(i, len(m.batchItems))].Add(uint64(n))
+	}
+}
+
+// GatewayReplicaStats is one replica's counter snapshot, read back from
+// the same atomics /metrics exposes so the gateway's /stats endpoint
+// and its exposition can never disagree.
+type GatewayReplicaStats struct {
+	Requests        uint64 `json:"requests"`
+	Errors          uint64 `json:"errors"`
+	Failovers       uint64 `json:"failovers"`
+	IngestEnqueued  uint64 `json:"ingest_enqueued"`
+	IngestDelivered uint64 `json:"ingest_delivered"`
+	IngestRetries   uint64 `json:"ingest_retries"`
+	IngestDropped   uint64 `json:"ingest_dropped"`
+	BatchItems      uint64 `json:"batch_items"`
+}
+
+// ReplicaStats snapshots replica i's counters.
+func (m *GatewayMetrics) ReplicaStats(i int) GatewayReplicaStats {
+	if m == nil || i < 0 || i >= len(m.requests) {
+		return GatewayReplicaStats{}
+	}
+	return GatewayReplicaStats{
+		Requests:        m.requests[i].Value(),
+		Errors:          m.errors[i].Value(),
+		Failovers:       m.failovers[i].Value(),
+		IngestEnqueued:  m.ingestEnqueued[i].Value(),
+		IngestDelivered: m.ingestDelivered[i].Value(),
+		IngestRetries:   m.ingestRetries[i].Value(),
+		IngestDropped:   m.ingestDropped[i].Value(),
+		BatchItems:      m.batchItems[i].Value(),
+	}
+}

@@ -133,6 +133,13 @@ type Config struct {
 	// and /debug/traces unregistered. Construct the tracer externally
 	// (cmd/serve does) so ingest rebuild traces land in the same store.
 	Tracer *obs.Tracer
+	// ReplicaID names this server instance within a replica fleet. When
+	// set, every response carries it in an X-Replica header and /healthz
+	// reports it as "replica" — the identity a fleet gateway
+	// (internal/gateway) checks against its configured address list and
+	// uses for per-replica attribution. Empty means standalone: no
+	// header, no field.
+	ReplicaID string
 }
 
 func (c Config) withDefaults() Config {
@@ -351,6 +358,9 @@ func (s *Server) handle(pattern, method string, h func(http.ResponseWriter, *htt
 			rid = obs.NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", rid)
+		if s.cfg.ReplicaID != "" {
+			w.Header().Set("X-Replica", s.cfg.ReplicaID)
+		}
 		var root *obs.Span
 		if traceable {
 			tp, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
@@ -1261,6 +1271,9 @@ type healthResponse struct {
 	// rebuild has swapped that slice since: the server still answers,
 	// knowingly on a stale model. Always false without an ingestor.
 	Degraded bool `json:"degraded"`
+	// Replica is this instance's fleet identity (Config.ReplicaID);
+	// omitted for a standalone server.
+	Replica string `json:"replica,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
@@ -1274,6 +1287,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 		SliceEpochs: s.backend.SliceEpochs(),
 		UptimeS:     time.Since(s.started).Seconds(),
 		Degraded:    s.cfg.Ingestor != nil && s.cfg.Ingestor.Degraded(),
+		Replica:     s.cfg.ReplicaID,
 	})
 }
 
