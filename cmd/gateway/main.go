@@ -46,7 +46,8 @@ func main() {
 	probeTimeout := flag.Duration("probe-timeout", time.Second, "per-probe timeout")
 	downAfter := flag.Int("down-after", 2, "consecutive probe failures before a replica is marked down (request-path transport failures mark it down immediately)")
 	timeout := flag.Duration("timeout", 15*time.Second, "per-dispatch timeout")
-	ingestQueue := flag.Int("ingest-queue", 256, "per-replica ingest fan-out queue depth in batches")
+	ingestQueue := flag.Int("ingest-queue", 256, "per-replica ingest fan-out queue depth in batches (also byte-bounded by -ingest-queue-bytes)")
+	ingestQueueBytes := flag.Int64("ingest-queue-bytes", 64<<20, "per-replica byte cap across queued ingest bodies; replicas × this value is the gateway's worst-case ingest memory while a replica is down")
 	ingestAttempts := flag.Int("ingest-attempts", 10, "delivery attempts per ingest batch before it is dropped for that replica")
 	metricsOn := flag.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics")
 	spanSample := flag.Int("span-sample", 0, "record a span tree for 1 in N requests on GET /debug/traces (0 disables; sampled traceparent headers always trace)")
@@ -64,17 +65,18 @@ func main() {
 	}
 
 	gw, err := gateway.New(gateway.Config{
-		Replicas:       fleet,
-		VNodes:         *vnodes,
-		ProbeInterval:  *probeEvery,
-		ProbeTimeout:   *probeTimeout,
-		DownAfter:      *downAfter,
-		RequestTimeout: *timeout,
-		IngestQueue:    *ingestQueue,
-		IngestAttempts: *ingestAttempts,
-		DisableMetrics: !*metricsOn,
-		Tracer:         tracer,
-		LogW:           os.Stderr,
+		Replicas:         fleet,
+		VNodes:           *vnodes,
+		ProbeInterval:    *probeEvery,
+		ProbeTimeout:     *probeTimeout,
+		DownAfter:        *downAfter,
+		RequestTimeout:   *timeout,
+		IngestQueue:      *ingestQueue,
+		IngestQueueBytes: *ingestQueueBytes,
+		IngestAttempts:   *ingestAttempts,
+		DisableMetrics:   !*metricsOn,
+		Tracer:           tracer,
+		LogW:             os.Stderr,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -154,6 +154,22 @@ func (g *Gateway) handleRouteBatch(w http.ResponseWriter, r *http.Request) error
 						}
 						return
 					}
+					// A client-caused or timed-out sub-batch fails the
+					// request without touching replica state (see
+					// clientCaused): retrying with a dead context would
+					// cascade down marks across the fleet.
+					if clientCaused(r.Context(), err) {
+						if httpErr == nil {
+							httpErr = &httpError{code: statusClientClosedRequest, msg: "client closed request"}
+						}
+						return
+					}
+					if isTimeout(err) {
+						if httpErr == nil {
+							httpErr = &httpError{code: http.StatusGatewayTimeout, msg: fmt.Sprintf("replica %s: %v", grp.rep.id, err)}
+						}
+						return
+					}
 					g.markFailed(grp.rep, err)
 					retry = append(retry, grp.orig...)
 					return

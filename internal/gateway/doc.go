@@ -25,16 +25,25 @@
 // replica down after DownAfter consecutive failures, while the request
 // path marks a replica down immediately on a transport-level dispatch
 // failure and retries the request on the next live owner — in-flight
-// load fails over without waiting for a probe tick.
+// load fails over without waiting for a probe tick. Client-caused
+// failures (a canceled request context) and per-dispatch timeouts are
+// excluded from the passive detector: a disconnecting client or one
+// slow query is not evidence a replica is dead, and acting on it
+// would let a single canceled context cascade down marks across the
+// fleet. A replica answering under the wrong identity (mis-wired
+// fleet config) is held degraded with the reported identity surfaced
+// in /healthz.
 //
 // # Ingest
 //
 // POST /ingest fans out to every replica so each drift monitor sees
 // the full trajectory stream. The handler only enqueues the raw body
-// into per-replica bounded queues; per-replica workers deliver in
-// order with capped-exponential-backoff retry. One slow or briefly
-// down replica never stalls ingestion — it catches up from its queue —
-// and a full queue drops batches for that replica alone.
+// into per-replica queues bounded both in batches (IngestQueue) and
+// in bytes (IngestQueueBytes — the per-replica memory budget while a
+// replica is down); per-replica workers deliver in order with
+// capped-exponential-backoff retry. One slow or briefly down replica
+// never stalls ingestion — it catches up from its queue — and a full
+// queue drops batches for that replica alone.
 //
 // # Batching
 //

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -51,6 +52,12 @@ type Config struct {
 	// (default 256). A full queue drops the batch for that replica only
 	// — one slow replica never stalls ingestion for the fleet.
 	IngestQueue int
+	// IngestQueueBytes caps the total raw-body bytes waiting in one
+	// replica's queue (default 64 MiB, raised to MaxIngestBytes if set
+	// lower so a single maximal batch always fits). This, not
+	// IngestQueue×MaxIngestBytes, is the per-replica ingest memory
+	// budget while a replica is down and the stream keeps flowing.
+	IngestQueueBytes int64
 	// IngestAttempts bounds delivery attempts per batch (default 10);
 	// IngestBackoff is the initial retry backoff (default 50ms),
 	// doubling up to IngestBackoffCap (default 2s).
@@ -98,6 +105,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IngestQueue <= 0 {
 		c.IngestQueue = 256
+	}
+	if c.IngestQueueBytes <= 0 {
+		c.IngestQueueBytes = 64 << 20
+	}
+	if c.IngestQueueBytes < c.MaxIngestBytes {
+		c.IngestQueueBytes = c.MaxIngestBytes
 	}
 	if c.IngestAttempts <= 0 {
 		c.IngestAttempts = 10
@@ -190,6 +203,9 @@ func New(cfg Config) (*Gateway, error) {
 		g.reg.GaugeFunc("gateway_ingest_queue_depth",
 			"Ingest batches waiting in the replica's fan-out queue.",
 			func() float64 { return float64(len(rep.queue)) }, obs.L("replica", rep.id))
+		g.reg.GaugeFunc("gateway_ingest_queue_bytes",
+			"Raw-body bytes waiting in the replica's fan-out queue.",
+			func() float64 { return float64(rep.queuedBytes.Load()) }, obs.L("replica", rep.id))
 	}
 	g.reg.GaugeFunc("gateway_replicas",
 		"Configured fleet size.", func() float64 { return float64(len(g.reps)) })
@@ -333,10 +349,16 @@ func (g *Gateway) handle(pattern, method string, h func(http.ResponseWriter, *ht
 		if err != nil {
 			em.errors.Inc()
 			root.SetError(err)
+			var ra *relayAbort
 			var he *httpError
-			if errors.As(err, &he) {
+			switch {
+			case errors.As(err, &ra):
+				// Headers and part of the body are already on the wire;
+				// a JSON error appended now would corrupt both. Log only.
+				g.logf("%s: %v", pattern, ra)
+			case errors.As(err, &he):
 				writeError(w, he.code, he.msg)
-			} else {
+			default:
 				writeError(w, http.StatusBadGateway, err.Error())
 			}
 		}
@@ -403,10 +425,37 @@ func routingKey(r *http.Request) (uint64, error) {
 	}
 }
 
+// statusClientClosedRequest is nginx's 499: the client went away
+// before the answer was ready. Never actually seen by that client —
+// its connection is gone — but it keeps the error accounting honest.
+const statusClientClosedRequest = 499
+
+// clientCaused reports whether a dispatch failure originated on the
+// client side of the proxied request: the inbound context ended
+// (disconnect, or the client's own deadline) rather than the replica
+// failing. Such errors must never change replica state — marking down
+// on a canceled context would cascade, because the failover retry
+// reuses the same dead context against the next live replica, downing
+// the whole fleet off one disconnecting client.
+func clientCaused(ctx context.Context, err error) bool {
+	return ctx.Err() != nil || errors.Is(err, context.Canceled)
+}
+
+// isTimeout reports a per-dispatch timeout (RequestTimeout or a
+// context deadline): one pathologically slow query, not evidence the
+// replica is down. The prober owns that verdict — a genuinely hung
+// replica fails its /healthz probes within DownAfter×ProbeInterval.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout())
+}
+
 // handleKeyed answers one consistent-hash routed GET: resolve the
 // ring owner among live replicas, dispatch, and on a transport failure
 // mark the replica down and fail over to the next live owner — the
-// client sees one answer or one error, never a partial.
+// client sees one answer or one error, never a partial. Client-caused
+// failures (disconnect, timeout) end the request without touching
+// replica state.
 func (g *Gateway) handleKeyed(w http.ResponseWriter, r *http.Request) error {
 	key, err := routingKey(r)
 	if err != nil {
@@ -421,10 +470,24 @@ func (g *Gateway) handleKeyed(w http.ResponseWriter, r *http.Request) error {
 		rep := g.reps[idx]
 		resp, err := g.dispatch(ctx, rep, r)
 		if err != nil {
+			if clientCaused(ctx, err) {
+				return &httpError{code: statusClientClosedRequest, msg: "client closed request"}
+			}
+			if isTimeout(err) {
+				return &httpError{code: http.StatusGatewayTimeout, msg: fmt.Sprintf("replica %s: %v", rep.id, err)}
+			}
 			g.markFailed(rep, err)
 			continue
 		}
-		return relay(w, resp, rep.id)
+		if err := relay(w, resp, rep.id); err != nil {
+			if ctx.Err() == nil {
+				// The replica died mid-body; the client hanging up is
+				// not the replica's error.
+				g.gm.DispatchError(g.index[rep.id])
+			}
+			return &relayAbort{replica: rep.id, err: err}
+		}
+		return nil
 	}
 	return &httpError{code: http.StatusBadGateway, msg: "all replicas failed"}
 }
@@ -470,6 +533,21 @@ func copyRequestHeaders(dst *http.Request, src *http.Request) {
 	}
 }
 
+// relayAbort wraps an io.Copy failure after WriteHeader: the status
+// line and headers are already on the wire, so appending a JSON error
+// would corrupt the partial body. The handle wrapper counts and logs
+// it but writes nothing further.
+type relayAbort struct {
+	replica string
+	err     error
+}
+
+func (e *relayAbort) Error() string {
+	return fmt.Sprintf("relay from replica %s aborted mid-body: %v", e.replica, e.err)
+}
+
+func (e *relayAbort) Unwrap() error { return e.err }
+
 // relay copies a replica response to the client, stamping X-Replica
 // with the gateway's identity for the backend when the replica did not
 // identify itself.
@@ -498,10 +576,17 @@ type replicaHealth struct {
 	// ModelEpoch is the replica's serving epoch from its last
 	// successful probe.
 	ModelEpoch uint64 `json:"model_epoch"`
-	// QueueDepth is the replica's pending ingest fan-out backlog.
-	QueueDepth int `json:"queue_depth"`
+	// QueueDepth is the replica's pending ingest fan-out backlog, in
+	// batches; QueueBytes is the same backlog in raw-body bytes.
+	QueueDepth int   `json:"queue_depth"`
+	QueueBytes int64 `json:"queue_bytes"`
 	// DownSinceUnixMS is the last down transition (0 = never).
 	DownSinceUnixMS int64 `json:"down_since_unix_ms,omitempty"`
+	// ReportedID is the identity the replica itself reported when it
+	// disagrees with the fleet config (a mis-wired -replicas list);
+	// empty while identities agree. A non-empty value holds the replica
+	// in the degraded state.
+	ReportedID string `json:"reported_id,omitempty"`
 }
 
 // gatewayHealth is the fleet view: status is "ok" when every replica
@@ -529,7 +614,9 @@ func (g *Gateway) fleetHealth() *gatewayHealth {
 			State:           st.String(),
 			ModelEpoch:      rep.epoch.Load(),
 			QueueDepth:      len(rep.queue),
+			QueueBytes:      rep.queuedBytes.Load(),
 			DownSinceUnixMS: g.downSince[i].Load(),
+			ReportedID:      rep.mismatch(),
 		}
 		switch st {
 		case StateHealthy:

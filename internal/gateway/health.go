@@ -50,8 +50,23 @@ type replica struct {
 	epoch atomic.Uint64 // model_epoch from the last successful probe
 
 	// queue holds raw /ingest bodies awaiting delivery; one worker
-	// drains it in order (see ingest.go).
-	queue chan []byte
+	// drains it in order (see ingest.go). queuedBytes tracks the bytes
+	// those waiting bodies hold, so enqueueing can enforce the
+	// Config.IngestQueueBytes memory budget alongside the depth cap.
+	queue       chan []byte
+	queuedBytes atomic.Int64
+
+	// reportedID holds the identity the replica's own /healthz claims
+	// when it disagrees with the fleet config ("" while they agree) —
+	// written by the prober, surfaced in the gateway's /healthz.
+	reportedID atomic.Value // string
+}
+
+// mismatch reads the replica's self-reported identity when it
+// disagrees with the fleet config.
+func (r *replica) mismatch() string {
+	s, _ := r.reportedID.Load().(string)
+	return s
 }
 
 // State reads the replica's current state.
@@ -81,7 +96,9 @@ func (g *Gateway) setState(rep *replica, next ReplicaState, reason string) {
 // transport-level dispatch failure marks the replica down immediately
 // — waiting for the next probe tick would fail every request in the
 // replica's hash range in the meantime — and counts one failover. The
-// prober brings it back the moment /healthz answers again.
+// prober brings it back the moment /healthz answers again. Callers
+// must filter client-caused and timeout errors first (clientCaused,
+// isTimeout): only genuine transport failures may change fleet state.
 func (g *Gateway) markFailed(rep *replica, err error) {
 	g.gm.Failover(g.index[rep.id])
 	g.setState(rep, StateDown, fmt.Sprintf("dispatch failed: %v", err))
@@ -118,14 +135,24 @@ func (g *Gateway) probe(rep *replica) {
 	}
 	rep.fails.Store(0)
 	rep.epoch.Store(hv.ModelEpoch)
-	if hv.Replica != "" && hv.Replica != rep.id {
-		g.logf("replica %s: /healthz reports identity %q — fleet config and serve -replica-id disagree", rep.id, hv.Replica)
-	}
 	next := StateHealthy
 	reason := "probe ok"
 	if hv.Degraded {
 		next = StateDegraded
 		reason = "replica reports degraded"
+	}
+	// A replica answering under the wrong identity means the fleet
+	// config is mis-wired (swapped or stale URLs): every metric series,
+	// X-Replica relay and ingest attribution for this entry is wrong.
+	// It still answers correctly, so it stays routable — but degraded,
+	// with the reported identity surfaced in /healthz, so the mismatch
+	// is an operator-visible state rather than a scrolling log line.
+	if hv.Replica != "" && hv.Replica != rep.id {
+		rep.reportedID.Store(hv.Replica)
+		next = StateDegraded
+		reason = fmt.Sprintf("identity mismatch: /healthz reports %q — fleet config and serve -replica-id disagree", hv.Replica)
+	} else {
+		rep.reportedID.Store("")
 	}
 	g.setState(rep, next, reason)
 }

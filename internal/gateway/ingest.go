@@ -66,21 +66,41 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) error {
 		if e := rep.epoch.Load(); e > maxEpoch {
 			maxEpoch = e
 		}
-		select {
-		case rep.queue <- body:
-			g.gm.IngestEnqueued(i)
-			ack.Enqueued++
-		default:
+		if !g.enqueueIngest(rep, body) {
 			g.gm.IngestDropped(i)
 			g.logf("replica %s: ingest queue full, batch dropped", rep.id)
 			ack.Dropped++
+			continue
 		}
+		g.gm.IngestEnqueued(i)
+		ack.Enqueued++
 	}
 	ack.ModelEpoch = maxEpoch
 	if ack.Enqueued == 0 {
 		return &httpError{code: http.StatusServiceUnavailable, msg: "all replica ingest queues full"}
 	}
 	return writeJSON(w, &ack)
+}
+
+// enqueueIngest admits one raw body into rep's delivery queue if both
+// bounds allow: queue depth (IngestQueue batches) and queued bytes
+// (IngestQueueBytes) — the byte cap keeps a down replica's backlog
+// from holding IngestQueue×MaxIngestBytes of raw bodies in memory.
+// The byte budget is reserved optimistically and rolled back on a
+// full queue, so concurrent handlers never over-admit.
+func (g *Gateway) enqueueIngest(rep *replica, body []byte) bool {
+	n := int64(len(body))
+	if rep.queuedBytes.Add(n) > g.cfg.IngestQueueBytes {
+		rep.queuedBytes.Add(-n)
+		return false
+	}
+	select {
+	case rep.queue <- body:
+		return true
+	default:
+		rep.queuedBytes.Add(-n)
+		return false
+	}
 }
 
 // ingestWorker drains one replica's delivery queue in order. Each
@@ -99,6 +119,7 @@ func (g *Gateway) ingestWorker(ctx context.Context, rep *replica) {
 			return
 		case body = <-rep.queue:
 		}
+		rep.queuedBytes.Add(-int64(len(body)))
 		delivered := false
 		backoff := g.cfg.IngestBackoff
 		for attempt := 1; attempt <= g.cfg.IngestAttempts; attempt++ {

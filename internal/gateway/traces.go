@@ -70,7 +70,7 @@ func (g *Gateway) handleDebugTraces(w http.ResponseWriter, r *http.Request) erro
 	} else {
 		traces = g.tracer.Store().Snapshot()
 	}
-	out := make([]gwTrace, 0, n)
+	out := make([]gwTrace, 0, min(n, len(traces)))
 	for _, t := range traces {
 		if wantEndpoint != "" && t.Endpoint != wantEndpoint {
 			continue

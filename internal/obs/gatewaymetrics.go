@@ -103,6 +103,15 @@ func (m *GatewayMetrics) Request(i int, d time.Duration, failed bool) {
 	}
 }
 
+// DispatchError counts a dispatch failure to replica i detected after
+// Request's accounting — a replica dying mid-body while its response
+// was being relayed.
+func (m *GatewayMetrics) DispatchError(i int) {
+	if m != nil {
+		m.errors[clampSlice(i, len(m.errors))].Inc()
+	}
+}
+
 // Failover counts one request re-routed away from replica i.
 func (m *GatewayMetrics) Failover(i int) {
 	if m != nil {
